@@ -1,0 +1,10 @@
+"""Benchmark harness reproducing the paper's complexity claims.
+
+One module per experiment (see DESIGN.md §3 for the index).  Each
+module offers:
+
+* pytest-benchmark micro-benchmarks (``pytest benchmarks/
+  --benchmark-only``), and
+* a ``run()`` function printing the paper-shaped table/series, driven
+  by ``python -m benchmarks.harness <exp-id|all>``.
+"""

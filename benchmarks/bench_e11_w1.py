@@ -1,0 +1,92 @@
+"""E11 — Theorem 5.2: W[1]-hardness in |q| via string equalities.
+
+Claims reproduced:
+
+* the query built from (G, k) has size independent of the *graph* —
+  only the parameter k matters (contrast with Theorem 3.2's delta
+  atoms, whose size grows with n);
+* correctness against brute-force clique search;
+* evaluation time climbs with k on a fixed graph (the W[1] signature).
+"""
+
+from __future__ import annotations
+
+from repro.queries import CanonicalEvaluator
+from repro.reductions import CliqueEqualityReduction, CliqueReduction
+from repro.util.graphs import Graph
+
+from .common import Table, time_call
+
+
+def run() -> list[Table]:
+    size_table = Table(
+        "E11a  query size depends only on k (Theorem 5.2)",
+        ["graph n", "k", "gamma size (nodes)", "equality groups"],
+    )
+    for n in (4, 8, 16):
+        graph = Graph.random(n, 0.5, seed=n)
+        reduction = CliqueEqualityReduction.build(graph, 3)
+        size_table.add(
+            n,
+            3,
+            reduction.query.regex_atoms[0].formula.size(),
+            reduction.query.equality_count,
+        )
+    size_table.note("constant columns across n — |q| is a function of k only")
+    size_table.note(
+        "Theorem 3.2's delta atoms grow with n; compare E5"
+    )
+
+    contrast = Table(
+        "E11b  Theorem 3.2 vs Theorem 5.2 query sizes (n sweep, k=3)",
+        ["graph n", "Thm 3.2 total atom nodes", "Thm 5.2 total atom nodes"],
+    )
+    for n in (4, 8, 16):
+        graph = Graph.random(n, 0.5, seed=n)
+        with_deltas = sum(
+            atom.formula.size()
+            for atom in CliqueReduction.build(graph, 3).query.regex_atoms
+        )
+        with_equalities = sum(
+            atom.formula.size()
+            for atom in CliqueEqualityReduction.build(graph, 3).query.regex_atoms
+        )
+        contrast.add(n, with_deltas, with_equalities)
+
+    timing = Table(
+        "E11c  evaluation time vs k (fixed graph)",
+        ["k", "truth", "regex CQ", "time (s)"],
+    )
+    graph = Graph.with_planted_clique(6, 0.2, 3, seed=2)
+    evaluator = CanonicalEvaluator()
+    for k in (2, 3):
+        reduction = CliqueEqualityReduction.build(graph, k)
+        truth = graph.has_clique(k)
+        elapsed = time_call(
+            lambda: evaluator.evaluate_boolean(
+                reduction.query, reduction.string
+            )
+        )
+        got = evaluator.evaluate_boolean(reduction.query, reduction.string)
+        timing.add(k, truth, got, elapsed)
+        assert got == truth
+    return [size_table, contrast, timing]
+
+
+def test_e11_reduction_correct(benchmark):
+    graph = Graph.from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3)])
+    reduction = CliqueEqualityReduction.build(graph, 3)
+    evaluator = CanonicalEvaluator()
+    got = benchmark(
+        lambda: evaluator.evaluate_boolean(reduction.query, reduction.string)
+    )
+    assert got is True
+
+
+def test_e11_query_size_constant_in_n():
+    small = CliqueEqualityReduction.build(Graph.random(4, 0.5, seed=1), 3)
+    large = CliqueEqualityReduction.build(Graph.random(12, 0.5, seed=2), 3)
+    assert (
+        small.query.regex_atoms[0].formula.size()
+        == large.query.regex_atoms[0].formula.size()
+    )

@@ -1,0 +1,112 @@
+"""E1 — Theorem 3.3: polynomial-delay enumeration.
+
+Claim: after ``O(n^2 |s| + mn)`` preprocessing, consecutive answers of
+``[[A]](s)`` arrive with delay ``O(n^2 |s|)``.
+
+Series reproduced:
+
+* max/mean per-answer delay and preprocessing time as ``N = |s|`` grows
+  with the automaton fixed (claim: both polynomial in N; fitted log-log
+  slope of max delay vs N should stay well below cubic);
+* the same as ``n`` (state count) grows with N fixed, via the union-of-
+  identical-branches construction that preserves the answer set;
+* delay must *not* grow with the answer count beyond these bounds —
+  the point of enumeration complexity.
+"""
+
+from __future__ import annotations
+
+from repro.enumeration import SpannerEvaluator, measure_delays
+from repro.text import unary_text
+from repro.vset import compile_regex
+
+from .common import Table, fit_loglog_slope, grown_automaton
+
+BASE_PATTERN = "a*x{a*}a*"
+
+
+def run() -> list[Table]:
+    automaton = compile_regex(BASE_PATTERN).compacted()
+
+    sweep_n_string = Table(
+        "E1a  delay vs |s|  (automaton fixed: a*x{a*}a*)",
+        ["N", "answers", "prep (s)", "max delay (s)", "mean delay (s)"],
+    )
+    lengths = [20, 40, 80, 160, 320]
+    max_delays = []
+    for n in lengths:
+        report = measure_delays(automaton, unary_text(n))
+        max_delays.append(report.max_delay)
+        sweep_n_string.add(
+            n,
+            report.count,
+            report.preprocessing_seconds,
+            report.max_delay,
+            report.mean_delay,
+        )
+    slope = fit_loglog_slope(lengths, max_delays)
+    sweep_n_string.note(
+        f"fitted max-delay slope vs N: {slope:.2f} "
+        "(claim: polynomial, O(n^2 N) with n fixed => slope <= ~1 + noise)"
+    )
+
+    sweep_states = Table(
+        "E1b  delay vs n  (|s| fixed at 60; union of identical branches)",
+        ["branches", "states n", "answers", "prep (s)", "max delay (s)"],
+    )
+    s = unary_text(60)
+    copies_list = [1, 2, 4, 8, 16]
+    state_counts = []
+    delays = []
+    for copies in copies_list:
+        grown = grown_automaton(BASE_PATTERN, copies)
+        report = measure_delays(grown, s)
+        state_counts.append(grown.n_states)
+        delays.append(report.max_delay)
+        sweep_states.add(
+            copies,
+            grown.n_states,
+            report.count,
+            report.preprocessing_seconds,
+            report.max_delay,
+        )
+    slope_n = fit_loglog_slope(state_counts, delays)
+    sweep_states.note(
+        f"fitted max-delay slope vs n: {slope_n:.2f} (claim: O(n^2) => <= ~2)"
+    )
+
+    return [sweep_n_string, sweep_states]
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark micro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+def test_e1_preprocessing(benchmark):
+    automaton = compile_regex(BASE_PATTERN).compacted()
+    s = unary_text(120)
+    benchmark(lambda: SpannerEvaluator(automaton, s))
+
+
+def test_e1_full_enumeration(benchmark):
+    automaton = compile_regex(BASE_PATTERN).compacted()
+    s = unary_text(80)
+
+    def enumerate_all():
+        return sum(1 for _ in SpannerEvaluator(automaton, s))
+
+    result = benchmark(enumerate_all)
+    assert result == (80 + 1) * (80 + 2) // 2
+
+
+def test_e1_delay_shape_polynomial():
+    """Shape assertion: max delay grows sub-quadratically in N."""
+    automaton = compile_regex(BASE_PATTERN).compacted()
+    lengths = [25, 50, 100, 200]
+    delays = [
+        measure_delays(automaton, unary_text(n), limit=200).max_delay
+        for n in lengths
+    ]
+    slope = fit_loglog_slope(lengths, delays)
+    assert slope < 2.5, f"delay slope {slope:.2f} too steep for O(n^2 N)"

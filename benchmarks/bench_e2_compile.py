@@ -1,0 +1,73 @@
+"""E2 — Lemma 3.4: regex-to-vset compilation is linear.
+
+Claim: a functional regex formula ``alpha`` compiles in ``O(|alpha|)``
+time into a functional vset-automaton with ``O(|alpha|)`` states and
+transitions.
+
+Series reproduced: compile time, state count and transition count as
+``|alpha|`` grows; fitted log-log slopes should be ~1.
+"""
+
+from __future__ import annotations
+
+from repro.regex import parse
+from repro.vset import compile_regex
+
+from .common import Table, fit_loglog_slope, time_call
+
+
+def _formula_of_size(blocks: int) -> str:
+    """A formula family with one capture and growing body."""
+    body = "(ab|ba)" * blocks
+    return f".*x{{{body}}}.*"
+
+
+def run() -> list[Table]:
+    table = Table(
+        "E2  regex -> vset compilation (Lemma 3.4)",
+        ["|alpha| (nodes)", "states", "transitions", "compile (s)"],
+    )
+    sizes = []
+    states = []
+    times = []
+    for blocks in (4, 16, 64, 256, 1024):
+        source = _formula_of_size(blocks)
+        formula = parse(source)
+        size = formula.size()
+        elapsed = time_call(lambda f=formula: compile_regex(f), repeat=3)
+        automaton = compile_regex(formula)
+        sizes.append(size)
+        states.append(automaton.n_states)
+        times.append(elapsed)
+        table.add(size, automaton.n_states, automaton.n_transitions, elapsed)
+    table.note(
+        f"state-count slope vs |alpha|: {fit_loglog_slope(sizes, states):.2f} "
+        "(claim: 1.0)"
+    )
+    table.note(
+        f"compile-time slope vs |alpha|: {fit_loglog_slope(sizes, times):.2f} "
+        "(claim: ~1.0)"
+    )
+    return [table]
+
+
+def test_e2_compile(benchmark):
+    formula = parse(_formula_of_size(128))
+    automaton = benchmark(lambda: compile_regex(formula))
+    assert automaton.n_states > 0
+
+
+def test_e2_linear_states():
+    small = compile_regex(parse(_formula_of_size(8)))
+    large = compile_regex(parse(_formula_of_size(256)))
+    ratio = large.n_states / small.n_states
+    assert ratio < 40, "states must grow linearly with formula size"
+
+
+def test_e2_compile_time_linearish():
+    sizes, times = [], []
+    for blocks in (16, 64, 256):
+        formula = parse(_formula_of_size(blocks))
+        sizes.append(formula.size())
+        times.append(time_call(lambda f=formula: compile_regex(f), repeat=3))
+    assert fit_loglog_slope(sizes, times) < 1.8

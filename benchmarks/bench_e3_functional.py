@@ -1,0 +1,93 @@
+"""E3 — Theorems 2.4 / 2.7: functionality tests are fast.
+
+Claims: regex-formula functionality is testable in ``O(|alpha| v)``
+(Theorem 2.4); vset-automaton functionality in ``O(vm + n)``
+(Theorem 2.7).
+
+Series reproduced: test time as the formula / automaton grows, for both
+functional and non-functional inputs; slopes ~1.
+"""
+
+from __future__ import annotations
+
+from repro.regex import check_functional, parse
+from repro.vset import check_vset_functional, compile_regex
+
+from .common import Table, fit_loglog_slope, grown_automaton, time_call
+
+
+def _functional_source(blocks: int) -> str:
+    return "x{" + "(ab|ba)" * blocks + "}c*"
+
+
+def _nonfunctional_source(blocks: int) -> str:
+    # The variable clash sits at the very end: the syntactic test still
+    # walks the whole tree.
+    return "x{" + "(ab|ba)" * blocks + "}x{a}"
+
+
+def run() -> list[Table]:
+    regex_table = Table(
+        "E3a  regex functionality test (Theorem 2.4)",
+        ["|alpha|", "functional", "time (s)"],
+    )
+    sizes, times = [], []
+    for blocks in (16, 64, 256, 1024):
+        for source_fn, expected in (
+            (_functional_source, True),
+            (_nonfunctional_source, False),
+        ):
+            formula = parse(source_fn(blocks))
+            elapsed = time_call(
+                lambda f=formula: check_functional(f), repeat=3
+            )
+            verdict = check_functional(formula).functional
+            assert verdict is expected
+            regex_table.add(formula.size(), verdict, elapsed)
+            if expected:
+                sizes.append(formula.size())
+                times.append(elapsed)
+    regex_table.note(
+        f"time slope vs |alpha|: {fit_loglog_slope(sizes, times):.2f} "
+        "(claim: ~1.0)"
+    )
+
+    vset_table = Table(
+        "E3b  vset functionality test (Theorem 2.7)",
+        ["states n", "transitions m", "time (s)"],
+    )
+    ns, vtimes = [], []
+    for copies in (2, 8, 32, 128):
+        automaton = grown_automaton("a*x{(a|b)*}b*", copies)
+        elapsed = time_call(
+            lambda a=automaton: check_vset_functional(a), repeat=3
+        )
+        assert check_vset_functional(automaton).functional
+        ns.append(automaton.n_states)
+        vtimes.append(elapsed)
+        vset_table.add(automaton.n_states, automaton.n_transitions, elapsed)
+    vset_table.note(
+        f"time slope vs n: {fit_loglog_slope(ns, vtimes):.2f} (claim: ~1.0)"
+    )
+    return [regex_table, vset_table]
+
+
+def test_e3_regex_functionality(benchmark):
+    formula = parse(_functional_source(256))
+    report = benchmark(lambda: check_functional(formula))
+    assert report.functional
+
+
+def test_e3_vset_functionality(benchmark):
+    automaton = grown_automaton("a*x{(a|b)*}b*", 32)
+    report = benchmark(lambda: check_vset_functional(automaton))
+    assert report.functional
+
+
+def test_e3_near_linear_shape():
+    sizes, times = [], []
+    for blocks in (32, 128, 512):
+        formula = parse(_functional_source(blocks))
+        sizes.append(formula.size())
+        times.append(time_call(lambda f=formula: check_functional(f), repeat=3))
+    assert fit_loglog_slope(sizes, times) < 1.8

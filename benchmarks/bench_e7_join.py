@@ -1,0 +1,84 @@
+"""E7 — Lemma 3.10: the join construction's size and time.
+
+Claims reproduced:
+
+* binary join of automata with ``O(n)`` states runs in ``O(v n^4)`` and
+  produces ``O(n^2)`` states — measured by sweeping ``n`` through the
+  union-of-identical-branches construction;
+* folding ``k`` joins costs ``O(n^{2k})``: the time and state count
+  climb exponentially with ``k``, which is exactly why Theorem 3.11
+  needs the atom count bounded.
+"""
+
+from __future__ import annotations
+
+from repro.vset import compile_regex, join
+from repro.vset.join import join_many
+from repro.vset.operations import rename_variables, union
+
+from .common import Table, fit_loglog_slope, grown_automaton, time_call
+
+
+def run() -> list[Table]:
+    binary = Table(
+        "E7a  binary join vs operand size (Lemma 3.10)",
+        ["n (each operand)", "product states", "join time (s)"],
+    )
+    ns, times = [], []
+    for copies in (1, 2, 4, 8):
+        a = grown_automaton(".*x{a+}.*", copies)
+        b = grown_automaton(".*y{b+}.*", copies)
+        elapsed = time_call(lambda: join(a, b))
+        product = join(a, b)
+        ns.append(a.n_states)
+        times.append(elapsed)
+        binary.add(a.n_states, product.n_states, elapsed)
+    binary.note(
+        f"time slope vs n: {fit_loglog_slope(ns, times):.2f} (claim: <= 4)"
+    )
+
+    kway = Table(
+        "E7b  k-way join fold (O(n^{2k}))",
+        ["k", "result states", "fold time (s)"],
+    )
+    atoms = [
+        compile_regex(f".*v{i}{{[ab]+}}.*")
+        for i in range(5)
+    ]
+    for k in (1, 2, 3, 4, 5):
+        selection = atoms[:k]
+        elapsed = time_call(lambda sel=tuple(selection): join_many(sel))
+        result = join_many(selection)
+        kway.add(k, result.n_states, elapsed)
+    kway.note("states/time climbing with k is the bounded-atoms motivation")
+    return [binary, kway]
+
+
+def test_e7_binary_join(benchmark):
+    a = grown_automaton(".*x{a+}.*", 2)
+    b = grown_automaton(".*y{b+}.*", 2)
+    product = benchmark(lambda: join(a, b))
+    assert product.n_states > 0
+
+
+def test_e7_shared_variable_join(benchmark):
+    a = compile_regex(".*x{a+}.*y{b}.*")
+    b = compile_regex(".*y{b}.*z{a+}.*")
+    product = benchmark(lambda: join(a, b))
+    assert product.variables == {"x", "y", "z"}
+
+
+def test_e7_polynomial_shape():
+    ns, times = [], []
+    for copies in (1, 2, 4):
+        a = grown_automaton(".*x{a+}.*", copies)
+        b = grown_automaton(".*y{b+}.*", copies)
+        ns.append(a.n_states)
+        times.append(time_call(lambda: join(a, b)))
+    assert fit_loglog_slope(ns, times) < 4.5
+
+
+def test_e7_rename_union_helpers():
+    renamed = rename_variables(compile_regex(".*x{a}.*"), {"x": "q"})
+    both = union([renamed, rename_variables(compile_regex(".*y{a}.*"), {"y": "q"})])
+    assert both.variables == {"q"}

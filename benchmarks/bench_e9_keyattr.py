@@ -1,0 +1,71 @@
+"""E9 — Proposition 3.6: deciding key attributes in O(n^4).
+
+Claims reproduced:
+
+* correctness on known key / non-key families (with witness checks);
+* time vs state count n, swept by the union construction; the fitted
+  slope must stay below the claimed quartic.
+"""
+
+from __future__ import annotations
+
+from repro.vset import compile_regex, is_key_attribute
+from repro.vset.keyattr import key_attribute_witness
+
+from .common import Table, fit_loglog_slope, grown_automaton, time_call
+
+
+def run() -> list[Table]:
+    correctness = Table(
+        "E9a  key-attribute verdicts (Proposition 3.6)",
+        ["automaton", "variable", "is key", "witness"],
+    )
+    cases = [
+        ("x{a*}b", "x", True),
+        ("x{a*}y{b}", "x", True),
+        ("x{a*}a*y{a*}", "x", False),
+        (".*x{a}.*y{b}.*", "x", False),
+    ]
+    for pattern, var, expected in cases:
+        automaton = compile_regex(pattern)
+        verdict = is_key_attribute(automaton, var)
+        witness = key_attribute_witness(automaton, var)
+        correctness.add(
+            pattern,
+            var,
+            verdict,
+            "-" if witness is None else repr(witness.string),
+        )
+        assert verdict is expected
+        assert (witness is None) is expected
+
+    scaling = Table(
+        "E9b  decision time vs n",
+        ["states n", "time (s)"],
+    )
+    ns, times = [], []
+    for copies in (1, 2, 4, 8):
+        automaton = grown_automaton("x{a*}a*y{a*}", copies)
+        elapsed = time_call(lambda a=automaton: is_key_attribute(a, "x"))
+        ns.append(automaton.n_states)
+        times.append(elapsed)
+        scaling.add(automaton.n_states, elapsed)
+    scaling.note(
+        f"time slope vs n: {fit_loglog_slope(ns, times):.2f} (claim: <= 4)"
+    )
+    return [correctness, scaling]
+
+
+def test_e9_decision(benchmark):
+    automaton = grown_automaton("x{a*}a*y{a*}", 2)
+    verdict = benchmark(lambda: is_key_attribute(automaton, "x"))
+    assert verdict is False
+
+
+def test_e9_quartic_shape():
+    ns, times = [], []
+    for copies in (1, 2, 4):
+        automaton = grown_automaton("x{a*}a*y{a*}", copies)
+        ns.append(automaton.n_states)
+        times.append(time_call(lambda a=automaton: is_key_attribute(a, "x")))
+    assert fit_loglog_slope(ns, times) < 4.5

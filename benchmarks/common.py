@@ -1,0 +1,122 @@
+"""Shared utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.vset import VSetAutomaton, compile_regex, rename_variables, union
+
+__all__ = [
+    "fit_loglog_slope",
+    "time_call",
+    "Table",
+    "grown_automaton",
+    "sweep",
+]
+
+
+def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    The benchmarks assert *shape*, not absolute numbers: a claimed
+    ``O(x^d)`` bound should fit with slope at most ``d`` plus tolerance
+    (measured growth may be milder than the worst case, never wilder).
+    Zero/negative samples are clamped to a small epsilon.
+    """
+    pairs = [
+        (math.log(max(x, 1e-12)), math.log(max(y, 1e-12)))
+        for x, y in zip(xs, ys)
+    ]
+    n = len(pairs)
+    if n < 2:
+        raise ValueError("need at least two samples to fit a slope")
+    mean_x = sum(p[0] for p in pairs) / n
+    mean_y = sum(p[1] for p in pairs) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    var = sum((x - mean_x) ** 2 for x, _ in pairs)
+    if var == 0:
+        raise ValueError("x values are all equal")
+    return cov / var
+
+
+def time_call(fn: Callable[[], object], repeat: int = 1) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class Table:
+    """A printable experiment table (what the harness shows per exp)."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: object) -> None:
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        out = [f"== {self.title} =="]
+        widths = [
+            max(
+                len(str(h)),
+                max((len(_fmt(r[i])) for r in self.rows), default=0),
+            )
+            for i, h in enumerate(self.headers)
+        ]
+        out.append(
+            "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        )
+        out.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            out.append(
+                "  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths))
+            )
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001 or abs(value) >= 10000:
+            return f"{value:.2e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def grown_automaton(base_pattern: str, copies: int) -> VSetAutomaton:
+    """An automaton with ~``copies`` times the states of the base but the
+    same spanner: the union of ``copies`` identical branches.
+
+    This is the standard way to sweep the state count ``n`` while
+    holding the answer set fixed, isolating the ``n``-dependence of
+    Theorem 3.3's delay and preprocessing bounds.
+    """
+    base = compile_regex(base_pattern)
+    return union([base] * copies)
+
+
+def sweep(values: Iterable[object], fn: Callable[[object], Sequence[object]], table: Table) -> None:
+    """Run ``fn`` per value, adding its returned row to ``table``."""
+    for value in values:
+        table.add(*fn(value))
+
+
+def rename_for(base_pattern: str, mapping: dict[str, str]) -> VSetAutomaton:
+    """Compile + rename helper used by join workloads."""
+    return rename_variables(compile_regex(base_pattern), mapping)

@@ -1,0 +1,127 @@
+"""F1 — Figure 1 and Appendix A.3: regenerating the NFA ``A_G``.
+
+The paper's only figure shows ``A_G`` for the automaton of
+``a* x{a*} a*`` on ``s = aa`` (Example 4.3), with the full run tables
+for ``s = aaa`` in Example A.1 and the nondeterministic variant in
+Example A.2.  This module rebuilds those artifacts from the engine's
+own data structures and checks their shapes.
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import char_pred, close_marker, open_marker
+from repro.automata.nfa import NFA
+from repro.enumeration import SpannerEvaluator, build_evaluation_graph
+from repro.spans import Span, SpanTuple
+from repro.vset import VSetAutomaton, compile_regex
+
+from .common import Table
+
+
+def paper_a_fun() -> VSetAutomaton:
+    """The exact 3-state automaton A_fun of Examples 2.6 / 4.1."""
+    nfa = NFA()
+    q0, q1, qf = nfa.add_state(), nfa.add_state(), nfa.add_state()
+    nfa.set_initial(q0)
+    nfa.add_final(qf)
+    nfa.add_transition(q0, char_pred("a"), q0)
+    nfa.add_transition(q0, open_marker("x"), q1)
+    nfa.add_transition(q1, char_pred("a"), q1)
+    nfa.add_transition(q1, close_marker("x"), qf)
+    nfa.add_transition(qf, char_pred("a"), qf)
+    return VSetAutomaton(nfa, {"x"})
+
+
+def run() -> list[Table]:
+    tables = []
+
+    # -- Figure 1 / Example 4.3: A_G for A_fun on "aa" ----------------------
+    automaton = paper_a_fun()
+    graph = build_evaluation_graph(automaton, "aa")
+    leveled = graph.leveled
+    fig = Table(
+        "F1  A_G for a*x{a*}a* on s = 'aa' (Figure 1 / Example 4.3)",
+        ["level", "nodes", "edges out", "labels seen"],
+    )
+    per_level_nodes: dict[int, list[int]] = {}
+    for node in sorted(leveled.live_nodes()):
+        per_level_nodes.setdefault(leveled.level_of[node], []).append(node)
+    for level in sorted(per_level_nodes):
+        nodes = per_level_nodes[level]
+        edges = sum(len(leveled.out_edges[v]) for v in nodes)
+        labels = sorted(
+            {
+                str(label)
+                for v in nodes
+                for label, _ in leveled.out_edges[v]
+            }
+        )
+        fig.add(level, len(nodes), edges, " ".join(labels))
+    fig.note("paper: levels 0..2 hold {w,o,c}-labelled states, level 3 only c")
+    tables.append(fig)
+
+    # -- Example 4.2: the six tuples on "aa" --------------------------------
+    table42 = Table(
+        "Example 4.2  [[A_fun]]('aa') with configuration words",
+        ["mu(x)", "c1 c2 c3"],
+    )
+    evaluator = SpannerEvaluator(paper_a_fun(), "aa")
+    for word in evaluator.configuration_words():
+        mu = SpanTuple(
+            {"x": _decode_span(word)}
+        )
+        table42.add(str(mu["x"]), " ".join(str(k) for k in word))
+    tables.append(table42)
+
+    # -- Example A.2: exponential paths, single tuple -----------------------
+    a2 = compile_regex("x{(a|aa)*}")
+    s = "aaa"
+    got = list(SpannerEvaluator(a2, s))
+    tableA2 = Table(
+        "Example A.2  x{(a|aa)*} on 'aaa': many paths, one tuple",
+        ["answers", "tuple"],
+    )
+    tableA2.add(len(got), repr(got[0]))
+    assert got == [SpanTuple({"x": Span(1, 4)})]
+    tables.append(tableA2)
+    return tables
+
+
+def _decode_span(word) -> Span:
+    from repro.vset.configurations import CLOSED, WAITING
+
+    start = next(i for i, k in enumerate(word) if k.of("x") != WAITING) + 1
+    end = next(i for i, k in enumerate(word) if k.of("x") == CLOSED) + 1
+    return Span(start, end)
+
+
+def test_f1_figure_shape():
+    """A_G on 'aa' matches Figure 1: 3+3+3 inner nodes, one accepting."""
+    automaton = paper_a_fun()
+    graph = build_evaluation_graph(automaton, "aa")
+    leveled = graph.leveled
+    sizes = {}
+    for node in leveled.live_nodes():
+        if node == leveled.ROOT:
+            continue
+        sizes[leveled.level_of[node]] = sizes.get(leveled.level_of[node], 0) + 1
+    # Levels 1 and 2 carry the three states (w/o/c); level 3 only q_f.
+    assert sizes[1] == 3
+    assert sizes[2] == 3
+    assert sizes[3] == 1
+    assert leveled.count_words() == 6
+
+
+def test_f1_example_42_table():
+    automaton = compile_regex("a*x{a*}a*")
+    got = sorted(
+        (mu["x"].start, mu["x"].end)
+        for mu in SpannerEvaluator(automaton, "aa")
+    )
+    assert got == [(1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)]
+
+
+def test_f1_example_a2(benchmark):
+    a2 = compile_regex("x{(a|aa)*}")
+    result = benchmark(lambda: list(SpannerEvaluator(a2, "a" * 12)))
+    assert result == [SpanTuple({"x": Span(1, 13)})]

@@ -1,0 +1,78 @@
+"""Experiment harness: ``python -m benchmarks.harness <exp-id|all>``.
+
+Prints the paper-shaped tables for every experiment in the DESIGN.md
+index.  Timing numbers are machine-dependent; the *shapes* (slopes,
+orderings, crossovers) are what EXPERIMENTS.md records against the
+paper's claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    bench_e1_delay,
+    bench_e2_compile,
+    bench_e3_functional,
+    bench_e4_sat,
+    bench_e5_clique,
+    bench_e6_canonical,
+    bench_e7_join,
+    bench_e8_kucq,
+    bench_e9_keyattr,
+    bench_e10_equality,
+    bench_e11_w1,
+    bench_e12_strategies,
+    fig1_ag,
+)
+
+EXPERIMENTS = {
+    "E1": (bench_e1_delay, "Thm 3.3: polynomial-delay enumeration"),
+    "E2": (bench_e2_compile, "Lemma 3.4: linear regex->vset compilation"),
+    "E3": (bench_e3_functional, "Thms 2.4/2.7: functionality tests"),
+    "E4": (bench_e4_sat, "Thm 3.1: 3CNF on a single character"),
+    "E5": (bench_e5_clique, "Thm 3.2: gamma-acyclic clique hardness"),
+    "E6": (bench_e6_canonical, "Thm 3.5: canonical strategy"),
+    "E7": (bench_e7_join, "Lemma 3.10: join construction"),
+    "E8": (bench_e8_kucq, "Thm 3.11: k-UCQ polynomial delay"),
+    "E9": (bench_e9_keyattr, "Prop 3.6: key attributes"),
+    "E10": (bench_e10_equality, "Thm 5.4/Cor 5.5: string equalities"),
+    "E11": (bench_e11_w1, "Thm 5.2: W[1]-hardness in |q|"),
+    "E12": (bench_e12_strategies, "strategy ablation"),
+    "F1": (fig1_ag, "Figure 1 / Appendix A.3 regeneration"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.harness",
+        description="Reproduce the paper's per-theorem experiments.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (E1..E12, F1) or 'all'",
+    )
+    args = parser.parse_args(argv)
+    wanted = args.experiments
+    if not wanted or "all" in wanted:
+        wanted = list(EXPERIMENTS)
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    for exp in wanted:
+        module, description = EXPERIMENTS[exp]
+        print(f"\n### {exp} — {description}")
+        start = time.perf_counter()
+        for table in module.run():
+            print()
+            print(table.render())
+        print(f"\n[{exp} completed in {time.perf_counter() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

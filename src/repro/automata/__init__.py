@@ -1,0 +1,36 @@
+"""Generic automata substrate.
+
+This package contains the plain automata machinery the paper's
+constructions stand on: an epsilon-NFA container (:mod:`.nfa`),
+closure/trim/simulation utilities (:mod:`.ops`), the Thompson
+construction (:mod:`.thompson`), and fixed-length word enumeration in
+radix order (:mod:`.leveled`, :mod:`.crosssection`) — our rendition of
+the Ackerman–Shallit cross-section enumeration [2] that Section 4.2
+tailors into the tuple enumerator.
+"""
+
+from .nfa import NFA
+from .ops import (
+    closure,
+    coreachable_states,
+    reachable_states,
+    simulate,
+    trim,
+)
+from .leveled import LeveledNFA, RadixEnumerator
+from .crosssection import cross_section, enumerate_fixed_length
+from .thompson import thompson_nfa
+
+__all__ = [
+    "NFA",
+    "closure",
+    "reachable_states",
+    "coreachable_states",
+    "trim",
+    "simulate",
+    "LeveledNFA",
+    "RadixEnumerator",
+    "cross_section",
+    "enumerate_fixed_length",
+    "thompson_nfa",
+]

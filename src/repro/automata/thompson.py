@@ -1,0 +1,123 @@
+"""Thompson construction from regex-formula ASTs (proof of Lemma 3.4).
+
+The paper converts a functional regex formula ``alpha`` into a
+functional vset-automaton by (1) rewriting every capture ``x{beta}``
+into the concatenation ``x⊢ · beta · ⊣x`` over the extended alphabet and
+(2) running the classic Thompson construction.  We fuse the two steps:
+captures compile directly to marker-labelled transitions.
+
+Guarantees (used by later complexity arguments):
+
+* single initial and single final state — as required by the
+  vset-automaton definition;
+* number of states and transitions linear in ``|alpha|``;
+* every state has out-degree at most 2, and marker/symbol edges are
+  never duplicated — so ``m`` is ``O(n)``, the property Theorem 3.3's
+  remark about regex-derived automata relies on.
+"""
+
+from __future__ import annotations
+
+from ..alphabet import EPSILON, close_marker, open_marker
+from ..regex.ast import (
+    Capture,
+    CharClass,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Optional,
+    Plus,
+    RegexFormula,
+    Star,
+    Union,
+)
+from .nfa import NFA
+
+__all__ = ["thompson_nfa"]
+
+
+def thompson_nfa(formula: RegexFormula) -> NFA:
+    """Compile a regex formula to an epsilon-NFA over the extended alphabet.
+
+    The result accepts exactly the ref-word language ``R(alpha)``:
+    terminal predicates on symbol edges, variable markers on capture
+    boundaries.  It always has one initial and one final state.
+    """
+    nfa = NFA()
+    start, end = _build(formula, nfa)
+    nfa.set_initial(start)
+    nfa.add_final(end)
+    return nfa
+
+
+def _build(formula: RegexFormula, nfa: NFA) -> tuple[int, int]:
+    """Emit the fragment for ``formula``; return (entry, exit) states."""
+    if isinstance(formula, EmptySet):
+        # Two disconnected states: nothing is accepted through them.
+        return nfa.add_state(), nfa.add_state()
+
+    if isinstance(formula, Epsilon):
+        start = nfa.add_state()
+        end = nfa.add_state()
+        nfa.add_transition(start, EPSILON, end)
+        return start, end
+
+    if isinstance(formula, CharClass):
+        start = nfa.add_state()
+        end = nfa.add_state()
+        nfa.add_transition(start, formula.predicate, end)
+        return start, end
+
+    if isinstance(formula, Capture):
+        start = nfa.add_state()
+        end = nfa.add_state()
+        inner_start, inner_end = _build(formula.inner, nfa)
+        nfa.add_transition(start, open_marker(formula.variable), inner_start)
+        nfa.add_transition(inner_end, close_marker(formula.variable), end)
+        return start, end
+
+    if isinstance(formula, Concat):
+        left_start, left_end = _build(formula.left, nfa)
+        right_start, right_end = _build(formula.right, nfa)
+        nfa.add_transition(left_end, EPSILON, right_start)
+        return left_start, right_end
+
+    if isinstance(formula, Union):
+        start = nfa.add_state()
+        end = nfa.add_state()
+        for branch in (formula.left, formula.right):
+            b_start, b_end = _build(branch, nfa)
+            nfa.add_transition(start, EPSILON, b_start)
+            nfa.add_transition(b_end, EPSILON, end)
+        return start, end
+
+    if isinstance(formula, Star):
+        start = nfa.add_state()
+        end = nfa.add_state()
+        inner_start, inner_end = _build(formula.inner, nfa)
+        nfa.add_transition(start, EPSILON, inner_start)
+        nfa.add_transition(start, EPSILON, end)
+        nfa.add_transition(inner_end, EPSILON, inner_start)
+        nfa.add_transition(inner_end, EPSILON, end)
+        return start, end
+
+    if isinstance(formula, Plus):
+        # alpha+ = alpha . alpha* without duplicating the fragment.
+        start = nfa.add_state()
+        end = nfa.add_state()
+        inner_start, inner_end = _build(formula.inner, nfa)
+        nfa.add_transition(start, EPSILON, inner_start)
+        nfa.add_transition(inner_end, EPSILON, inner_start)
+        nfa.add_transition(inner_end, EPSILON, end)
+        return start, end
+
+    if isinstance(formula, Optional):
+        start = nfa.add_state()
+        end = nfa.add_state()
+        inner_start, inner_end = _build(formula.inner, nfa)
+        nfa.add_transition(start, EPSILON, inner_start)
+        nfa.add_transition(start, EPSILON, end)
+        nfa.add_transition(inner_end, EPSILON, end)
+        return start, end
+
+    raise TypeError(f"unknown regex node {formula!r}")

@@ -1,0 +1,186 @@
+"""Command-line interface: ``spanner-join``.
+
+Subcommands:
+
+* ``extract`` — evaluate one regex formula over text and print the
+  extracted span tuples (streaming, polynomial delay);
+* ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
+  an optional ``--head`` and optional ``--equal`` groups;
+* ``info`` — parse a formula and report variables, functionality and
+  compiled-automaton size.
+
+Examples::
+
+    spanner-join extract '(ε|.* )m{u{[a-z]+}@d{[a-z]+\\.[a-z]+}}( .*|ε)' \\
+        --text 'write to ada@example.com today'
+    spanner-join query --atom '.*x{[0-9]+}.*' --atom '.*y{ERROR}.*' \\
+        --head x --file app.log
+    spanner-join info 'a*x{a*}a*'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable
+
+from .enumeration import SpannerEvaluator
+from .errors import SpannerError
+from .queries import QueryEvaluator, RegexCQ
+from .regex import check_functional, parse
+from .spans import SpanTuple
+from .vset import compile_regex
+
+__all__ = ["main"]
+
+
+def _read_text(args: argparse.Namespace) -> str:
+    if args.text is not None:
+        return args.text
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            return handle.read()
+    return sys.stdin.read()
+
+
+def _print_tuples(
+    tuples: Iterable[SpanTuple], s: str, fmt: str, limit: int | None
+) -> int:
+    count = 0
+    for mu in tuples:
+        if fmt == "spans":
+            row = " ".join(f"{v}={mu[v]}" for v in sorted(mu.variables))
+        elif fmt == "strings":
+            row = " ".join(
+                f"{v}={mu[v].extract(s)!r}" for v in sorted(mu.variables)
+            )
+        else:  # tsv
+            row = "\t".join(mu[v].extract(s) for v in sorted(mu.variables))
+        print(row)
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    text = _read_text(args)
+    automaton = compile_regex(args.formula).compacted()
+    evaluator = SpannerEvaluator(automaton, text)
+    count = _print_tuples(evaluator, text, args.format, args.limit)
+    if args.count:
+        print(f"# {count} tuples", file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    text = _read_text(args)
+    head = args.head or []
+    equalities = [group.split(",") for group in (args.equal or [])]
+    query = RegexCQ(head, args.atom, equalities=equalities)
+    evaluator = QueryEvaluator()
+    relation = evaluator.evaluate(query, text, strategy=args.strategy)
+    decision = evaluator.last_decision
+    if decision is not None and args.explain:
+        print(f"# strategy: {decision.strategy} — {decision.reason}", file=sys.stderr)
+    if query.is_boolean:
+        print("true" if relation else "false")
+        return 0
+    _print_tuples(relation.sorted(), text, args.format, args.limit)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    formula = parse(args.formula)
+    report = check_functional(formula)
+    print(f"formula:    {formula}")
+    print(f"size:       {formula.size()} nodes")
+    print(f"variables:  {sorted(formula.variables())}")
+    print(f"functional: {report.functional}")
+    if not report.functional:
+        print(f"reason:     {report.reason}")
+        return 1
+    automaton = compile_regex(formula)
+    compact = automaton.compacted()
+    print(
+        f"automaton:  {automaton.n_states} states "
+        f"({compact.n_states} compacted), "
+        f"{automaton.n_transitions} transitions"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spanner-join",
+        description=(
+            "Document-spanner extraction and regex-CQ evaluation "
+            "(PODS 2018 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_io(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--text", help="input string (default: stdin)")
+        p.add_argument("--file", help="read input from a file")
+        p.add_argument(
+            "--format",
+            choices=("spans", "strings", "tsv"),
+            default="strings",
+            help="output format (default: strings)",
+        )
+        p.add_argument("--limit", type=int, help="stop after N tuples")
+
+    p_extract = sub.add_parser("extract", help="evaluate one regex formula")
+    p_extract.add_argument("formula", help="regex formula (concrete syntax)")
+    add_io(p_extract)
+    p_extract.add_argument(
+        "--count", action="store_true", help="print the tuple count to stderr"
+    )
+    p_extract.set_defaults(func=_cmd_extract)
+
+    p_query = sub.add_parser("query", help="evaluate a regex CQ")
+    p_query.add_argument(
+        "--atom",
+        action="append",
+        required=True,
+        help="a regex-formula atom (repeatable)",
+    )
+    p_query.add_argument(
+        "--head", nargs="*", help="projection variables (default: Boolean)"
+    )
+    p_query.add_argument(
+        "--equal",
+        action="append",
+        help="comma-separated string-equality group (repeatable)",
+    )
+    p_query.add_argument(
+        "--strategy",
+        choices=("auto", "canonical", "compiled"),
+        default="auto",
+    )
+    p_query.add_argument(
+        "--explain", action="store_true", help="print the plan decision"
+    )
+    add_io(p_query)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_info = sub.add_parser("info", help="inspect a regex formula")
+    p_info.add_argument("formula")
+    p_info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SpannerError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

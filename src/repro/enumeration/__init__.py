@@ -1,0 +1,21 @@
+"""Polynomial-delay enumeration of ``[[A]](s)`` (Theorem 3.3, Section 4).
+
+The pipeline: build the leveled evaluation graph ``G`` / NFA ``A_G``
+over the variable-configuration alphabet (:mod:`.graph`), enumerate
+``L(A_G)`` in radix order via the state-stack algorithm
+(:class:`repro.automata.leveled.RadixEnumerator`), and decode each
+configuration sequence into a span tuple (:mod:`.enumerator`).
+"""
+
+from .enumerator import SpannerEvaluator, decode_configuration_word, enumerate_tuples
+from .graph import build_evaluation_graph
+from .instrumentation import DelayReport, measure_delays
+
+__all__ = [
+    "SpannerEvaluator",
+    "enumerate_tuples",
+    "decode_configuration_word",
+    "build_evaluation_graph",
+    "DelayReport",
+    "measure_delays",
+]

@@ -1,0 +1,106 @@
+"""The public tuple enumerator (Theorem 3.3).
+
+:class:`SpannerEvaluator` separates the two phases the theorem
+distinguishes: the ``O(n^2 |s| + mn)`` preprocessing happens in the
+constructor (building the pruned ``A_G``); iteration then yields each
+tuple of ``[[A]](s)`` exactly once with ``O(n^2 |s|)`` delay, in the
+radix order of configuration sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..spans import Span, SpanTuple
+from ..automata.leveled import RadixEnumerator
+from ..vset.automaton import VSetAutomaton
+from ..vset.configurations import CLOSED, WAITING, VariableConfiguration
+from .graph import EvaluationGraph, build_evaluation_graph
+
+__all__ = ["SpannerEvaluator", "enumerate_tuples", "decode_configuration_word"]
+
+
+def decode_configuration_word(
+    word: Sequence[VariableConfiguration], variables: frozenset[str]
+) -> SpanTuple:
+    """Decode ``κ_0 ... κ_N`` into the (V, s)-tuple it encodes (§4.1).
+
+    ``κ_i`` is the configuration immediately before reading ``σ_{i+1}``;
+    for each variable the span starts at the first index where it is no
+    longer waiting and ends at the first index where it is closed
+    (1-based: index ``i`` maps to position ``i + 1``).
+    """
+    assignment: dict[str, Span] = {}
+    for var in variables:
+        start = None
+        end = None
+        for i, kappa in enumerate(word):
+            state = kappa.of(var)
+            if start is None and state != WAITING:
+                start = i + 1
+            if end is None and state == CLOSED:
+                end = i + 1
+            if start is not None and end is not None:
+                break
+        if start is None or end is None:
+            raise ValueError(
+                f"configuration word never closes variable {var!r}"
+            )
+        assignment[var] = Span(start, end)
+    return SpanTuple(assignment)
+
+
+class SpannerEvaluator:
+    """Enumerate ``[[A]](s)`` with polynomial delay.
+
+    Usage::
+
+        evaluator = SpannerEvaluator(automaton, "chocolate cookie")
+        for mu in evaluator:          # streaming, polynomial delay
+            ...
+        evaluator.count()             # distinct-tuple count without
+                                      # materializing the tuples
+
+    The constructor performs Theorem 3.3's preprocessing; it raises
+    :class:`~repro.errors.NotFunctionalError` on non-functional input.
+    """
+
+    def __init__(self, automaton: VSetAutomaton, s: str):
+        self.automaton = automaton
+        self.string = s
+        self.graph: EvaluationGraph = build_evaluation_graph(automaton, s)
+
+    # -- Introspection ------------------------------------------------------
+    @property
+    def graph_nodes(self) -> int:
+        return self.graph.leveled.n_nodes
+
+    @property
+    def graph_edges(self) -> int:
+        return self.graph.leveled.n_edges
+
+    def is_empty(self) -> bool:
+        """True iff ``[[A]](s)`` is empty — O(1) after preprocessing."""
+        return self.graph.leveled.is_empty
+
+    def count(self, cap: int | None = None) -> int:
+        """Number of distinct tuples (without decoding them)."""
+        return self.graph.leveled.count_words(cap=cap)
+
+    # -- Enumeration -----------------------------------------------------------
+    def configuration_words(self) -> Iterator[tuple[VariableConfiguration, ...]]:
+        """The raw words of ``L(A_G)`` in radix order."""
+        enumerator = RadixEnumerator(
+            self.graph.leveled, lambda config: config.sort_key()
+        )
+        yield from enumerator
+
+    def __iter__(self) -> Iterator[SpanTuple]:
+        variables = self.graph.variables
+        for word in self.configuration_words():
+            yield decode_configuration_word(word, variables)
+
+
+def enumerate_tuples(automaton: VSetAutomaton, s: str) -> Iterator[SpanTuple]:
+    """Stream the tuples of ``[[A]](s)`` (Theorem 3.3)."""
+    yield from SpannerEvaluator(automaton, s)

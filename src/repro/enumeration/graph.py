@@ -1,0 +1,139 @@
+"""Construction of the evaluation graph ``G`` and NFA ``A_G`` (§4.2).
+
+Given a functional vset-automaton ``A`` (with configurations ``~c_q``)
+and a string ``s = σ_1 ... σ_N``, the paper builds:
+
+* a leveled graph ``G`` whose nodes ``(i, q)`` mean "``A`` can be in
+  state ``q`` immediately before reading ``σ_{i+1}``" (after absorbing
+  any burst of variable operations / epsilon moves);
+* the NFA ``A_G`` over the alphabet ``K = {~c_q | q ∈ Q}`` obtained by
+  labelling every edge into ``(i, q)`` with ``~c_q`` and adding a
+  virtual initial state.
+
+``L(A_G)`` then consists of words of length ``N + 1`` in one-to-one
+correspondence with ``[[A]](s)``, so enumerating the language without
+repetition (radix order, Algorithms 1–3) enumerates the tuples.
+
+We realize ``A_G`` directly as a
+:class:`~repro.automata.leveled.LeveledNFA`: the virtual initial state
+is the root; a paper node ``(i, q)`` sits at level ``i + 1``; level
+``N + 1`` keeps only ``(N, q_f)``.  Pruning non-co-reachable nodes — the
+paper's "remove nodes from which ``(N, q_f)`` cannot be reached" — is
+:meth:`LeveledNFA.prune`.
+
+Sizes: ``G`` has at most ``N*n + 1`` nodes and ``N*n^2`` edges, and the
+construction runs in ``O(N n^2)`` after the ``O(mn)`` closure
+precomputation — the preprocessing bound of Theorem 3.3.
+"""
+
+from __future__ import annotations
+
+from ..alphabet import is_epsilon, is_marker, is_marker_set, is_symbol
+from ..automata.leveled import LeveledNFA
+from ..automata.ops import closure
+from ..errors import NotFunctionalError
+from ..vset.automaton import VSetAutomaton
+from ..vset.configurations import (
+    VariableConfiguration,
+    compute_state_configurations,
+)
+
+__all__ = ["build_evaluation_graph", "EvaluationGraph"]
+
+
+def _variable_epsilon(label: object) -> bool:
+    return is_epsilon(label) or is_marker(label) or is_marker_set(label)
+
+
+class EvaluationGraph:
+    """The leveled NFA ``A_G`` plus the data needed to decode words.
+
+    Attributes:
+        leveled: the pruned :class:`LeveledNFA` over configurations.
+        variables: the automaton's variable set (for decoding).
+        n_slots: ``N + 1`` — the uniform word length.
+    """
+
+    __slots__ = ("leveled", "variables", "n_slots")
+
+    def __init__(
+        self, leveled: LeveledNFA, variables: frozenset[str], n_slots: int
+    ):
+        self.leveled = leveled
+        self.variables = variables
+        self.n_slots = n_slots
+
+
+def build_evaluation_graph(automaton: VSetAutomaton, s: str) -> EvaluationGraph:
+    """Preprocessing of Theorem 3.3: build the pruned ``A_G`` for (A, s).
+
+    Raises:
+        NotFunctionalError: when the automaton is not functional (the
+            configuration sweep detects a conflict, or the final
+            configuration leaves a variable unclosed).
+    """
+    trimmed = automaton.trimmed()
+    n = len(s)
+    leveled = LeveledNFA(n + 1)
+
+    if trimmed.is_empty_language():
+        leveled.prune()
+        return EvaluationGraph(leveled, automaton.variables, n + 1)
+
+    configs = compute_state_configurations(trimmed)
+    final_config = configs[trimmed.final]
+    if final_config is None or not final_config.is_all_closed:
+        raise NotFunctionalError(
+            "final state configuration leaves variables unclosed"
+        )
+
+    nfa = trimmed.nfa
+    ve = [closure(nfa, (q,), _variable_epsilon) for q in range(nfa.n_states)]
+    terminal_edges = [
+        [(label, dst) for label, dst in nfa.transitions[q] if is_symbol(label)]
+        for q in range(nfa.n_states)
+    ]
+
+    def config(q: int) -> VariableConfiguration:
+        c = configs[q]
+        if c is None:
+            raise AssertionError("trimmed state without configuration")
+        return c
+
+    node_of: dict[int, int] = {}
+    # Level 1: states reachable from q0 by a burst, read before sigma_1.
+    frontier: list[int] = []
+    for q in ve[trimmed.initial]:
+        node = leveled.add_node(1)
+        node_of[q] = node
+        leveled.add_edge(LeveledNFA.ROOT, config(q), node)
+        frontier.append(q)
+
+    for position in range(1, n + 1):
+        ch = s[position - 1]
+        next_nodes: dict[int, int] = {}
+        next_frontier: list[int] = []
+        seen_edges: set[tuple[int, int]] = set()
+        for p in frontier:
+            src = node_of[p]
+            for pred, r in terminal_edges[p]:
+                if not pred.matches(ch):
+                    continue
+                for q in ve[r]:
+                    if (src, q) in seen_edges:
+                        continue
+                    seen_edges.add((src, q))
+                    dst = next_nodes.get(q)
+                    if dst is None:
+                        dst = leveled.add_node(position + 1)
+                        next_nodes[q] = dst
+                        next_frontier.append(q)
+                    leveled.add_edge(src, config(q), dst)
+        node_of = next_nodes
+        frontier = next_frontier
+
+    final_node = node_of.get(trimmed.final)
+    if final_node is not None:
+        leveled.mark_accepting(final_node)
+    leveled.prune()
+    return EvaluationGraph(leveled, automaton.variables, n + 1)

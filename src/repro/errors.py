@@ -1,0 +1,69 @@
+"""Exception hierarchy for the spanner-join library.
+
+Every error raised by this package derives from :class:`SpannerError`, so
+downstream code can catch a single base class.  The subclasses mirror the
+stages of the pipeline: parsing regex formulas, checking functionality
+(Theorem 2.4 / Theorem 2.7 of the paper), constructing queries, and
+evaluating them.
+"""
+
+from __future__ import annotations
+
+
+class SpannerError(Exception):
+    """Base class for all errors raised by the spanner-join library."""
+
+
+class RegexParseError(SpannerError):
+    """Raised when a regex-formula string cannot be parsed.
+
+    Attributes:
+        position: 0-based index into the source text where parsing failed,
+            or ``None`` when no position applies.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class NotFunctionalError(SpannerError):
+    """Raised when a regex formula or vset-automaton is not functional.
+
+    A representation is *functional* when every ref-word it generates is
+    valid (each variable opened exactly once, then closed exactly once).
+    The paper assumes functionality throughout; this error carries a
+    human-readable ``reason`` describing the violation found.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(f"not functional: {reason}")
+        self.reason = reason
+
+
+class InvalidSpanError(SpannerError):
+    """Raised when span indices violate ``1 <= i <= j <= len(s) + 1``."""
+
+
+class SchemaError(SpannerError):
+    """Raised on variable-set mismatches in algebra operations.
+
+    Examples: a union of spanners with different variable sets, a
+    projection onto variables the spanner does not have, or a string
+    equality selection over unknown variables.
+    """
+
+
+class QueryError(SpannerError):
+    """Raised when a regex CQ or UCQ is structurally invalid.
+
+    Examples: an equality atom over a variable that appears in no regex
+    atom (forbidden by Section 2.3 of the paper), or a UCQ whose
+    disjuncts have different head variables.
+    """
+
+
+class EvaluationError(SpannerError):
+    """Raised when evaluation cannot proceed (e.g. exceeded a budget)."""

@@ -1,0 +1,33 @@
+"""A library of reusable regex-formula extractors.
+
+These are the "primitive extractors" the paper's introduction motivates
+(sentence boundaries, dictionary/token lookup, subspan containment,
+simplified email addresses, toy postal addresses) — the raw material
+the example applications and benchmarks wire into regex CQs.
+"""
+
+from .builtin import (
+    address_spanner,
+    capitalized_spanner,
+    dictionary_spanner,
+    email_spanner,
+    number_spanner,
+    paper_email_spanner,
+    sentence_spanner,
+    subspan_spanner,
+    token_spanner,
+    word_spanner,
+)
+
+__all__ = [
+    "sentence_spanner",
+    "token_spanner",
+    "dictionary_spanner",
+    "subspan_spanner",
+    "email_spanner",
+    "paper_email_spanner",
+    "address_spanner",
+    "number_spanner",
+    "capitalized_spanner",
+    "word_spanner",
+]

@@ -1,0 +1,5 @@
+"""Independent brute-force oracle used to cross-validate the engine."""
+
+from .refword_oracle import oracle_evaluate
+
+__all__ = ["oracle_evaluate"]

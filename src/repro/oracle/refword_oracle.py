@@ -1,0 +1,58 @@
+"""Exhaustive ref-word oracle (independent reference semantics).
+
+The production pipeline evaluates ``[[A]](s)`` through variable
+configurations and the leveled radix enumeration.  To validate it we
+implement the paper's *definition* directly and independently:
+
+    ``[[A]](s) = { mu_r | r ∈ R(A) ∩ Ref(s) }``
+
+by generating **every** valid ref-word ``r`` with ``clr(r) = s``
+(:func:`repro.refwords.all_valid_refwords`) and testing membership of
+``r`` in ``R(A)`` with a plain set-based NFA simulation — no
+configurations, no leveled graphs, no radix order.  The cost is wildly
+exponential, so the oracle is only usable for tiny ``|s|`` and at most
+two or three variables; that is exactly its job in the test suite.
+"""
+
+from __future__ import annotations
+
+from ..automata.ops import simulate
+from ..refwords import all_valid_refwords, tuple_from_refword
+from ..regex.ast import RegexFormula
+from ..regex.parser import parse
+from ..spans import SpanTuple
+from ..vset.automaton import VSetAutomaton
+
+__all__ = ["oracle_evaluate"]
+
+
+def oracle_evaluate(
+    spanner: VSetAutomaton | RegexFormula | str, s: str
+) -> set[SpanTuple]:
+    """Compute ``[[spanner]](s)`` by brute force over valid ref-words.
+
+    Accepts a vset-automaton, a regex-formula AST, or concrete regex
+    syntax.  Marker-set transitions are expanded to the strict model so
+    the simulation can match ref-words symbol by symbol.
+    """
+    automaton = _as_automaton(spanner)
+    automaton = automaton.expand_multi_ops()
+    results: set[SpanTuple] = set()
+    variables = automaton.variables
+    for refword in all_valid_refwords(s, variables):
+        if simulate(automaton.nfa, refword):
+            results.add(tuple_from_refword(refword, variables))
+    return results
+
+
+def _as_automaton(spanner: VSetAutomaton | RegexFormula | str) -> VSetAutomaton:
+    if isinstance(spanner, VSetAutomaton):
+        return spanner
+    from ..automata.thompson import thompson_nfa
+
+    if isinstance(spanner, str):
+        spanner = parse(spanner)
+    # Deliberately skip the functionality gate: the oracle implements
+    # the ref-word definition, which only ever collects *valid* words,
+    # so it is meaningful for non-functional inputs too.
+    return VSetAutomaton(thompson_nfa(spanner), spanner.variables())

@@ -1,0 +1,36 @@
+"""Regex CQs and UCQs and their two evaluation strategies (§2.3, §3.3).
+
+* :mod:`.atoms` — regex atoms and (k-ary) string-equality atoms;
+* :mod:`.cq` / :mod:`.ucq` — query classes, hypergraphs, acyclicity,
+  the "maps to a relational CQ" view;
+* :mod:`.canonical` — the canonical relational strategy (Theorem 3.5,
+  Corollary 5.3): materialize atoms, then Yannakakis / generic joins;
+* :mod:`.compiled` — compilation to a single functional vset-automaton
+  (Theorem 3.11, Corollary 5.5): join + project + union, equalities
+  compiled at runtime, then polynomial-delay enumeration;
+* :mod:`.planner` — a small cost-based strategy chooser (the paper's
+  concluding "translate the upper bounds into algorithms" direction);
+* :mod:`.bounded` — certificates of polynomial boundedness (§3.3.2).
+"""
+
+from .atoms import EqualityAtom, RegexAtom
+from .bounded import PolynomialBoundCertificate, polynomial_bound_certificate
+from .canonical import CanonicalEvaluator
+from .compiled import CompiledEvaluator
+from .cq import RegexCQ
+from .planner import PlanDecision, QueryEvaluator, choose_strategy
+from .ucq import RegexUCQ
+
+__all__ = [
+    "RegexAtom",
+    "EqualityAtom",
+    "RegexCQ",
+    "RegexUCQ",
+    "CanonicalEvaluator",
+    "CompiledEvaluator",
+    "QueryEvaluator",
+    "PlanDecision",
+    "choose_strategy",
+    "PolynomialBoundCertificate",
+    "polynomial_bound_certificate",
+]

@@ -1,0 +1,109 @@
+"""Query atoms: regex atoms and string-equality atoms (§2.3).
+
+A regex CQ's atoms are regex formulas; a regex CQ *with string
+equalities* adds equality atoms ``ζ^=_{x,y}``.  Following the paper's
+remark in §5.1, equality atoms here are k-ary groups (binary equalities
+over overlapping variable sets merge into one group), and the paper's
+constraint applies: every variable of an equality atom must also occur
+in some regex atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import QueryError
+from ..regex.ast import RegexFormula
+from ..regex.parser import parse
+from ..vset.automaton import VSetAutomaton
+from ..vset.compile import compile_regex
+
+__all__ = ["RegexAtom", "EqualityAtom"]
+
+
+@dataclass(frozen=True)
+class RegexAtom:
+    """A named regex-formula atom.
+
+    Distinct atoms carry distinct names, which is exactly what makes a
+    regex CQ "map to" a relational CQ without self-joins (§2.3).
+
+    Attributes:
+        name: the relational symbol this atom maps to.
+        formula: the regex formula (parsed AST).
+    """
+
+    name: str
+    formula: RegexFormula
+    _automaton: list = field(default_factory=list, compare=False, repr=False)
+
+    @classmethod
+    def make(cls, name: str, formula: RegexFormula | str) -> "RegexAtom":
+        if isinstance(formula, str):
+            formula = parse(formula)
+        return cls(name, formula)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.formula.variables()
+
+    def automaton(self) -> VSetAutomaton:
+        """The compiled functional vset-automaton (cached; Lemma 3.4).
+
+        The automaton is epsilon-compacted after compilation: the
+        Thompson construction is epsilon-rich, and downstream joins
+        (Lemma 3.10) and evaluation graphs (Theorem 3.3) scan its
+        variable-epsilon closures.
+        """
+        if not self._automaton:
+            self._automaton.append(compile_regex(self.formula).compacted())
+        return self._automaton[0]
+
+    def __str__(self) -> str:
+        return f"{self.name}[{','.join(sorted(self.variables))}] := {self.formula}"
+
+
+@dataclass(frozen=True)
+class EqualityAtom:
+    """A string-equality selection ``ζ^=_{z_1,...,z_k}`` (k >= 2).
+
+    Selects tuples whose spans for all of ``variables`` select the same
+    substring (the spans themselves may differ — contrast with join).
+    """
+
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.variables) < 2:
+            raise QueryError("equality atom needs at least two variables")
+        if len(set(self.variables)) != len(self.variables):
+            raise QueryError("equality atom variables must be distinct")
+
+    @classmethod
+    def make(cls, variables: Sequence[str]) -> "EqualityAtom":
+        return cls(tuple(variables))
+
+    @property
+    def variable_set(self) -> frozenset[str]:
+        return frozenset(self.variables)
+
+    def __str__(self) -> str:
+        return "ζ=(" + ",".join(self.variables) + ")"
+
+
+def merge_equality_atoms(atoms: Sequence[EqualityAtom]) -> tuple[EqualityAtom, ...]:
+    """Merge equality atoms with overlapping variable sets (§5.1 remark).
+
+    ``ζ=_{x,y}`` and ``ζ=_{y,z}`` collapse into ``ζ=_{x,y,z}``; the
+    result's groups are pairwise disjoint.
+    """
+    groups: list[set[str]] = []
+    for atom in atoms:
+        vars_ = set(atom.variables)
+        touching = [g for g in groups if g & vars_]
+        for g in touching:
+            vars_ |= g
+            groups.remove(g)
+        groups.append(vars_)
+    return tuple(EqualityAtom(tuple(sorted(g))) for g in groups)

@@ -1,0 +1,72 @@
+"""Certificates of polynomial boundedness (§3.3.2).
+
+Theorem 3.5's canonical strategy is safe when every regex atom belongs
+to a *polynomially bounded* class.  The paper names two checkable ones:
+
+* **bounded variables** — with at most ``d`` variables the relation has
+  at most ``O(|s|^{2d})`` tuples (each variable picks one of the
+  quadratically many spans);
+* **key attribute** — some variable functionally determines the whole
+  tuple, capping the relation at the number of spans, ``O(|s|^2)``;
+  decidable in ``O(n^4)`` by Proposition 3.6.
+
+:func:`polynomial_bound_certificate` tries the cheap certificate first
+and falls back to the key-attribute decision procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vset.keyattr import is_key_attribute
+from .atoms import RegexAtom
+
+__all__ = ["PolynomialBoundCertificate", "polynomial_bound_certificate"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolynomialBoundCertificate:
+    """Why an atom's relation is polynomially bounded.
+
+    Attributes:
+        kind: ``"bounded-variables"`` or ``"key-attribute"`` (or
+            ``"none"`` when no certificate was found — which does *not*
+            prove unboundedness).
+        degree: an exponent ``d`` with ``|[[alpha]](s)| = O(|s|^d)``
+            whenever a certificate exists.
+        detail: the certificate payload (variable count or key name).
+    """
+
+    kind: str
+    degree: int | None
+    detail: str
+
+    @property
+    def bounded(self) -> bool:
+        return self.kind != "none"
+
+
+def polynomial_bound_certificate(
+    atom: RegexAtom, max_variables: int = 3
+) -> PolynomialBoundCertificate:
+    """Find a polynomial-boundedness certificate for ``atom``.
+
+    Args:
+        atom: the regex atom to certify.
+        max_variables: threshold for the bounded-variables certificate
+            (the class "regex formulas with at most k variables").
+    """
+    n_vars = len(atom.variables)
+    if n_vars <= max_variables:
+        return PolynomialBoundCertificate(
+            "bounded-variables",
+            2 * n_vars,
+            f"{n_vars} variables <= {max_variables}",
+        )
+    automaton = atom.automaton()
+    for variable in sorted(atom.variables):
+        if is_key_attribute(automaton, variable):
+            return PolynomialBoundCertificate(
+                "key-attribute", 2, f"variable {variable!r} is a key"
+            )
+    return PolynomialBoundCertificate("none", None, "no certificate found")

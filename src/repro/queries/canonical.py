@@ -1,0 +1,127 @@
+"""The canonical relational evaluation strategy (§3.3.2).
+
+Steps, per disjunct:
+
+(a) evaluate each regex atom with the Theorem 3.3 enumerator and
+    materialize the result — efficient *whenever the materialization is
+    small*, which is exactly the polynomially-bounded-class condition of
+    Theorem 3.5 (the enumerator is polynomial **total** time, so "one
+    algorithm fits all" cardinality guarantees);
+(b) materialize each equality atom's relation over the input string
+    (polynomially many rows, Corollary 5.3);
+(c) run relational evaluation: Yannakakis on a GYO join forest when the
+    mapped relational CQ is acyclic, greedy generic joins otherwise;
+(d) project onto the head; union the disjuncts.
+
+An optional ``atom_budget`` guards against the paper's central caveat —
+an atomic regex formula may define an exponentially large relation — by
+aborting with :class:`EvaluationError` instead of thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EvaluationError
+from ..enumeration.enumerator import SpannerEvaluator
+from ..relational.hypergraph import Hypergraph
+from ..relational.relation import Relation
+from ..relational.generic import evaluate_generic
+from ..relational.yannakakis import evaluate_acyclic
+from ..spans import SpanRelation, SpanTuple
+from ..vset.equality import equality_relation_rows
+from .cq import RegexCQ
+from .ucq import RegexUCQ
+
+__all__ = ["CanonicalEvaluator", "CanonicalStats"]
+
+
+@dataclass(slots=True)
+class CanonicalStats:
+    """Observability for benchmarks: materialization sizes and routing."""
+
+    atom_cardinalities: dict[str, int] = field(default_factory=dict)
+    used_yannakakis: bool = False
+
+
+class CanonicalEvaluator:
+    """Evaluate regex CQs / UCQs via materialize-then-join.
+
+    Args:
+        atom_budget: maximum number of tuples any single atom may
+            materialize before evaluation aborts (None = unlimited).
+    """
+
+    def __init__(self, atom_budget: int | None = None):
+        self.atom_budget = atom_budget
+        self.last_stats: CanonicalStats | None = None
+
+    # -- Public API -----------------------------------------------------------
+    def evaluate(self, query: RegexCQ | RegexUCQ, s: str) -> SpanRelation:
+        """Materialize the query's answer relation on ``s``."""
+        if isinstance(query, RegexCQ):
+            query = RegexUCQ([query])
+        head = query.head
+        result: SpanRelation | None = None
+        stats = CanonicalStats()
+        for cq in query:
+            part = self._evaluate_cq(cq, s, stats)
+            result = part if result is None else result.union(part)
+        self.last_stats = stats
+        assert result is not None
+        return result
+
+    def evaluate_boolean(self, query: RegexCQ | RegexUCQ, s: str) -> bool:
+        """Boolean convenience: non-emptiness of the answer."""
+        return bool(self.evaluate(query, s))
+
+    # -- Internals ---------------------------------------------------------------
+    def _evaluate_cq(
+        self, cq: RegexCQ, s: str, stats: CanonicalStats
+    ) -> SpanRelation:
+        relations: dict[str, Relation] = {}
+        for atom in cq.regex_atoms:
+            relations[atom.name] = self._materialize_atom(atom, s, stats)
+        for index, eq in enumerate(cq.equality_atoms):
+            schema = tuple(sorted(eq.variable_set))
+            rows = (
+                tuple(mapping[v] for v in schema)
+                for mapping in equality_relation_rows(s, schema)
+            )
+            relation = Relation(schema, rows)
+            relations[f"eq{index}"] = relation
+            stats.atom_cardinalities[f"eq{index}"] = len(relation)
+
+        hypergraph = cq.hypergraph(include_equalities=True)
+        gyo = hypergraph.gyo()
+        if gyo.acyclic:
+            stats.used_yannakakis = True
+            output = evaluate_acyclic(relations, gyo, cq.head)
+        else:
+            output = evaluate_generic(relations, cq.head)
+        return SpanRelation(
+            cq.head,
+            (
+                SpanTuple(dict(zip(output.schema, row)))
+                for row in output.rows
+            ),
+        )
+
+    def _materialize_atom(
+        self, atom, s: str, stats: CanonicalStats
+    ) -> Relation:
+        evaluator = SpannerEvaluator(atom.automaton(), s)
+        schema = tuple(sorted(atom.variables))
+        rows: list[tuple] = []
+        for mu in evaluator:
+            rows.append(tuple(mu[v] for v in schema))
+            if self.atom_budget is not None and len(rows) > self.atom_budget:
+                raise EvaluationError(
+                    f"atom {atom.name} exceeded the materialization "
+                    f"budget of {self.atom_budget} tuples (the relation "
+                    "defined by a regex formula can be exponentially "
+                    "large — see §3.2)"
+                )
+        relation = Relation(schema, rows)
+        stats.atom_cardinalities[atom.name] = len(relation)
+        return relation

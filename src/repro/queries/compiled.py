@@ -1,0 +1,115 @@
+"""The compilation-to-automaton strategy (§3.3.3, §5.2).
+
+Per disjunct: compile every regex atom (Lemma 3.4), fold the joins
+(Lemma 3.10), join in one runtime equality automaton per equality group
+(Theorem 5.4), push the projection (Lemma 3.8); then union the
+disjuncts (Lemma 3.9) and enumerate with Theorem 3.3.
+
+Consequences implemented here:
+
+* regex k-UCQs evaluate with **polynomial delay** for fixed ``k``
+  (Theorem 3.11) — the compilation is polynomial because each disjunct
+  folds a bounded number of joins;
+* with at most ``m`` equality groups per disjunct the guarantee
+  persists (Corollary 5.5), with the equality automata built against
+  the concrete input string (they cannot exist statically — regular
+  spanners are strictly weaker than core spanners);
+* duplicate elimination across disjuncts is free: enumeration works on
+  the *configuration-sequence language* of the union automaton, and two
+  disjuncts producing the same tuple produce the same word.
+
+The string-free part of the compilation (everything except equality
+automata) is cached per query, so repeated evaluation over a document
+collection pays the join fold once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..enumeration.enumerator import SpannerEvaluator
+from ..spans import SpanRelation, SpanTuple
+from ..vset.automaton import VSetAutomaton
+from ..vset.equality import equality_automaton
+from ..vset.join import join, join_many
+from ..vset.operations import project, union
+from .cq import RegexCQ
+from .ucq import RegexUCQ
+
+__all__ = ["CompiledEvaluator"]
+
+
+class CompiledEvaluator:
+    """Evaluate regex CQs / UCQs by compiling to one vset-automaton."""
+
+    def __init__(self) -> None:
+        self._static_cache: dict[int, list[VSetAutomaton]] = {}
+
+    # -- Compilation -----------------------------------------------------------
+    def compile_static(self, query: RegexCQ | RegexUCQ) -> list[VSetAutomaton]:
+        """The string-independent part: per-disjunct joined automata.
+
+        Returns one automaton per disjunct, *before* equality joins and
+        projection (both may depend on the input string / head).
+        """
+        if isinstance(query, RegexCQ):
+            query = RegexUCQ([query])
+        key = id(query)
+        cached = self._static_cache.get(key)
+        if cached is not None:
+            return cached
+        compiled: list[VSetAutomaton] = []
+        for cq in query:
+            automata = [atom.automaton() for atom in cq.regex_atoms]
+            compiled.append(join_many(automata))
+        self._static_cache[key] = compiled
+        return compiled
+
+    def compile(self, query: RegexCQ | RegexUCQ, s: str) -> VSetAutomaton:
+        """The full compilation for input ``s`` (one automaton).
+
+        For queries without equalities the result is independent of
+        ``s`` apart from the cache; with equalities, the per-group
+        ``A_eq`` automata are built against ``s`` and joined in.
+        """
+        if isinstance(query, RegexCQ):
+            query = RegexUCQ([query])
+        per_disjunct: list[VSetAutomaton] = []
+        statics = self.compile_static(query)
+        head = query.head
+        for cq, automaton in zip(query, statics):
+            for eq in cq.merged_equalities():
+                group = tuple(sorted(eq.variable_set))
+                automaton = join(automaton, equality_automaton(s, group))
+            per_disjunct.append(project(automaton, head))
+        if len(per_disjunct) == 1:
+            return per_disjunct[0]
+        return union(per_disjunct)
+
+    # -- Evaluation ------------------------------------------------------------
+    def prepare(self, query: RegexCQ | RegexUCQ, s: str) -> SpannerEvaluator:
+        """Run all preprocessing eagerly; the result is iterable.
+
+        This is the two-phase split of Theorem 3.3 surfaced at the query
+        level: compilation (joins, equalities, projection, union) plus
+        the evaluation-graph construction happen here; iterating the
+        returned evaluator then yields answers with polynomial delay.
+        """
+        return SpannerEvaluator(self.compile(query, s), s)
+
+    def stream(self, query: RegexCQ | RegexUCQ, s: str) -> Iterator[SpanTuple]:
+        """Enumerate the answers with polynomial delay (fixed k, m)."""
+        yield from self.prepare(query, s)
+
+    def evaluate(self, query: RegexCQ | RegexUCQ, s: str) -> SpanRelation:
+        """Materialized convenience wrapper around :meth:`stream`."""
+        head = (
+            query.head if isinstance(query, RegexUCQ) else tuple(query.head)
+        )
+        return SpanRelation(head, self.stream(query, s))
+
+    def evaluate_boolean(self, query: RegexCQ | RegexUCQ, s: str) -> bool:
+        """Non-emptiness without materializing: first answer or bust."""
+        for _mu in self.stream(query, s):
+            return True
+        return False

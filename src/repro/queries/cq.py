@@ -1,0 +1,149 @@
+"""Regex conjunctive queries (§2.3).
+
+A regex CQ is ``pi_Y (alpha_1 ⋈ ... ⋈ alpha_k)``; with string
+equalities, ``pi_Y (ζ^= ... ζ^= (alpha_1 ⋈ ... ⋈ alpha_k))``.  The
+class validates the paper's structural constraints, exposes the mapped
+relational hypergraph (atoms become relation symbols, no self-joins by
+construction), and answers the acyclicity questions of Theorem 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import QueryError
+from ..regex.ast import RegexFormula
+from ..relational.hypergraph import Hypergraph
+from .atoms import EqualityAtom, RegexAtom, merge_equality_atoms
+
+__all__ = ["RegexCQ"]
+
+FormulaLike = RegexFormula | str | RegexAtom
+
+
+class RegexCQ:
+    """A regex CQ (optionally with string equalities).
+
+    Attributes:
+        head: the projection variables ``Y``, in output order.
+        regex_atoms: the regex atoms, auto-named ``R0, R1, ...`` unless
+            constructed from explicit :class:`RegexAtom` objects.
+        equality_atoms: the string-equality groups.
+    """
+
+    __slots__ = ("head", "regex_atoms", "equality_atoms")
+
+    def __init__(
+        self,
+        head: Sequence[str],
+        atoms: Sequence[FormulaLike],
+        equalities: Sequence[EqualityAtom | Sequence[str]] = (),
+    ):
+        if not atoms:
+            raise QueryError("a regex CQ needs at least one regex atom")
+        named: list[RegexAtom] = []
+        for index, atom in enumerate(atoms):
+            if isinstance(atom, RegexAtom):
+                named.append(atom)
+            else:
+                named.append(RegexAtom.make(f"R{index}", atom))
+        names = [a.name for a in named]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate atom names: {names}")
+        self.regex_atoms: tuple[RegexAtom, ...] = tuple(named)
+
+        eq_atoms: list[EqualityAtom] = []
+        for eq in equalities:
+            if isinstance(eq, EqualityAtom):
+                eq_atoms.append(eq)
+            else:
+                eq_atoms.append(EqualityAtom.make(tuple(eq)))
+        self.equality_atoms: tuple[EqualityAtom, ...] = tuple(eq_atoms)
+
+        body_vars = self.body_variables
+        for eq in self.equality_atoms:
+            missing = eq.variable_set - body_vars
+            if missing:
+                raise QueryError(
+                    f"equality variables {sorted(missing)} occur in no "
+                    "regex atom (forbidden by §2.3)"
+                )
+        self.head: tuple[str, ...] = tuple(head)
+        if len(set(self.head)) != len(self.head):
+            raise QueryError(f"duplicate head variables: {self.head}")
+        missing_head = set(self.head) - body_vars
+        if missing_head:
+            raise QueryError(
+                f"head variables {sorted(missing_head)} occur in no atom"
+            )
+
+    # -- Shape ------------------------------------------------------------
+    @property
+    def body_variables(self) -> frozenset[str]:
+        """Variables of the regex atoms (equality vars are a subset)."""
+        out: set[str] = set()
+        for atom in self.regex_atoms:
+            out |= atom.variables
+        return frozenset(out)
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return self.body_variables
+
+    @property
+    def head_set(self) -> frozenset[str]:
+        return frozenset(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    @property
+    def atom_count(self) -> int:
+        """``k`` in "regex k-CQ": the number of regex atoms."""
+        return len(self.regex_atoms)
+
+    @property
+    def equality_count(self) -> int:
+        """``m``: the number of (merged) binary-equality groups."""
+        return len(self.equality_atoms)
+
+    def merged_equalities(self) -> tuple[EqualityAtom, ...]:
+        """Equality groups merged over shared variables (§5.1)."""
+        return merge_equality_atoms(self.equality_atoms)
+
+    # -- Relational view ----------------------------------------------------
+    def hypergraph(self, include_equalities: bool = True) -> Hypergraph:
+        """The hypergraph of the relational CQ this query maps to.
+
+        Atom names are the hyperedge names; equality atoms add their own
+        edges (named ``eq0, eq1, ...``) when requested — the mapping of
+        §2.3 treats them as binary (here: k-ary) atoms.
+        """
+        edges: dict[str, Iterable[str]] = {
+            atom.name: atom.variables for atom in self.regex_atoms
+        }
+        if include_equalities:
+            for index, eq in enumerate(self.equality_atoms):
+                edges[f"eq{index}"] = eq.variable_set
+        return Hypergraph(edges)
+
+    def is_acyclic(self) -> bool:
+        """Alpha-acyclicity of the mapped relational CQ."""
+        return self.hypergraph().is_alpha_acyclic()
+
+    def is_gamma_acyclic(self) -> bool:
+        """Gamma-acyclicity of the mapped relational CQ (Theorem 3.2)."""
+        return self.hypergraph().is_gamma_acyclic()
+
+    def __str__(self) -> str:
+        head = ",".join(self.head)
+        parts = [str(a) for a in self.regex_atoms]
+        parts += [str(e) for e in self.equality_atoms]
+        return f"pi[{head}](" + " ⋈ ".join(parts) + ")"
+
+    def __repr__(self) -> str:
+        return (
+            f"RegexCQ(head={self.head}, atoms={len(self.regex_atoms)}, "
+            f"equalities={len(self.equality_atoms)})"
+        )

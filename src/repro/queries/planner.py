@@ -1,0 +1,143 @@
+"""Strategy selection between canonical and compiled evaluation.
+
+The paper proves two incomparable upper bounds:
+
+* canonical evaluation is polynomial total time when atoms are
+  polynomially bounded *and* the relational shape is tractable
+  (Theorem 3.5 / Corollary 5.3);
+* compiled evaluation has polynomial delay whenever the number of atoms
+  (and equality groups) per disjunct is bounded (Theorem 3.11 /
+  Corollary 5.5), regardless of atom cardinalities.
+
+The planner applies exactly this case split, using cheap syntactic
+certificates (variable counts, acyclicity, atom counts) plus the input
+length; its decisions are ablated by experiment E12.  This module is a
+deliberate step into the paper's concluding future-work direction
+("translating the upper bounds into algorithms").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spans import SpanRelation
+from .bounded import polynomial_bound_certificate
+from .canonical import CanonicalEvaluator
+from .compiled import CompiledEvaluator
+from .cq import RegexCQ
+from .ucq import RegexUCQ
+
+__all__ = ["PlanDecision", "choose_strategy", "QueryEvaluator"]
+
+#: Above this estimated per-atom cardinality the planner avoids
+#: materialization even for certified-polynomial atoms.
+DEFAULT_MATERIALIZATION_CEILING = 2_000_000
+
+#: Above this many atoms per disjunct the join fold (O(n^{2k})) is
+#: considered too expensive to compile.
+DEFAULT_MAX_COMPILED_ATOMS = 4
+
+
+@dataclass(frozen=True, slots=True)
+class PlanDecision:
+    """The chosen strategy plus a human-readable justification."""
+
+    strategy: str  # "canonical" | "compiled"
+    reason: str
+    estimated_atom_cardinality: int | None
+
+
+def _estimate_atom_cardinality(query: RegexUCQ, n: int) -> int | None:
+    """Worst-case tuple-count estimate across atoms, or None if unbounded."""
+    worst = 0
+    spans = (n + 1) * (n + 2) // 2
+    for cq in query:
+        for atom in cq.regex_atoms:
+            certificate = polynomial_bound_certificate(atom)
+            if not certificate.bounded:
+                return None
+            assert certificate.degree is not None
+            # degree counts string-length exponents; convert via spans
+            # per variable: spans^(degree/2).
+            worst = max(worst, spans ** (certificate.degree // 2))
+    return worst
+
+
+def choose_strategy(
+    query: RegexCQ | RegexUCQ,
+    s: str,
+    materialization_ceiling: int = DEFAULT_MATERIALIZATION_CEILING,
+    max_compiled_atoms: int = DEFAULT_MAX_COMPILED_ATOMS,
+) -> PlanDecision:
+    """Pick canonical vs compiled evaluation for ``query`` on ``s``."""
+    if isinstance(query, RegexCQ):
+        query = RegexUCQ([query])
+    estimate = _estimate_atom_cardinality(query, len(s))
+    acyclic = query.is_acyclic()
+    small_k = query.max_atom_count <= max_compiled_atoms
+
+    if acyclic and estimate is not None and estimate <= materialization_ceiling:
+        return PlanDecision(
+            "canonical",
+            "acyclic query with polynomially-bounded atoms "
+            f"(estimate {estimate} tuples) — Theorem 3.5 applies",
+            estimate,
+        )
+    if small_k:
+        return PlanDecision(
+            "compiled",
+            f"at most {query.max_atom_count} atoms per disjunct — "
+            "Theorem 3.11 / Corollary 5.5 applies",
+            estimate,
+        )
+    return PlanDecision(
+        "canonical",
+        "no polynomial guarantee either way (many atoms, unbounded or "
+        "cyclic); falling back to materialize-then-join",
+        estimate,
+    )
+
+
+class QueryEvaluator:
+    """Facade evaluating queries with automatic strategy selection.
+
+    Usage::
+
+        evaluator = QueryEvaluator()
+        relation = evaluator.evaluate(query, text)            # auto
+        relation = evaluator.evaluate(query, text, "compiled")  # forced
+    """
+
+    def __init__(
+        self,
+        materialization_ceiling: int = DEFAULT_MATERIALIZATION_CEILING,
+        max_compiled_atoms: int = DEFAULT_MAX_COMPILED_ATOMS,
+    ):
+        self.materialization_ceiling = materialization_ceiling
+        self.max_compiled_atoms = max_compiled_atoms
+        self.canonical = CanonicalEvaluator()
+        self.compiled = CompiledEvaluator()
+        self.last_decision: PlanDecision | None = None
+
+    def evaluate(
+        self,
+        query: RegexCQ | RegexUCQ,
+        s: str,
+        strategy: str = "auto",
+    ) -> SpanRelation:
+        """Evaluate ``query`` on ``s`` with the given or chosen strategy."""
+        if strategy == "auto":
+            decision = choose_strategy(
+                query,
+                s,
+                self.materialization_ceiling,
+                self.max_compiled_atoms,
+            )
+        elif strategy in ("canonical", "compiled"):
+            decision = PlanDecision(strategy, "forced by caller", None)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.last_decision = decision
+        if decision.strategy == "canonical":
+            return self.canonical.evaluate(query, s)
+        return self.compiled.evaluate(query, s)

@@ -1,0 +1,20 @@
+"""The paper's hardness reductions, as executable constructions.
+
+* :mod:`.sat3` — Theorem 3.1: 3CNF-SAT to Boolean regex-CQ evaluation
+  over the one-character string ``a``;
+* :mod:`.clique` — Theorem 3.2: k-clique to *gamma-acyclic* Boolean
+  regex-CQ evaluation (W[1]-hardness in variables/atoms);
+* :mod:`.clique_eq` — Theorem 5.2: k-clique to Boolean regex-CQ with
+  string equalities whose size depends only on ``k`` (W[1]-hardness in
+  the query size).
+
+Each module builds the instance, runs it through the production
+evaluators, and can decode the witness back (satisfying assignment /
+clique), so the reductions double as end-to-end integration tests.
+"""
+
+from .clique import CliqueReduction
+from .clique_eq import CliqueEqualityReduction
+from .sat3 import SatReduction
+
+__all__ = ["SatReduction", "CliqueReduction", "CliqueEqualityReduction"]

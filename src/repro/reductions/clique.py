@@ -1,0 +1,187 @@
+"""Theorem 3.2: k-clique as a gamma-acyclic Boolean regex CQ.
+
+Construction (following the proof, over the five-letter alphabet
+``{a, b, <, #, >}``; the proof's ``⊢``/``⊣`` render as ``<``/``>``):
+
+* every node ``v_i`` gets a fixed-width code over ``{a, b}`` of length
+  ``O(log n)``;
+* the string encodes the edge set, lexicographically ordered:
+  ``s = <code(i)#code(j)> <code(i')#code(j')> ...`` for edges
+  ``i < j``;
+* the atom ``gamma`` is one big concatenation of blocks
+  ``Σ* < x_ij{(a|b)*} # y_ij{(a|b)*} > Σ*`` for ``1 <= i < j <= k`` in
+  lexicographic block order — matching the string's edge order, it
+  selects one edge per clique pair;
+* for each clique slot ``l`` the atom ``delta_l`` forces all of
+  ``y_{1,l} ... y_{l-1,l}, x_{l,l+1} ... x_{l,k}`` to spell the *same*
+  node code, by a disjunction over all ``n`` node codes.
+
+The Boolean CQ ``pi_∅(gamma ⋈ delta_1 ⋈ ... ⋈ delta_k)`` is non-empty
+on ``s`` iff the graph has a k-clique.  Distinct ``delta_l`` atoms share
+no variables, so the query is gamma-acyclic — the acyclicity notion for
+which evaluation is tractable in the relational world, making this the
+paper's sharpest NP-hardness.
+
+Note on indices: the paper's displayed query joins ``delta_1`` through
+``delta_{k-1}``; its correctness argument uses the constraint "for each
+l" including ``l = k`` (whose atom ties the ``y_{i,k}`` together), so we
+join all ``k`` delta atoms.
+
+The construction is FPT in k: ``|gamma| = O(k^2 log n... )`` blocks and
+each ``delta_l`` has size ``O(k n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from ..regex.ast import (
+    RegexFormula,
+    char,
+    concat,
+    sigma_star,
+    string_literal,
+    union,
+)
+from ..regex.ast import Capture, CharClass
+from ..alphabet import Chars
+from ..queries.cq import RegexCQ
+from ..spans import SpanTuple
+from ..util.graphs import Graph
+
+__all__ = ["CliqueReduction"]
+
+
+def _code_width(n: int) -> int:
+    return max(1, ceil(log2(max(n, 2))))
+
+
+def _node_code(node: int, width: int) -> str:
+    bits = format(node, "b").rjust(width, "0")
+    return bits.replace("0", "a").replace("1", "b")
+
+
+def _decode_node(code: str) -> int:
+    bits = code.replace("a", "0").replace("b", "1")
+    return int(bits, 2)
+
+
+def _ab_star() -> RegexFormula:
+    return CharClass(Chars("ab")).star()
+
+
+def _x(i: int, j: int) -> str:
+    return f"x_{i}_{j}"
+
+
+def _y(i: int, j: int) -> str:
+    return f"y_{i}_{j}"
+
+
+@dataclass(frozen=True)
+class CliqueReduction:
+    """The compiled Theorem 3.2 instance for a graph and clique size k.
+
+    Attributes:
+        graph: the source graph.
+        k: the clique size sought.
+        query: the gamma-acyclic Boolean regex CQ.
+        string: the edge-set encoding of the graph.
+    """
+
+    graph: Graph
+    k: int
+    query: RegexCQ
+    string: str
+
+    @classmethod
+    def build(cls, graph: Graph, k: int, boolean: bool = True) -> "CliqueReduction":
+        """Construct the reduction.
+
+        Args:
+            graph: the input graph.
+            k: clique size (>= 2).
+            boolean: True for the paper's ``pi_∅``; False keeps all
+                variables in the head so cliques can be decoded from
+                answers.
+        """
+        if k < 2:
+            raise ValueError("clique size must be at least 2")
+        width = _code_width(graph.n)
+        string = "".join(
+            f"<{_node_code(i, width)}#{_node_code(j, width)}>"
+            for i, j in graph.sorted_edges()
+        )
+
+        # gamma: one block per clique pair, in lexicographic order.
+        blocks: list[RegexFormula] = []
+        for i in range(1, k + 1):
+            for j in range(i + 1, k + 1):
+                blocks.append(
+                    concat(
+                        sigma_star(),
+                        char("<"),
+                        Capture(_x(i, j), _ab_star()),
+                        char("#"),
+                        Capture(_y(i, j), _ab_star()),
+                        char(">"),
+                        sigma_star(),
+                    )
+                )
+        gamma = concat(*blocks)
+
+        # delta_l: all slot-l variables spell the same node code.
+        deltas: list[RegexFormula] = []
+        for l in range(1, k + 1):
+            branches: list[RegexFormula] = []
+            for node in range(graph.n):
+                code = _node_code(node, width)
+                parts: list[RegexFormula] = []
+                for i in range(1, l):
+                    parts.append(
+                        concat(
+                            sigma_star(),
+                            char("#"),
+                            Capture(_y(i, l), string_literal(code)),
+                            char(">"),
+                            sigma_star(),
+                        )
+                    )
+                for j in range(l + 1, k + 1):
+                    parts.append(
+                        concat(
+                            sigma_star(),
+                            char("<"),
+                            Capture(_x(l, j), string_literal(code)),
+                            char("#"),
+                            sigma_star(),
+                        )
+                    )
+                branches.append(concat(*parts))
+            deltas.append(union(*branches))
+
+        atoms = [gamma] + deltas
+        if boolean:
+            head: tuple[str, ...] = ()
+        else:
+            head = tuple(
+                sorted(
+                    [_x(i, j) for i in range(1, k + 1) for j in range(i + 1, k + 1)]
+                    + [_y(i, j) for i in range(1, k + 1) for j in range(i + 1, k + 1)]
+                )
+            )
+        return cls(graph, k, RegexCQ(head, atoms), string)
+
+    def decode(self, answer: SpanTuple) -> tuple[int, ...]:
+        """Recover the clique nodes from a witness tuple."""
+        width = _code_width(self.graph.n)
+        nodes: dict[int, int] = {}
+        for i in range(1, self.k + 1):
+            for j in range(i + 1, self.k + 1):
+                x_span = answer[_x(i, j)]
+                y_span = answer[_y(i, j)]
+                nodes[i] = _decode_node(x_span.extract(self.string))
+                nodes[j] = _decode_node(y_span.extract(self.string))
+                assert len(x_span) == width and len(y_span) == width
+        return tuple(nodes[l] for l in range(1, self.k + 1))

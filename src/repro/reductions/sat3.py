@@ -1,0 +1,114 @@
+"""Theorem 3.1: 3CNF satisfiability as Boolean regex-CQ evaluation.
+
+Construction (verbatim from the proof): the input string is ``s = a``.
+Each propositional variable ``x`` becomes a capture variable; an
+assignment sets ``mu(x) = [1,1>`` for false and ``mu(x) = [2,2>`` for
+true.  For each clause ``C_j`` build a regex atom
+
+    ``gamma_j  =  OR over the seven satisfying assignments tau of C_j``
+
+where the regex for ``tau`` concatenates ``v{}`` for every false
+variable, then the letter ``a``, then ``v{}`` for every true variable
+(the proof nests the false variables — concatenation of empty captures
+lands on the same spans).  The Boolean CQ ``pi_∅(gamma_1 ⋈ ... ⋈
+gamma_m)`` is non-empty on ``a`` iff the formula is satisfiable; the
+join forces all clauses to agree on every shared variable.
+
+The reduction keeps each atom's size bounded by a constant (7 branches
+of <= 7 nodes each): hardness already bites with bounded-size regex
+formulas on a unit-length string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..regex.ast import Capture, Epsilon, RegexFormula, char, concat, union
+from ..queries.cq import RegexCQ
+from ..spans import SpanTuple
+from ..util.sat import ThreeCNF, satisfying_assignments_of_clause
+
+__all__ = ["SatReduction"]
+
+
+def _variable_name(index: int) -> str:
+    return f"v{index}"
+
+
+def _assignment_formula(assignment: dict[int, bool]) -> RegexFormula:
+    """The regex for one satisfying assignment of a clause."""
+    false_parts = [
+        Capture(_variable_name(v), Epsilon())
+        for v in sorted(assignment)
+        if not assignment[v]
+    ]
+    true_parts = [
+        Capture(_variable_name(v), Epsilon())
+        for v in sorted(assignment)
+        if assignment[v]
+    ]
+    return concat(*false_parts, char("a"), *true_parts)
+
+
+@dataclass(frozen=True)
+class SatReduction:
+    """The compiled reduction for one 3CNF instance.
+
+    Attributes:
+        formula: the source 3CNF formula.
+        query: the Boolean regex CQ (one atom per clause).
+        string: always ``"a"``.
+    """
+
+    formula: ThreeCNF
+    query: RegexCQ
+    string: str
+
+    @classmethod
+    def build(cls, formula: ThreeCNF, boolean: bool = True) -> "SatReduction":
+        """Construct the regex CQ for ``formula``.
+
+        Args:
+            formula: the 3CNF instance.
+            boolean: with the default True the head is empty (the
+                paper's ``pi_∅``); with False the head keeps all
+                variables so a witness assignment can be decoded from
+                any answer tuple.
+        """
+        atoms: list[RegexFormula] = []
+        for clause in formula.clauses:
+            branches = [
+                _assignment_formula(assignment)
+                for assignment in satisfying_assignments_of_clause(clause)
+            ]
+            atoms.append(union(*branches))
+        if boolean:
+            head: tuple[str, ...] = ()
+        else:
+            head = tuple(
+                _variable_name(v) for v in range(formula.n_variables)
+                if any(
+                    lit.variable == v
+                    for clause in formula.clauses
+                    for lit in clause
+                )
+            )
+        return cls(formula, RegexCQ(head, atoms), "a")
+
+    def decode(self, answer: SpanTuple) -> dict[int, bool]:
+        """Recover a (partial) assignment from a witness tuple.
+
+        Variables not occurring in any clause are unconstrained and
+        absent from the result.
+        """
+        assignment: dict[int, bool] = {}
+        for name in answer.variables:
+            index = int(name[1:])
+            span = answer[name]
+            assignment[index] = span.start == 2
+        return assignment
+
+    def check_decoded(self, assignment: dict[int, bool]) -> bool:
+        """Validate a decoded assignment against the source formula."""
+        full = [assignment.get(v, False) for v in range(self.formula.n_variables)]
+        return self.formula.evaluate(full)

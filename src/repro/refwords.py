@@ -1,0 +1,209 @@
+"""Ref-words: the semantic backbone of spanner representations (§2.2.1).
+
+A *ref-word* over variables ``V`` is a string over the extended alphabet
+``Sigma ∪ Gamma_V``.  It is *valid* when every variable of ``V`` is
+opened exactly once and closed exactly once, in that order.  The
+*clearing morphism* ``clr`` erases the markers; a valid ref-word ``r``
+with ``clr(r) = s`` encodes a ``(V, s)``-tuple ``mu_r``.
+
+This module implements validity, ``clr``, the decoding ``r -> mu_r``,
+the encoding ``mu -> r`` (one canonical ref-word per tuple), and the
+exhaustive generator of all valid ref-words of a string — the latter is
+the independent test oracle used to cross-check the production
+evaluation pipeline.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Iterator, Sequence
+
+from .alphabet import VariableMarker, close_marker, marker_sort_key, open_marker
+from .errors import SpannerError
+from .spans import Span, SpanTuple
+
+__all__ = [
+    "RefSymbol",
+    "RefWord",
+    "clr",
+    "is_valid",
+    "tuple_from_refword",
+    "refword_from_tuple",
+    "all_valid_refwords",
+    "refword_str",
+]
+
+#: A ref-word symbol is either a character (str of length 1) or a marker.
+RefSymbol = str | VariableMarker
+
+#: A ref-word is a sequence of ref-symbols.
+RefWord = tuple[RefSymbol, ...]
+
+
+def clr(refword: Sequence[RefSymbol]) -> str:
+    """The clearing morphism: erase markers, keep terminal characters."""
+    return "".join(sym for sym in refword if isinstance(sym, str))
+
+
+def refword_str(refword: Sequence[RefSymbol]) -> str:
+    """Human-readable rendering, e.g. ``c ⊢x oo ⊣x kie``."""
+    return "".join(str(sym) for sym in refword)
+
+
+def is_valid(refword: Sequence[RefSymbol], variables: Iterable[str]) -> bool:
+    """Check validity for ``variables`` (Definition in §2.2.1).
+
+    Every variable must be opened exactly once and closed exactly once,
+    with the opening occurring before the closing.  Markers of variables
+    outside ``variables`` make the ref-word invalid for this set.
+    """
+    needed = set(variables)
+    opened: set[str] = set()
+    closed: set[str] = set()
+    for sym in refword:
+        if isinstance(sym, str):
+            continue
+        var = sym.variable
+        if var not in needed:
+            return False
+        if sym.is_open:
+            if var in opened:
+                return False
+            opened.add(var)
+        else:
+            if var not in opened or var in closed:
+                return False
+            closed.add(var)
+    return opened == needed and closed == needed
+
+
+def tuple_from_refword(
+    refword: Sequence[RefSymbol], variables: Iterable[str]
+) -> SpanTuple:
+    """Decode a valid ref-word into its ``(V, s)``-tuple ``mu_r``.
+
+    For each variable ``x`` with factorization
+    ``r = r'_x . x⊢ . r_x . ⊣x . r''_x`` the span is
+    ``[|clr(r'_x)| + 1, |clr(r'_x)| + |clr(r_x)| + 1>``.
+
+    Raises:
+        SpannerError: if the ref-word is not valid for ``variables``.
+    """
+    var_set = set(variables)
+    if not is_valid(refword, var_set):
+        raise SpannerError(
+            f"ref-word {refword_str(refword)} is not valid for {sorted(var_set)}"
+        )
+    starts: dict[str, int] = {}
+    ends: dict[str, int] = {}
+    position = 1  # 1-based index of the next terminal character
+    for sym in refword:
+        if isinstance(sym, str):
+            position += 1
+        elif sym.is_open:
+            starts[sym.variable] = position
+        else:
+            ends[sym.variable] = position
+    return SpanTuple({v: Span(starts[v], ends[v]) for v in var_set})
+
+
+def refword_from_tuple(mu: SpanTuple, s: str) -> RefWord:
+    """Encode a tuple as one canonical valid ref-word with ``clr(r) = s``.
+
+    When several markers fall between the same two characters, the
+    canonical order is: closes of spans that *started earlier*, then all
+    opens, then closes of empty spans ``[g, g>`` (whose open sits in the
+    same gap).  This is always a valid interleaving; tests that need
+    *all* interleavings use :func:`all_valid_refwords`.
+    """
+    for var, span in mu.items():
+        if not span.fits(s):
+            raise SpannerError(f"span {span} of variable {var} does not fit s")
+    by_gap: dict[int, list[tuple[int, str, VariableMarker]]] = {}
+    for var, span in mu.items():
+        by_gap.setdefault(span.start, []).append((1, var, open_marker(var)))
+        close_rank = 2 if span.is_empty() else 0
+        by_gap.setdefault(span.end, []).append(
+            (close_rank, var, close_marker(var))
+        )
+    out: list[RefSymbol] = []
+    for gap in range(1, len(s) + 2):
+        for _rank, _var, marker in sorted(
+            by_gap.get(gap, ()), key=lambda item: item[:2]
+        ):
+            out.append(marker)
+        if gap <= len(s):
+            out.append(s[gap - 1])
+    return tuple(out)
+
+
+def all_valid_refwords(s: str, variables: Iterable[str]) -> Iterator[RefWord]:
+    """Yield *every* valid ref-word ``r`` with ``clr(r) = s`` — ``Ref(s)``.
+
+    This enumerates every tuple and, for each tuple, every interleaving
+    of markers that share a gap.  The count grows very fast (it is
+    exponential in ``|variables|``), so this is strictly a test oracle
+    for tiny inputs.
+    """
+    var_list = sorted(set(variables))
+    n = len(s)
+    gaps = range(1, n + 2)
+
+    def place(remaining: list[str], assignment: dict[str, Span]) -> Iterator[dict[str, Span]]:
+        if not remaining:
+            yield dict(assignment)
+            return
+        var = remaining[0]
+        for i in gaps:
+            for j in range(i, n + 2):
+                assignment[var] = Span(i, j)
+                yield from place(remaining[1:], assignment)
+        del assignment[var]
+
+    for assignment in place(var_list, {}):
+        by_gap: dict[int, list[VariableMarker]] = {}
+        for var, span in assignment.items():
+            by_gap.setdefault(span.start, []).append(open_marker(var))
+            by_gap.setdefault(span.end, []).append(close_marker(var))
+        yield from _interleavings(s, by_gap)
+
+
+def _interleavings(s: str, by_gap: dict[int, list[VariableMarker]]) -> Iterator[RefWord]:
+    """All marker orderings per gap that keep the ref-word valid."""
+    n = len(s)
+    gap_orders: list[list[tuple[VariableMarker, ...]]] = []
+    for gap in range(1, n + 2):
+        markers = by_gap.get(gap, [])
+        if not markers:
+            gap_orders.append([()])
+            continue
+        seen: set[tuple[VariableMarker, ...]] = set()
+        orders = []
+        for perm in permutations(sorted(markers, key=marker_sort_key)):
+            if perm in seen:
+                continue
+            seen.add(perm)
+            # Within a single gap, x⊢ must still precede ⊣x for each x.
+            position = {m: idx for idx, m in enumerate(perm)}
+            ok = True
+            for m in perm:
+                if m.is_open:
+                    closing = close_marker(m.variable)
+                    if closing in position and position[closing] < position[m]:
+                        ok = False
+                        break
+            if ok:
+                orders.append(perm)
+        gap_orders.append(orders)
+
+    def build(gap_index: int, acc: list[RefSymbol]) -> Iterator[RefWord]:
+        if gap_index == n + 1:
+            yield tuple(acc)
+            return
+        for order in gap_orders[gap_index]:
+            extended = acc + list(order)
+            if gap_index < n:
+                extended.append(s[gap_index])
+            yield from build(gap_index + 1, extended)
+
+    yield from build(0, [])

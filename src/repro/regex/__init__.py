@@ -1,0 +1,54 @@
+"""Regex formulas: regular expressions with capture variables (§2.2.2).
+
+Public surface:
+
+* :func:`parse` — text syntax to AST;
+* the AST node classes in :mod:`repro.regex.ast`;
+* :func:`check_functional` / :func:`is_functional` — Theorem 2.4.
+"""
+
+from .ast import (
+    Capture,
+    CharClass,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Plus,
+    Optional,
+    RegexFormula,
+    Star,
+    Union,
+    any_char,
+    char,
+    concat,
+    epsilon,
+    sigma_star,
+    string_literal,
+    union,
+)
+from .functional import FunctionalityReport, check_functional, is_functional
+from .parser import parse
+
+__all__ = [
+    "RegexFormula",
+    "EmptySet",
+    "Epsilon",
+    "CharClass",
+    "Union",
+    "Concat",
+    "Star",
+    "Plus",
+    "Optional",
+    "Capture",
+    "parse",
+    "char",
+    "any_char",
+    "epsilon",
+    "concat",
+    "union",
+    "string_literal",
+    "sigma_star",
+    "check_functional",
+    "is_functional",
+    "FunctionalityReport",
+]

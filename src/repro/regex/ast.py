@@ -1,0 +1,336 @@
+"""Abstract syntax trees for regex formulas (§2.2.2).
+
+The grammar of the paper is::
+
+    alpha := ∅ | ε | σ | (alpha ∨ alpha) | (alpha · alpha) | alpha* | x{alpha}
+
+We add the standard derived forms ``alpha+`` (paper shorthand),
+``alpha?``, character classes and the wildcard ``.`` (the paper's
+``Sigma`` shorthand) — all of which desugar to predicate-labelled
+transitions during compilation (see DESIGN.md on the predicate-label
+substitution).
+
+Every node is immutable and hashable.  ``str()`` renders a formula in
+the concrete syntax accepted by :func:`repro.regex.parser.parse`, and
+round-tripping is covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..alphabet import ANY, Chars, NotChars, SymbolPredicate
+
+__all__ = [
+    "RegexFormula",
+    "EmptySet",
+    "Epsilon",
+    "CharClass",
+    "Union",
+    "Concat",
+    "Star",
+    "Plus",
+    "Optional",
+    "Capture",
+    "char",
+    "any_char",
+    "epsilon",
+    "concat",
+    "union",
+    "string_literal",
+    "sigma_star",
+]
+
+_ESCAPE_REQUIRED = set("\\|*+?(){}[].∅ε")
+_CONTROL_ESCAPES = {"\n": "\\n", "\t": "\\t", "\r": "\\r"}
+
+
+def _escape_char(ch: str) -> str:
+    if ch in _CONTROL_ESCAPES:
+        return _CONTROL_ESCAPES[ch]
+    if ch in _ESCAPE_REQUIRED:
+        return "\\" + ch
+    return ch
+
+
+class RegexFormula:
+    """Base class for regex-formula AST nodes."""
+
+    __slots__ = ()
+
+    # -- Structure -----------------------------------------------------------
+    def children(self) -> tuple["RegexFormula", ...]:
+        """Immediate sub-formulas."""
+        return ()
+
+    def iter_nodes(self) -> Iterator["RegexFormula"]:
+        """Pre-order traversal of the syntax tree (iterative, so deep
+        formulas do not hit the interpreter's recursion limit)."""
+        stack: list[RegexFormula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """The paper's ``|alpha|``: number of syntax-tree nodes.
+
+        (The paper counts symbols; node count is within a constant
+        factor and is the measure used by our benchmarks.)
+        """
+        return sum(1 for _ in self.iter_nodes())
+
+    def variables(self) -> frozenset[str]:
+        """``Vars(alpha)``: variables occurring anywhere in the formula."""
+        out: set[str] = set()
+        for node in self.iter_nodes():
+            if isinstance(node, Capture):
+                out.add(node.variable)
+        return frozenset(out)
+
+    # -- Combinators ---------------------------------------------------------
+    def __or__(self, other: "RegexFormula") -> "RegexFormula":
+        return union(self, other)
+
+    def __add__(self, other: "RegexFormula") -> "RegexFormula":
+        return concat(self, other)
+
+    def star(self) -> "Star":
+        return Star(self)
+
+    def plus(self) -> "Plus":
+        return Plus(self)
+
+    def opt(self) -> "Optional":
+        return Optional(self)
+
+    def capture(self, variable: str) -> "Capture":
+        return Capture(variable, self)
+
+    # -- Rendering -----------------------------------------------------------
+    def _precedence(self) -> int:
+        """3 = atom, 2 = repetition, 1 = concatenation, 0 = union."""
+        raise NotImplementedError
+
+    def _render(self) -> str:
+        raise NotImplementedError
+
+    def _render_at(self, min_precedence: int) -> str:
+        text = self._render()
+        if self._precedence() < min_precedence:
+            return f"({text})"
+        return text
+
+    def __str__(self) -> str:
+        return self._render()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._render()!r})"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class EmptySet(RegexFormula):
+    """The formula ``∅`` denoting the empty ref-word language."""
+
+    def _precedence(self) -> int:
+        return 3
+
+    def _render(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Epsilon(RegexFormula):
+    """The formula ``ε`` matching the empty string."""
+
+    def _precedence(self) -> int:
+        return 3
+
+    def _render(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class CharClass(RegexFormula):
+    """A terminal predicate: single char, char set/range, or wildcard."""
+
+    predicate: SymbolPredicate
+
+    def _precedence(self) -> int:
+        return 3
+
+    def _render(self) -> str:
+        pred = self.predicate
+        if isinstance(pred, Chars):
+            if len(pred.chars) == 1:
+                return _escape_char(next(iter(pred.chars)))
+            return "[" + "".join(_escape_char(c) for c in sorted(pred.chars)) + "]"
+        if isinstance(pred, NotChars):
+            return "[^" + "".join(_escape_char(c) for c in sorted(pred.chars)) + "]"
+        return "."
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Union(RegexFormula):
+    """Disjunction ``alpha ∨ beta`` (written ``alpha|beta``)."""
+
+    left: RegexFormula
+    right: RegexFormula
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.left, self.right)
+
+    def _precedence(self) -> int:
+        return 0
+
+    def _render(self) -> str:
+        return f"{self.left._render_at(0)}|{self.right._render_at(1)}"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Concat(RegexFormula):
+    """Concatenation ``alpha · beta``."""
+
+    left: RegexFormula
+    right: RegexFormula
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.left, self.right)
+
+    def _precedence(self) -> int:
+        return 1
+
+    def _render(self) -> str:
+        return f"{self.left._render_at(1)}{self.right._render_at(2)}"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Star(RegexFormula):
+    """Kleene star ``alpha*``."""
+
+    inner: RegexFormula
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.inner,)
+
+    def _precedence(self) -> int:
+        return 2
+
+    def _render(self) -> str:
+        return f"{self.inner._render_at(3)}*"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Plus(RegexFormula):
+    """``alpha+``, the paper's shorthand for ``alpha · alpha*``."""
+
+    inner: RegexFormula
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.inner,)
+
+    def _precedence(self) -> int:
+        return 2
+
+    def _render(self) -> str:
+        return f"{self.inner._render_at(3)}+"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Optional(RegexFormula):
+    """``alpha?``, shorthand for ``alpha ∨ ε``."""
+
+    inner: RegexFormula
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.inner,)
+
+    def _precedence(self) -> int:
+        return 2
+
+    def _render(self) -> str:
+        return f"{self.inner._render_at(3)}?"
+
+
+@dataclass(frozen=True, slots=True, repr=False)
+class Capture(RegexFormula):
+    """A variable binding ``x{alpha}``.
+
+    Its ref-word language is ``x⊢ · R(alpha) · ⊣x`` (§2.2.2).
+    """
+
+    variable: str
+    inner: RegexFormula
+
+    def children(self) -> tuple[RegexFormula, ...]:
+        return (self.inner,)
+
+    def _precedence(self) -> int:
+        return 3
+
+    def _render(self) -> str:
+        return f"{self.variable}{{{self.inner._render()}}}"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def char(ch: str) -> CharClass:
+    """Formula matching exactly the character ``ch``."""
+    if len(ch) != 1:
+        raise ValueError(f"char() expects one character, got {ch!r}")
+    return CharClass(Chars((ch,)))
+
+
+def any_char() -> CharClass:
+    """The wildcard ``.`` — any single character of Sigma."""
+    return CharClass(ANY)
+
+
+def epsilon() -> Epsilon:
+    return Epsilon()
+
+
+def _balanced(
+    parts: tuple[RegexFormula, ...], node: type
+) -> RegexFormula:
+    """Combine ``parts`` into a balanced binary tree.
+
+    Concatenation and union are associative, so balancing changes no
+    semantics — but it keeps tree depth logarithmic, which matters for
+    the recursive compiler/checker/printer on large generated formulas
+    (e.g. the Theorem 3.2 construction at realistic graph sizes).
+    """
+    if len(parts) == 1:
+        return parts[0]
+    mid = len(parts) // 2
+    return node(_balanced(parts[:mid], node), _balanced(parts[mid:], node))
+
+
+def concat(*parts: RegexFormula) -> RegexFormula:
+    """Balanced concatenation of any number of formulas."""
+    if not parts:
+        return Epsilon()
+    return _balanced(tuple(parts), Concat)
+
+
+def union(*parts: RegexFormula) -> RegexFormula:
+    """Balanced union of any number of formulas."""
+    if not parts:
+        return EmptySet()
+    return _balanced(tuple(parts), Union)
+
+
+def string_literal(text: str) -> RegexFormula:
+    """Formula matching exactly ``text``."""
+    if not text:
+        return Epsilon()
+    return concat(*(char(c) for c in text))
+
+
+def sigma_star() -> Star:
+    """The ubiquitous padding ``Sigma*`` (rendered ``.*``)."""
+    return Star(any_char())

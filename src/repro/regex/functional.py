@@ -1,0 +1,198 @@
+"""Functionality check for regex formulas (Theorem 2.4).
+
+A regex formula ``alpha`` is *functional* when every ref-word in
+``R(alpha)`` is valid — every variable of ``Vars(alpha)`` is opened
+exactly once and then closed exactly once.  Fagin et al. [12] give a
+syntactic test; its recursive shape is:
+
+* ``∅``, ``ε``, ``σ`` — functional, no variables.
+* ``x{beta}`` — functional iff ``beta`` is functional and
+  ``x ∉ Vars(beta)``.
+* ``beta · gamma`` — functional iff both parts are and
+  ``Vars(beta) ∩ Vars(gamma) = ∅``.
+* ``beta ∨ gamma`` — functional iff both parts are and
+  ``Vars(beta) = Vars(gamma)`` (a branch that is ``∅`` — more generally,
+  whose language is empty — contributes no ref-words and is exempt).
+* ``beta*``, ``beta+``, ``beta?`` — functional iff ``beta`` is and
+  ``Vars(beta) = ∅`` (for ``+`` the body may not bind variables either,
+  since it repeats; for ``?`` the ε-branch binds nothing).
+
+The test runs in ``O(|alpha| · v)`` time as stated by Theorem 2.4: one
+pass over the tree with variable-set unions of size at most ``v``.
+
+This module reports *why* a formula fails via
+:class:`FunctionalityReport`, which downstream error messages reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import (
+    Capture,
+    CharClass,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Optional,
+    Plus,
+    RegexFormula,
+    Star,
+    Union,
+)
+
+__all__ = ["FunctionalityReport", "check_functional", "is_functional"]
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionalityReport:
+    """Result of the functionality test.
+
+    Attributes:
+        functional: overall verdict.
+        variables: ``Vars(alpha)`` as seen by valid branches (for an
+            empty-language formula this is the empty set).
+        reason: human-readable explanation when not functional.
+        language_empty: True when ``R(alpha)`` is provably empty (the
+            formula contains ``∅`` in every branch), in which case the
+            formula is vacuously functional.
+    """
+
+    functional: bool
+    variables: frozenset[str]
+    reason: str | None = None
+    language_empty: bool = False
+
+
+def _combine_failure(*reports: FunctionalityReport) -> FunctionalityReport | None:
+    for report in reports:
+        if not report.functional:
+            return report
+    return None
+
+
+def check_functional(formula: RegexFormula) -> FunctionalityReport:
+    """Run the Theorem 2.4 test, returning a detailed report.
+
+    On top of the recursive branch rules, the verdict compares the
+    *live* variables (those bound in every generated ref-word) against
+    the syntactic ``Vars(alpha)``: a variable that occurs only inside an
+    empty-language branch (e.g. ``x`` in ``(x{a}∅)|b``) makes every
+    generated ref-word invalid for ``Vars(alpha)``, hence the formula
+    non-functional — unless the whole language is empty, in which case
+    functionality holds vacuously.
+    """
+    report = _check(formula)
+    if not report.functional or report.language_empty:
+        return report
+    syntactic = formula.variables()
+    if report.variables != syntactic:
+        missing = sorted(syntactic - report.variables)
+        return FunctionalityReport(
+            False,
+            report.variables,
+            reason=(
+                f"variables {missing} occur only in empty-language "
+                "branches, so no generated ref-word binds them"
+            ),
+        )
+    return report
+
+
+def _check(formula: RegexFormula) -> FunctionalityReport:
+    """The recursive branch rules of the Theorem 2.4 test."""
+    if isinstance(formula, EmptySet):
+        return FunctionalityReport(True, frozenset(), language_empty=True)
+    if isinstance(formula, (Epsilon, CharClass)):
+        return FunctionalityReport(True, frozenset())
+
+    if isinstance(formula, Capture):
+        inner = _check(formula.inner)
+        failed = _combine_failure(inner)
+        if failed is not None:
+            return failed
+        if inner.language_empty:
+            return FunctionalityReport(True, frozenset(), language_empty=True)
+        if formula.variable in inner.variables:
+            return FunctionalityReport(
+                False,
+                inner.variables,
+                reason=(
+                    f"variable {formula.variable!r} is re-bound inside its "
+                    "own capture"
+                ),
+            )
+        return FunctionalityReport(True, inner.variables | {formula.variable})
+
+    if isinstance(formula, Concat):
+        left = _check(formula.left)
+        right = _check(formula.right)
+        failed = _combine_failure(left, right)
+        if failed is not None:
+            return failed
+        if left.language_empty or right.language_empty:
+            return FunctionalityReport(True, frozenset(), language_empty=True)
+        overlap = left.variables & right.variables
+        if overlap:
+            return FunctionalityReport(
+                False,
+                left.variables | right.variables,
+                reason=(
+                    f"variables {sorted(overlap)} are bound on both sides "
+                    "of a concatenation"
+                ),
+            )
+        return FunctionalityReport(True, left.variables | right.variables)
+
+    if isinstance(formula, Union):
+        left = _check(formula.left)
+        right = _check(formula.right)
+        failed = _combine_failure(left, right)
+        if failed is not None:
+            return failed
+        if left.language_empty and right.language_empty:
+            return FunctionalityReport(True, frozenset(), language_empty=True)
+        if left.language_empty:
+            return right
+        if right.language_empty:
+            return left
+        if left.variables != right.variables:
+            only_left = sorted(left.variables - right.variables)
+            only_right = sorted(right.variables - left.variables)
+            return FunctionalityReport(
+                False,
+                left.variables | right.variables,
+                reason=(
+                    "union branches bind different variables "
+                    f"(left-only: {only_left}, right-only: {only_right})"
+                ),
+            )
+        return FunctionalityReport(True, left.variables)
+
+    if isinstance(formula, (Star, Plus, Optional)):
+        inner = _check(formula.inner)
+        failed = _combine_failure(inner)
+        if failed is not None:
+            return failed
+        if inner.language_empty:
+            # beta* and beta? still match ε; beta+ has empty language.
+            empty = isinstance(formula, Plus)
+            return FunctionalityReport(True, frozenset(), language_empty=empty)
+        if inner.variables:
+            op = {Star: "*", Plus: "+", Optional: "?"}[type(formula)]
+            return FunctionalityReport(
+                False,
+                inner.variables,
+                reason=(
+                    f"variables {sorted(inner.variables)} are bound under "
+                    f"'{op}' and could repeat or be skipped"
+                ),
+            )
+        return FunctionalityReport(True, frozenset())
+
+    raise TypeError(f"unknown regex node {formula!r}")
+
+
+def is_functional(formula: RegexFormula) -> bool:
+    """Boolean shortcut for :func:`check_functional`."""
+    return check_functional(formula).functional

@@ -1,0 +1,235 @@
+"""Recursive-descent parser for the concrete regex-formula syntax.
+
+Grammar (whitespace is significant — a space matches a literal space)::
+
+    alternation := concat ('|' concat)*
+    concat      := repeat*                      -- empty concat is ε
+    repeat      := atom ('*' | '+' | '?')*
+    atom        := capture | group | class | wildcard | epsilon | empty | literal
+    capture     := NAME '{' alternation '}'     -- NAME = [A-Za-z_][A-Za-z0-9_]*
+    group       := '(' alternation ')'
+    class       := '[' '^'? item+ ']'           -- item = char or char '-' char
+    wildcard    := '.'                          -- any character (Sigma)
+    epsilon     := 'ε' | '\\e'
+    empty       := '∅' | '\\0'
+    literal     := any non-special character, or '\\' special
+
+Specials requiring escape in literal position: ``| * + ? ( ) { } [ ] . \\``
+plus ``ε`` and ``∅``.  Control escapes ``\\n``, ``\\t``, ``\\r`` are
+supported.  An identifier is treated as a capture name only when
+immediately followed by ``{``; write ``a\\{`` for a literal brace after
+a letter.
+
+Examples::
+
+    parse("x{a*}b")                 # capture x over a*, then literal b
+    parse(".*x{foo}.*y{bar}.*")     # one disjunct of Example 2.5's alpha
+    parse("[a-z]+@[a-z]+\\.[a-z]+")  # simple email shape
+"""
+
+from __future__ import annotations
+
+from ..alphabet import Chars, NotChars
+from ..errors import RegexParseError
+from .ast import (
+    Capture,
+    CharClass,
+    EmptySet,
+    Epsilon,
+    Optional,
+    Plus,
+    RegexFormula,
+    Star,
+    any_char,
+    char,
+)
+from .ast import concat as _concat
+from .ast import union as _union
+
+__all__ = ["parse"]
+
+_NAME_START = set("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_")
+_NAME_CONT = _NAME_START | set("0123456789")
+_SPECIALS = set("|*+?(){}[].\\")
+_CONTROL = {"n": "\n", "t": "\t", "r": "\r"}
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over ``text``."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- Low-level helpers ---------------------------------------------------
+    def _peek(self) -> str | None:
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return None
+
+    def _take(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        return ch
+
+    def _fail(self, message: str) -> RegexParseError:
+        return RegexParseError(message, self.pos)
+
+    # -- Grammar ---------------------------------------------------------------
+    def parse(self) -> RegexFormula:
+        node = self.alternation()
+        if self.pos != len(self.text):
+            raise self._fail(f"unexpected {self.text[self.pos]!r}")
+        return node
+
+    def alternation(self) -> RegexFormula:
+        branches = [self.concatenation()]
+        while self._peek() == "|":
+            self._take()
+            branches.append(self.concatenation())
+        # Balanced tree: keeps depth logarithmic for long alternations.
+        return _union(*branches)
+
+    def concatenation(self) -> RegexFormula:
+        parts: list[RegexFormula] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)}":
+                break
+            parts.append(self.repetition())
+        if not parts:
+            return Epsilon()
+        # Balanced tree: keeps depth logarithmic for long literals.
+        return _concat(*parts)
+
+    def repetition(self) -> RegexFormula:
+        node = self.atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._take()
+                node = Star(node)
+            elif ch == "+":
+                self._take()
+                node = Plus(node)
+            elif ch == "?":
+                self._take()
+                node = Optional(node)
+            else:
+                return node
+
+    def atom(self) -> RegexFormula:
+        ch = self._peek()
+        if ch is None:
+            raise self._fail("unexpected end of formula")
+        if ch == "(":
+            self._take()
+            inner = self.alternation()
+            if self._peek() != ")":
+                raise self._fail("expected ')'")
+            self._take()
+            return inner
+        if ch == "[":
+            return self.char_class()
+        if ch == ".":
+            self._take()
+            return any_char()
+        if ch == "ε":
+            self._take()
+            return Epsilon()
+        if ch == "∅":
+            self._take()
+            return EmptySet()
+        if ch == "\\":
+            return self._escaped_atom()
+        if ch in _SPECIALS:
+            raise self._fail(f"unexpected {ch!r}; escape it as '\\{ch}'")
+        capture = self._try_capture()
+        if capture is not None:
+            return capture
+        self._take()
+        return char(ch)
+
+    def _escaped_atom(self) -> RegexFormula:
+        self._take()  # backslash
+        ch = self._peek()
+        if ch is None:
+            raise self._fail("dangling backslash")
+        self._take()
+        if ch == "e":
+            return Epsilon()
+        if ch == "0":
+            return EmptySet()
+        if ch in _CONTROL:
+            return char(_CONTROL[ch])
+        return char(ch)
+
+    def _try_capture(self) -> RegexFormula | None:
+        """Parse ``NAME{...}`` at the cursor if present, else ``None``."""
+        if self._peek() not in _NAME_START:
+            return None
+        start = self.pos
+        end = start
+        while end < len(self.text) and self.text[end] in _NAME_CONT:
+            end += 1
+        if end >= len(self.text) or self.text[end] != "{":
+            return None
+        name = self.text[start:end]
+        self.pos = end + 1  # consume name and '{'
+        inner = self.alternation()
+        if self._peek() != "}":
+            raise self._fail(f"expected '}}' closing capture {name!r}")
+        self._take()
+        return Capture(name, inner)
+
+    def char_class(self) -> RegexFormula:
+        self._take()  # '['
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self._take()
+        if self._peek() == "]":
+            raise self._fail("empty character class")
+        chars: set[str] = set()
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise self._fail("unterminated character class")
+            if ch == "]":
+                self._take()
+                break
+            first = self._class_char()
+            is_range = (
+                self._peek() == "-"
+                and self.pos + 1 < len(self.text)
+                and self.text[self.pos + 1] != "]"
+            )
+            if is_range:
+                self._take()  # '-'
+                last = self._class_char()
+                if ord(last) < ord(first):
+                    raise self._fail(f"reversed range {first}-{last}")
+                chars.update(chr(c) for c in range(ord(first), ord(last) + 1))
+            else:
+                chars.add(first)
+        predicate = NotChars(chars) if negated else Chars(chars)
+        return CharClass(predicate)
+
+    def _class_char(self) -> str:
+        ch = self._take()
+        if ch != "\\":
+            return ch
+        nxt = self._peek()
+        if nxt is None:
+            raise self._fail("dangling backslash in class")
+        self._take()
+        return _CONTROL.get(nxt, nxt)
+
+
+def parse(text: str) -> RegexFormula:
+    """Parse the concrete syntax into a :class:`RegexFormula`.
+
+    Raises:
+        RegexParseError: on any syntax error, with the failing position.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,43 @@
+"""The relational-database substrate (Section 2.3, Section 3.3.2).
+
+The canonical relational strategy evaluates a regex (U)CQ by
+materializing each atom's span relation and then running *relational*
+query evaluation.  This package supplies that engine from scratch:
+
+* :mod:`.relation` — named relations with set semantics;
+* :mod:`.algebra` — joins, projections, unions, selections, semijoins;
+* :mod:`.hypergraph` — query hypergraphs, GYO reduction
+  (alpha-acyclicity + join trees), the D'Atri–Moscarini reduction
+  (gamma-acyclicity) and Berge-acyclicity;
+* :mod:`.yannakakis` — Yannakakis' algorithm for acyclic CQs [42];
+* :mod:`.generic` — greedy join ordering for cyclic CQs.
+"""
+
+from .algebra import (
+    difference,
+    natural_join,
+    project,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+from .generic import evaluate_generic
+from .hypergraph import GYOResult, Hypergraph
+from .relation import Relation
+from .yannakakis import evaluate_acyclic
+
+__all__ = [
+    "Relation",
+    "natural_join",
+    "project",
+    "union",
+    "select",
+    "semijoin",
+    "difference",
+    "rename",
+    "Hypergraph",
+    "GYOResult",
+    "evaluate_acyclic",
+    "evaluate_generic",
+]

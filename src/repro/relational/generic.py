@@ -1,0 +1,61 @@
+"""Generic (cyclic-CQ) evaluation with greedy join ordering.
+
+The fallback engine for regex CQs whose hypergraph is not acyclic
+(where no polynomial guarantee exists — Theorem 3.1 makes the general
+case NP-hard).  The heuristics are standard: start from the smallest
+relation, prefer joins that share attributes, and project intermediate
+results onto the attributes still needed (output attributes plus
+attributes of relations not yet joined).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import SchemaError
+from .algebra import natural_join, project
+from .relation import Relation
+
+__all__ = ["evaluate_generic"]
+
+
+def evaluate_generic(
+    relations: Mapping[str, Relation], output: Iterable[str]
+) -> Relation:
+    """Join all relations and project onto ``output``.
+
+    Args:
+        relations: materialized relation per atom name (at least one).
+        output: head attributes.
+
+    Returns:
+        The output relation.
+    """
+    if not relations:
+        raise SchemaError("cannot evaluate a query with no atoms")
+    out_attrs = tuple(output)
+    remaining = dict(relations)
+
+    # Start from the smallest relation (cheap, effective heuristic).
+    first = min(remaining, key=lambda name: len(remaining[name]))
+    result = remaining.pop(first)
+
+    while remaining:
+        result_attrs = set(result.schema)
+
+        def connectedness(name: str) -> tuple[int, int]:
+            rel = remaining[name]
+            shared = len(result_attrs & set(rel.schema))
+            # Most shared attributes first; among ties, smallest relation.
+            return (-shared, len(rel))
+
+        chosen = min(remaining, key=connectedness)
+        rel = remaining.pop(chosen)
+        result = natural_join(result, rel)
+        still_needed = set(out_attrs)
+        for other in remaining.values():
+            still_needed |= set(other.schema)
+        keep = [a for a in result.schema if a in still_needed]
+        result = project(result, keep)
+
+    return project(result, out_attrs)

@@ -1,0 +1,202 @@
+"""Query hypergraphs and acyclicity tests (§2.3, Theorem 3.2).
+
+A CQ's hypergraph has the query variables as vertices and one hyperedge
+per atom (the atom's variable set).  Degrees of acyclicity [11]:
+
+* **alpha-acyclic** — the GYO reduction (repeatedly remove *isolated
+  vertices* that occur in one edge only, and *ears*: edges contained in
+  another edge) empties the hypergraph.  The removal order yields a
+  join tree, which Yannakakis' algorithm consumes.
+* **gamma-acyclic** — strictly stronger.  We test it with the
+  D'Atri–Moscarini reduction: repeatedly (1) delete a vertex occurring
+  in at most one edge, (2) delete one of two vertices occurring in
+  exactly the same edges, (3) delete an edge with at most one vertex,
+  (4) delete one of two equal edges; gamma-acyclic iff the hypergraph
+  empties.  (Theorem 3.2's hardness holds *even* for gamma-acyclic
+  regex CQs, which is why the library surfaces this test.)
+* **Berge-acyclic** — strongest: the bipartite incidence graph is a
+  forest; included for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["Hypergraph", "GYOResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class GYOResult:
+    """Outcome of the GYO reduction.
+
+    Attributes:
+        acyclic: True when the reduction emptied the hypergraph.
+        parent: join-forest structure — maps each atom name to the atom
+            it was folded into, or ``None`` for roots.  Only meaningful
+            when ``acyclic``.
+        elimination_order: atom names in ear-removal order (leaves
+            first); the reverse is a top-down join-tree order.
+    """
+
+    acyclic: bool
+    parent: Mapping[str, str | None]
+    elimination_order: tuple[str, ...]
+
+
+class Hypergraph:
+    """A named hypergraph: atom name -> set of variables."""
+
+    __slots__ = ("edges",)
+
+    def __init__(self, edges: Mapping[str, Iterable[str]]):
+        self.edges: dict[str, frozenset[str]] = {
+            name: frozenset(vars_) for name, vars_ in edges.items()
+        }
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        out: set[str] = set()
+        for vars_ in self.edges.values():
+            out |= vars_
+        return frozenset(out)
+
+    # -- alpha-acyclicity ----------------------------------------------------
+    def gyo(self) -> GYOResult:
+        """Run the GYO reduction; returns acyclicity + join forest."""
+        remaining: dict[str, set[str]] = {
+            name: set(vars_) for name, vars_ in self.edges.items()
+        }
+        parent: dict[str, str | None] = {}
+        order: list[str] = []
+
+        changed = True
+        while changed and remaining:
+            changed = False
+            # Rule 1: drop vertices occurring in exactly one edge.
+            occurrences: dict[str, list[str]] = {}
+            for name, vars_ in remaining.items():
+                for v in vars_:
+                    occurrences.setdefault(v, []).append(name)
+            for v, homes in occurrences.items():
+                if len(homes) == 1:
+                    remaining[homes[0]].discard(v)
+                    changed = True
+            # Rule 2: drop an edge contained in another edge.
+            names = sorted(remaining)
+            removed: set[str] = set()
+            for e in names:
+                if e in removed:
+                    continue
+                for f in names:
+                    if f == e or f in removed:
+                        continue
+                    if remaining[e] <= remaining[f]:
+                        parent[e] = f
+                        order.append(e)
+                        removed.add(e)
+                        changed = True
+                        break
+            for e in removed:
+                del remaining[e]
+            # An empty edge with no sibling left is a root.
+            if len(remaining) == 1:
+                last = next(iter(remaining))
+                if not remaining[last] or all(
+                    len(occurrences.get(v, ())) <= 1 for v in remaining[last]
+                ):
+                    parent[last] = None
+                    order.append(last)
+                    del remaining[last]
+                    changed = True
+
+        acyclic = not remaining
+        if not acyclic:
+            # Keep partial information for diagnostics but flag failure.
+            for name in remaining:
+                parent.setdefault(name, None)
+        return GYOResult(acyclic, parent, tuple(order))
+
+    def is_alpha_acyclic(self) -> bool:
+        return self.gyo().acyclic
+
+    # -- gamma-acyclicity -------------------------------------------------------
+    def is_gamma_acyclic(self) -> bool:
+        """D'Atri–Moscarini reduction for gamma-acyclicity."""
+        edges: dict[str, set[str]] = {
+            name: set(vars_) for name, vars_ in self.edges.items()
+        }
+        changed = True
+        while changed and edges:
+            changed = False
+            occurrences: dict[str, set[str]] = {}
+            for name, vars_ in edges.items():
+                for v in vars_:
+                    occurrences.setdefault(v, set()).add(name)
+            # (1) vertex in at most one edge.
+            for v, homes in occurrences.items():
+                if len(homes) <= 1:
+                    for name in homes:
+                        edges[name].discard(v)
+                    changed = True
+            if changed:
+                continue
+            # (2) two vertices with identical edge sets: drop one.
+            by_homes: dict[frozenset[str], str] = {}
+            for v, homes in occurrences.items():
+                key = frozenset(homes)
+                if key in by_homes:
+                    for name in homes:
+                        edges[name].discard(v)
+                    changed = True
+                    break
+                by_homes[key] = v
+            if changed:
+                continue
+            # (3) edge with at most one vertex.
+            for name in list(edges):
+                if len(edges[name]) <= 1:
+                    del edges[name]
+                    changed = True
+                    break
+            if changed:
+                continue
+            # (4) two equal edges: drop one.
+            seen: dict[frozenset[str], str] = {}
+            for name in sorted(edges):
+                key = frozenset(edges[name])
+                if key in seen:
+                    del edges[name]
+                    changed = True
+                    break
+                seen[key] = name
+        return not edges
+
+    # -- Berge-acyclicity -------------------------------------------------------
+    def is_berge_acyclic(self) -> bool:
+        """True when the incidence bipartite graph is a forest."""
+        # Union-find over vertices ∪ edges; a repeated union closes a cycle.
+        parent: dict[object, object] = {}
+
+        def find(x: object) -> object:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for name, vars_ in self.edges.items():
+            for v in vars_:
+                root_a = find(("edge", name))
+                root_b = find(("vertex", v))
+                if root_a == root_b:
+                    return False
+                parent[root_a] = root_b
+        return True
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}({','.join(sorted(vars_))})"
+            for name, vars_ in sorted(self.edges.items())
+        )
+        return f"Hypergraph({inner})"

@@ -1,0 +1,96 @@
+"""Yannakakis' algorithm for acyclic CQs (polynomial total time) [42].
+
+Given materialized atom relations and a GYO join forest, evaluation runs
+in three sweeps:
+
+1. bottom-up semijoins (leaves to root) — after this pass the root is
+   non-empty iff the query is satisfiable, giving the Boolean fast path;
+2. top-down semijoins (root to leaves) — the *full reducer*: every
+   remaining row participates in some answer;
+3. bottom-up joins with eager projection — children fold into their
+   parents, keeping only the parent's attributes plus output attributes,
+   so every intermediate stays polynomial in input + output.
+
+This is the tractable-class engine behind Theorem 3.5 / Corollary 5.3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import SchemaError
+from .algebra import natural_join, project, semijoin
+from .hypergraph import GYOResult
+from .relation import Relation
+
+__all__ = ["evaluate_acyclic"]
+
+
+def evaluate_acyclic(
+    relations: Mapping[str, Relation],
+    gyo: GYOResult,
+    output: Iterable[str],
+) -> Relation:
+    """Evaluate an acyclic CQ via Yannakakis' algorithm.
+
+    Args:
+        relations: materialized relation per atom name.
+        gyo: the join forest from :meth:`Hypergraph.gyo`; must be
+            acyclic and cover exactly the atoms of ``relations``.
+        output: the head (projection) attributes.
+
+    Returns:
+        The output relation over ``output``.
+
+    Raises:
+        SchemaError: on inconsistent inputs (non-acyclic GYO, missing
+            atoms, head attributes not covered by any atom).
+    """
+    if not gyo.acyclic:
+        raise SchemaError("evaluate_acyclic requires an acyclic join forest")
+    order = list(gyo.elimination_order)
+    if set(order) != set(relations):
+        raise SchemaError(
+            "join forest and relation set disagree: "
+            f"{sorted(order)} vs {sorted(relations)}"
+        )
+    out_attrs = tuple(output)
+    all_attrs = {a for rel in relations.values() for a in rel.schema}
+    missing = set(out_attrs) - all_attrs
+    if missing:
+        raise SchemaError(f"output attributes {sorted(missing)} not produced")
+
+    current: dict[str, Relation] = dict(relations)
+
+    # Pass 1: bottom-up semijoin reduction.
+    for name in order:
+        parent = gyo.parent.get(name)
+        if parent is not None:
+            current[parent] = semijoin(current[parent], current[name])
+
+    root = order[-1]
+    if not out_attrs:
+        # Boolean query: satisfiable iff the reduced root is non-empty.
+        return Relation((), [()] if current[root] else [])
+
+    # Pass 2: top-down semijoin (full reduction).
+    for name in reversed(order):
+        parent = gyo.parent.get(name)
+        if parent is not None:
+            current[name] = semijoin(current[name], current[parent])
+
+    # Pass 3: bottom-up joins with eager projection.
+    out_set = set(out_attrs)
+    accumulated: dict[str, Relation] = dict(current)
+    for name in order:
+        parent = gyo.parent.get(name)
+        if parent is None:
+            continue
+        joined = natural_join(accumulated[parent], accumulated[name])
+        keep = [
+            a
+            for a in joined.schema
+            if a in out_set or a in current[parent].schema
+        ]
+        accumulated[parent] = project(joined, keep)
+    return project(accumulated[root], out_attrs)

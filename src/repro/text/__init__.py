@@ -1,0 +1,11 @@
+"""Synthetic corpus generators for examples, tests and benchmarks."""
+
+from .generators import (
+    email_text,
+    log_lines,
+    repeats_text,
+    sentences,
+    unary_text,
+)
+
+__all__ = ["sentences", "log_lines", "email_text", "repeats_text", "unary_text"]

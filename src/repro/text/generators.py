@@ -1,0 +1,137 @@
+"""Seeded synthetic text workloads.
+
+The paper evaluates nothing empirically, so the benchmark harness needs
+workloads of its own.  These generators produce the corpus families the
+paper's introduction motivates (natural-language sentences with planted
+addresses and keywords, machine logs, email-laden text) plus two
+structured families for the algorithmic benchmarks (unary strings and
+repeat-heavy strings).  All of them take a seed, so every experiment is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["sentences", "log_lines", "email_text", "repeats_text", "unary_text"]
+
+_VOCAB = (
+    "the police found a report near the old station and filed it quickly "
+    "while residents of the city watched the quiet street with some concern "
+    "officers noted the case number and moved on to the next address"
+).split()
+
+_STREETS = ("Place de la Nation", "Rue Neuve", "Main Street", "Oak Avenue")
+_CITIES = ("Bruxelles", "Antwerpen", "Springfield", "Riverton")
+_COUNTRIES = ("Belgium", "France", "Utopia")
+
+
+def sentences(
+    n_sentences: int,
+    seed: int = 0,
+    plant_addresses: int = 0,
+    plant_keyword: str | None = None,
+    words_per_sentence: tuple[int, int] = (4, 9),
+) -> str:
+    """Natural-language-like text: sentences separated by single spaces.
+
+    Args:
+        n_sentences: number of sentences.
+        seed: RNG seed.
+        plant_addresses: how many sentences additionally contain a toy
+            postal address of the :func:`address_spanner` shape.
+        plant_keyword: a token inserted into the planted sentences
+            (e.g. ``"police"`` for the intro example).
+        words_per_sentence: inclusive range of words per sentence.
+
+    Returns:
+        The corpus string, e.g.
+        ``"the police found a report. officers noted the case."``.
+    """
+    rng = random.Random(seed)
+    planted = set(rng.sample(range(n_sentences), min(plant_addresses, n_sentences)))
+    out: list[str] = []
+    for index in range(n_sentences):
+        count = rng.randint(*words_per_sentence)
+        words = [rng.choice(_VOCAB) for _ in range(count)]
+        if index in planted:
+            street = rng.choice(_STREETS)
+            number = rng.randint(1, 99)
+            zipcode = rng.randint(1000, 9999)
+            city = rng.choice(_CITIES)
+            country = rng.choice(_COUNTRIES)
+            address = f"{street} {number}, {zipcode} {city}, {country}"
+            position = rng.randrange(len(words) + 1)
+            words.insert(position, address)
+            if plant_keyword:
+                words.insert(rng.randrange(len(words) + 1), plant_keyword)
+        ender = rng.choice(".!?")
+        out.append(" ".join(words) + ender)
+    return " ".join(out)
+
+
+def log_lines(n_lines: int, seed: int = 0, error_rate: float = 0.2) -> str:
+    """Machine-log text: ``HH:MM:SS LEVEL component message code=NNN``."""
+    rng = random.Random(seed)
+    components = ("disk", "net", "auth", "db", "cache")
+    messages = (
+        "request completed",
+        "connection reset",
+        "retry scheduled",
+        "timeout exceeded",
+        "checksum mismatch",
+    )
+    lines = []
+    for _ in range(n_lines):
+        hh = rng.randrange(24)
+        mm = rng.randrange(60)
+        ss = rng.randrange(60)
+        level = "ERROR" if rng.random() < error_rate else "INFO"
+        component = rng.choice(components)
+        message = rng.choice(messages)
+        code = rng.randrange(100, 1000)
+        lines.append(
+            f"{hh:02d}:{mm:02d}:{ss:02d} {level} {component} {message} "
+            f"code={code}"
+        )
+    return "\n".join(lines)
+
+
+def email_text(n_tokens: int, seed: int = 0, email_rate: float = 0.15) -> str:
+    """Word text with planted lowercase emails (Example 2.5's shape)."""
+    rng = random.Random(seed)
+    users = ("ada", "alan", "grace", "edsger", "barbara")
+    domains = ("example.com", "mail.net", "research.org")
+    tokens = []
+    for _ in range(n_tokens):
+        if rng.random() < email_rate:
+            tokens.append(f"{rng.choice(users)}@{rng.choice(domains)}")
+        else:
+            tokens.append(rng.choice(_VOCAB))
+    return " ".join(tokens)
+
+
+def repeats_text(
+    length: int, seed: int = 0, alphabet: str = "ab", plant: str | None = "aba"
+) -> str:
+    """A random string over ``alphabet`` with a planted repeat.
+
+    With the default planting, the substring ``plant`` occurs at least
+    twice, guaranteeing non-trivial answers for string-equality
+    workloads (experiment E10).
+    """
+    rng = random.Random(seed)
+    chars = [rng.choice(alphabet) for _ in range(length)]
+    if plant and length >= 2 * len(plant):
+        first = rng.randrange(0, length // 2 - len(plant) + 1)
+        second = rng.randrange(length // 2, length - len(plant) + 1)
+        chars[first : first + len(plant)] = plant
+        chars[second : second + len(plant)] = plant
+    return "".join(chars)
+
+
+def unary_text(length: int, symbol: str = "a") -> str:
+    """The unary string ``symbol^length`` (the Theorem 3.3 examples)."""
+    if len(symbol) != 1:
+        raise ValueError("symbol must be a single character")
+    return symbol * length

@@ -1,0 +1,14 @@
+"""Small self-contained utilities (SAT solving, graphs) used by the
+hardness reductions and their cross-checks."""
+
+from .graphs import Graph
+from .sat import Clause, Literal, ThreeCNF, brute_force_satisfiable, dpll_satisfiable
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "ThreeCNF",
+    "dpll_satisfiable",
+    "brute_force_satisfiable",
+    "Graph",
+]

@@ -1,0 +1,82 @@
+"""Minimal undirected graphs for the k-clique reductions (Thms 3.2, 5.2)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Iterator
+
+__all__ = ["Graph"]
+
+
+@dataclass(frozen=True)
+class Graph:
+    """An undirected graph over nodes ``0 .. n-1``.
+
+    Edges are stored normalized as pairs ``(i, j)`` with ``i < j``.
+    """
+
+    n: int
+    edges: frozenset[tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        for i, j in self.edges:
+            if not (0 <= i < j < self.n):
+                raise ValueError(f"bad edge ({i}, {j}) for n={self.n}")
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        normalized = frozenset(
+            (min(i, j), max(i, j)) for i, j in edges if i != j
+        )
+        return cls(n, normalized)
+
+    @classmethod
+    def random(cls, n: int, p: float, seed: int = 0) -> "Graph":
+        """Erdos-Renyi G(n, p)."""
+        rng = random.Random(seed)
+        edges = [
+            (i, j)
+            for i, j in combinations(range(n), 2)
+            if rng.random() < p
+        ]
+        return cls.from_edges(n, edges)
+
+    @classmethod
+    def complete(cls, n: int) -> "Graph":
+        return cls.from_edges(n, combinations(range(n), 2))
+
+    @classmethod
+    def with_planted_clique(
+        cls, n: int, p: float, clique_size: int, seed: int = 0
+    ) -> "Graph":
+        """G(n, p) plus a clique planted on the first ``clique_size`` nodes."""
+        base = cls.random(n, p, seed)
+        planted = set(base.edges)
+        planted.update(combinations(range(clique_size), 2))
+        return cls.from_edges(n, planted)
+
+    # -- Queries -----------------------------------------------------------
+    def has_edge(self, i: int, j: int) -> bool:
+        return (min(i, j), max(i, j)) in self.edges
+
+    def sorted_edges(self) -> list[tuple[int, int]]:
+        """Edges sorted lexicographically — the order the Theorem 3.2
+        string encoding relies on."""
+        return sorted(self.edges)
+
+    def is_clique(self, nodes: Iterable[int]) -> bool:
+        nodes = list(nodes)
+        return all(
+            self.has_edge(a, b) for a, b in combinations(sorted(nodes), 2)
+        )
+
+    def cliques_of_size(self, k: int) -> Iterator[tuple[int, ...]]:
+        """Brute-force k-clique enumeration (ground truth for E5/E11)."""
+        for candidate in combinations(range(self.n), k):
+            if self.is_clique(candidate):
+                yield candidate
+
+    def has_clique(self, k: int) -> bool:
+        return next(self.cliques_of_size(k), None) is not None

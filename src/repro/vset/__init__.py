@@ -1,0 +1,52 @@
+"""Variable-set automata (vset-automata) and their algebra.
+
+This package implements the paper's machinery around vset-automata:
+
+* :mod:`.automaton` — the model itself (§2.2.3), including the
+  generalized multi-operation transitions of Lemma 3.10's proof;
+* :mod:`.configurations` — variable configurations ``~c_q`` (§4.1);
+* :mod:`.functionality` — Theorem 2.7's functionality test;
+* :mod:`.compile` — Lemma 3.4: regex formula to functional vset;
+* :mod:`.operations` — Lemmas 3.8 / 3.9: projection and union;
+* :mod:`.join` — Lemma 3.10: the natural-join product construction;
+* :mod:`.equality` — Theorem 5.4: the runtime string-equality automaton;
+* :mod:`.keyattr` — Proposition 3.6: deciding key attributes.
+"""
+
+from .analysis import assignment_automaton, contains_tuple, is_empty_on
+from .automaton import VSetAutomaton
+from .compile import compile_regex
+from .configurations import (
+    CLOSED,
+    OPEN,
+    WAITING,
+    VariableConfiguration,
+    compute_state_configurations,
+)
+from .equality import equality_automaton
+from .functionality import check_vset_functional, is_vset_functional
+from .join import join
+from .keyattr import KeyAttributeWitness, is_key_attribute
+from .operations import project, rename_variables, union
+
+__all__ = [
+    "VSetAutomaton",
+    "assignment_automaton",
+    "contains_tuple",
+    "is_empty_on",
+    "VariableConfiguration",
+    "WAITING",
+    "OPEN",
+    "CLOSED",
+    "compute_state_configurations",
+    "compile_regex",
+    "check_vset_functional",
+    "is_vset_functional",
+    "project",
+    "union",
+    "rename_variables",
+    "join",
+    "equality_automaton",
+    "is_key_attribute",
+    "KeyAttributeWitness",
+]

@@ -1,0 +1,74 @@
+"""Functionality test for vset-automata (Theorem 2.7).
+
+A vset-automaton ``A`` is functional when every ref-word in ``R(A)`` is
+valid.  Freydenberger [15] showed this is testable in ``O(vm + n)`` time
+by propagating variable configurations; the test used here is exactly
+that propagation (via :func:`compute_state_configurations`) over the
+*trimmed* automaton:
+
+* an illegal operation on an edge (double open, close-before-open),
+* two paths reaching one state with different configurations, or
+* a final state whose configuration is not all-closed
+
+each witness a ref-word of ``R(A)`` that is invalid; absence of all
+three implies every accepting run produces a valid ref-word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NotFunctionalError
+from .automaton import VSetAutomaton
+from .configurations import compute_state_configurations
+
+__all__ = ["VsetFunctionalityReport", "check_vset_functional", "is_vset_functional"]
+
+
+@dataclass(frozen=True, slots=True)
+class VsetFunctionalityReport:
+    """Outcome of the Theorem 2.7 test.
+
+    Attributes:
+        functional: overall verdict.
+        reason: explanation when the automaton is not functional.
+        language_empty: the ref-word language is empty, making the
+            automaton vacuously functional.
+    """
+
+    functional: bool
+    reason: str | None = None
+    language_empty: bool = False
+
+
+def check_vset_functional(automaton: VSetAutomaton) -> VsetFunctionalityReport:
+    """Run the configuration-propagation functionality test."""
+    trimmed = automaton.trimmed()
+    if trimmed.is_empty_language():
+        return VsetFunctionalityReport(True, language_empty=True)
+    try:
+        configs = compute_state_configurations(trimmed)
+    except NotFunctionalError as err:
+        return VsetFunctionalityReport(False, reason=err.reason)
+    final_config = configs[trimmed.final]
+    if final_config is None:
+        # Unreachable final after trimming means empty language; the
+        # earlier check covers it, but guard against inconsistent input.
+        return VsetFunctionalityReport(True, language_empty=True)
+    if not final_config.is_all_closed:
+        open_vars = [
+            v for v, st in final_config.items() if st != 2  # CLOSED
+        ]
+        return VsetFunctionalityReport(
+            False,
+            reason=(
+                f"final state reached with variables {sorted(open_vars)} "
+                "not closed"
+            ),
+        )
+    return VsetFunctionalityReport(True)
+
+
+def is_vset_functional(automaton: VSetAutomaton) -> bool:
+    """Boolean shortcut for :func:`check_vset_functional`."""
+    return check_vset_functional(automaton).functional

@@ -1,0 +1,193 @@
+"""Natural join of functional vset-automata (Lemma 3.10).
+
+The construction simulates the two operands in parallel, as in the
+classic product construction for NFA intersection, with two twists the
+paper introduces:
+
+1. **Consistency.** Product states are pairs ``(q1, q2)`` whose variable
+   configurations agree on the shared variables ``V1 ∩ V2``.  Because
+   ref-words of the two operands may interleave their variable
+   operations in different orders, synchronizing on marker *edges* would
+   be wrong; configurations abstract away the order.
+2. **Variable-epsilon closure.** A single product transition simulates a
+   whole burst of variable operations and epsilon moves of both
+   operands: from ``(p1, p2)`` there is an edge to every consistent
+   ``(q1, q2)`` with ``q_i ∈ VE_i(p_i)``, labelled with the *set* of
+   operations that turns the merged configuration of ``(p1, p2)`` into
+   that of ``(q1, q2)`` (an empty set is an epsilon edge).  This is the
+   generalized multi-operation model; use
+   :meth:`VSetAutomaton.expand_multi_ops` for the strict model.
+
+Terminal edges synchronize on characters: a product edge exists for the
+(predicate) intersection of the operand labels.
+
+The product is built lazily by BFS from ``(q0_1, q0_2)``, so only
+reachable consistent pairs are materialized; with both operands trimmed
+the state count is at most ``n1 * n2`` and the work is ``O(n1^2 n2^2)``
+pair scans, matching the paper's ``O(v n^4)`` bound.  Two engineering
+touches keep the Python constants sane: operands are epsilon-compacted
+first (:meth:`VSetAutomaton.compacted`), and the VE closures are
+bucketed by shared-variable configuration so the consistency check
+never scans pairs that cannot match.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import reduce
+from typing import Sequence
+
+from ..alphabet import (
+    EPSILON,
+    SymbolPredicate,
+    intersect_predicates,
+    is_epsilon,
+    is_marker,
+    is_marker_set,
+    is_symbol,
+)
+from ..automata.nfa import NFA
+from ..automata.ops import closure
+from .automaton import VSetAutomaton
+from .configurations import VariableConfiguration, compute_state_configurations
+
+__all__ = ["join", "join_many"]
+
+
+def _variable_epsilon(label: object) -> bool:
+    """Labels traversable inside a burst: epsilon and variable markers."""
+    return is_epsilon(label) or is_marker(label) or is_marker_set(label)
+
+
+class _Operand:
+    """Precomputed per-operand data for the product construction."""
+
+    __slots__ = ("automaton", "configs", "ve", "ve_by_key", "terminal_edges", "shared_key")
+
+    def __init__(self, automaton: VSetAutomaton, shared: tuple[str, ...]):
+        self.automaton = automaton.compacted()
+        self.configs = compute_state_configurations(self.automaton)
+        nfa = self.automaton.nfa
+        n = nfa.n_states
+
+        def key_of(q: int) -> tuple[int, ...] | None:
+            config = self.configs[q]
+            if config is None:
+                return None
+            return tuple(config.of(v) for v in shared)
+
+        self.shared_key = [key_of(q) for q in range(n)]
+        self.ve = [closure(nfa, (q,), _variable_epsilon) for q in range(n)]
+        # Bucket each VE closure by shared-variable configuration so the
+        # product only pairs states that can be consistent.
+        self.ve_by_key: list[dict[tuple[int, ...], tuple[int, ...]]] = []
+        for q in range(n):
+            buckets: dict[tuple[int, ...], list[int]] = {}
+            for r in self.ve[q]:
+                key = self.shared_key[r]
+                if key is not None:
+                    buckets.setdefault(key, []).append(r)
+            self.ve_by_key.append(
+                {key: tuple(states) for key, states in buckets.items()}
+            )
+        self.terminal_edges: list[list[tuple[SymbolPredicate, int]]] = [
+            [
+                (label, dst)
+                for label, dst in nfa.transitions[q]
+                if is_symbol(label)
+            ]
+            for q in range(n)
+        ]
+
+
+def _empty_result(variables: frozenset[str]) -> VSetAutomaton:
+    nfa = NFA()
+    q0 = nfa.add_state()
+    qf = nfa.add_state()
+    nfa.set_initial(q0)
+    nfa.add_final(qf)
+    return VSetAutomaton(nfa, variables)
+
+
+def join(a1: VSetAutomaton, a2: VSetAutomaton) -> VSetAutomaton:
+    """The natural join ``A1 ⋈ A2`` as a functional vset-automaton.
+
+    Both operands must be functional (the construction propagates their
+    variable configurations and raises
+    :class:`~repro.errors.NotFunctionalError` otherwise).  The result is
+    functional by construction and its variable set is ``V1 ∪ V2``.
+    """
+    variables = a1.variables | a2.variables
+    if a1.is_empty_language() or a2.is_empty_language():
+        return _empty_result(variables)
+
+    shared = tuple(sorted(a1.variables & a2.variables))
+    op1 = _Operand(a1, shared)
+    op2 = _Operand(a2, shared)
+
+    def merged(q1: int, q2: int) -> VariableConfiguration:
+        c1 = op1.configs[q1]
+        c2 = op2.configs[q2]
+        assert c1 is not None and c2 is not None
+        return c1.merge(c2)
+
+    product = NFA()
+    start_pair = (op1.automaton.initial, op2.automaton.initial)
+    final_pair = (op1.automaton.final, op2.automaton.final)
+    state_of: dict[tuple[int, int], int] = {start_pair: product.add_state()}
+    product.set_initial(state_of[start_pair])
+
+    queue: deque[tuple[int, int]] = deque((start_pair,))
+    while queue:
+        p1, p2 = queue.popleft()
+        src = state_of[(p1, p2)]
+        src_config = merged(p1, p2)
+
+        # Rule (a): burst transitions — all consistent VE-closure pairs,
+        # found bucket-by-bucket on the shared-variable configuration.
+        buckets2 = op2.ve_by_key[p2]
+        for q1 in op1.ve[p1]:
+            key = op1.shared_key[q1]
+            if key is None:
+                continue
+            for q2 in buckets2.get(key, ()):
+                if (q1, q2) == (p1, p2):
+                    continue
+                ops = src_config.markers_to(merged(q1, q2))
+                label: object = ops if ops else EPSILON
+                dst_pair = (q1, q2)
+                if dst_pair not in state_of:
+                    state_of[dst_pair] = product.add_state()
+                    queue.append(dst_pair)
+                product.add_transition(src, label, state_of[dst_pair])
+
+        # Rule (b): terminal transitions — synchronized character reads.
+        # Terminal edges never change configurations, so the destination
+        # pair inherits the source pair's consistency.
+        for pred1, r1 in op1.terminal_edges[p1]:
+            for pred2, r2 in op2.terminal_edges[p2]:
+                combined = intersect_predicates(pred1, pred2)
+                if combined is None:
+                    continue
+                dst_pair = (r1, r2)
+                if dst_pair not in state_of:
+                    state_of[dst_pair] = product.add_state()
+                    queue.append(dst_pair)
+                product.add_transition(src, combined, state_of[dst_pair])
+
+    if final_pair not in state_of:
+        return _empty_result(variables)
+    product.add_final(state_of[final_pair])
+    return VSetAutomaton(product, variables).trimmed()
+
+
+def join_many(automata: Sequence[VSetAutomaton]) -> VSetAutomaton:
+    """Left fold of :func:`join` over ``automata``.
+
+    Joining ``k`` automata costs ``O(n^{2k})`` in the worst case
+    (Lemma 3.10's remark) — only polynomial for bounded ``k``, which is
+    exactly why Theorem 3.11 fixes the number of atoms per CQ.
+    """
+    if not automata:
+        raise ValueError("join of zero automata is undefined")
+    return reduce(join, automata)

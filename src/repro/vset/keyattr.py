@@ -1,0 +1,208 @@
+"""Deciding key attributes (Proposition 3.6).
+
+A variable ``x ∈ Vars(A)`` is a *key attribute* when, for every string
+``s`` and tuples ``mu, mu' ∈ [[A]](s)``, ``mu(x) = mu'(x)`` implies
+``mu = mu'``.  Key attributes certify a polynomial bound on relation
+sizes (quadratically many spans, one tuple per span), which feeds the
+canonical relational strategy of Theorem 3.5.
+
+The decision procedure is the paper's modified intersection
+construction: an NFA ``A_x`` simulating two copies of ``A`` in parallel
+over terminal characters, whose states carry a bit recording whether a
+*witness* variable ``y`` with differing configurations has been seen.
+Both copies must always agree on ``x``; the bit may flip from 0 to 1 when
+they disagree elsewhere.  ``x`` is a key attribute iff no state
+``(1, q_f, q_f)`` is reachable — and a reaching path yields a witness
+string together with two distinct tuples sharing their ``x`` span,
+which this implementation reconstructs.
+
+With ``VE``-closures precomputed, the reachability sweep touches
+``O(n^2)`` state pairs with ``O(n^2)`` work each: the paper's
+``O(n^4)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..alphabet import (
+    AnyChar,
+    Chars,
+    NotChars,
+    SymbolPredicate,
+    intersect_predicates,
+    is_epsilon,
+    is_marker,
+    is_marker_set,
+    is_symbol,
+)
+from ..automata.ops import closure
+from ..spans import Span, SpanTuple
+from .automaton import VSetAutomaton
+from .configurations import (
+    CLOSED,
+    WAITING,
+    VariableConfiguration,
+    compute_state_configurations,
+)
+
+__all__ = ["KeyAttributeWitness", "is_key_attribute", "key_attribute_witness"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyAttributeWitness:
+    """A counterexample to the key property of ``x``.
+
+    Attributes:
+        string: a string ``s`` with two distinct tuples agreeing on ``x``.
+        tuple_a: first tuple of ``[[A]](s)``.
+        tuple_b: second, distinct tuple with ``tuple_b[x] == tuple_a[x]``.
+    """
+
+    string: str
+    tuple_a: SpanTuple
+    tuple_b: SpanTuple
+
+
+def _sample_char(pred: SymbolPredicate) -> str:
+    """A concrete character matched by ``pred`` (for witness strings)."""
+    if isinstance(pred, Chars):
+        return min(pred.chars)
+    if isinstance(pred, AnyChar):
+        return "a"
+    if isinstance(pred, NotChars):
+        code = ord("a")
+        while chr(code) in pred.chars:
+            code += 1
+        return chr(code)
+    raise TypeError(f"cannot sample from predicate {pred!r}")
+
+
+def _variable_epsilon(label: object) -> bool:
+    return is_epsilon(label) or is_marker(label) or is_marker_set(label)
+
+
+def key_attribute_witness(
+    automaton: VSetAutomaton, variable: str
+) -> KeyAttributeWitness | None:
+    """Return a witness that ``variable`` is *not* a key attribute.
+
+    Returns ``None`` when ``variable`` is a key attribute of the
+    (functional) automaton.
+
+    Raises:
+        KeyError: if ``variable`` is not in ``Vars(A)``.
+        NotFunctionalError: if the automaton is not functional.
+    """
+    if variable not in automaton.variables:
+        raise KeyError(variable)
+    trimmed = automaton.trimmed()
+    if trimmed.is_empty_language():
+        return None
+    configs = compute_state_configurations(trimmed)
+    nfa = trimmed.nfa
+    ve = [closure(nfa, (q,), _variable_epsilon) for q in range(nfa.n_states)]
+    terminal_edges: list[list[tuple[SymbolPredicate, int]]] = [
+        [(label, dst) for label, dst in nfa.transitions[q] if is_symbol(label)]
+        for q in range(nfa.n_states)
+    ]
+
+    def config(q: int) -> VariableConfiguration:
+        c = configs[q]
+        assert c is not None
+        return c
+
+    # Parent pointers for witness reconstruction: state -> (parent, char).
+    Parent = tuple[tuple[int, int, int], str]
+    parents: dict[tuple[int, int, int], Parent | None] = {}
+    queue: deque[tuple[int, int, int]] = deque()
+
+    start = trimmed.initial
+    for q1 in ve[start]:
+        c1 = config(q1)
+        for q2 in ve[start]:
+            c2 = config(q2)
+            if c1.of(variable) != c2.of(variable):
+                continue
+            bit = 1 if c1 != c2 else 0
+            state = (bit, q1, q2)
+            if state not in parents:
+                parents[state] = None
+                queue.append(state)
+
+    target = None
+    final = trimmed.final
+    while queue and target is None:
+        state = queue.popleft()
+        bit, p1, p2 = state
+        for pred1, r1 in terminal_edges[p1]:
+            for pred2, r2 in terminal_edges[p2]:
+                combined = intersect_predicates(pred1, pred2)
+                if combined is None:
+                    continue
+                ch = _sample_char(combined)
+                for q1 in ve[r1]:
+                    c1 = config(q1)
+                    for q2 in ve[r2]:
+                        c2 = config(q2)
+                        if c1.of(variable) != c2.of(variable):
+                            continue
+                        new_bit = 1 if bit or c1 != c2 else 0
+                        nxt = (new_bit, q1, q2)
+                        if nxt in parents:
+                            continue
+                        parents[nxt] = (state, ch)
+                        if nxt == (1, final, final):
+                            target = nxt
+                            queue.clear()
+                            break
+                        queue.append(nxt)
+                    if target is not None:
+                        break
+                if target is not None:
+                    break
+            if target is not None:
+                break
+
+    if target is None:
+        return None
+
+    # Reconstruct the witness string and the two configuration sequences.
+    chars: list[str] = []
+    seq: list[tuple[int, int]] = []
+    state: tuple[int, int, int] | None = target
+    while state is not None:
+        _bit, q1, q2 = state
+        seq.append((q1, q2))
+        parent = parents[state]
+        if parent is None:
+            state = None
+        else:
+            state, ch = parent
+            chars.append(ch)
+    seq.reverse()
+    chars.reverse()
+    s = "".join(chars)
+    mu1 = _decode([config(q1) for q1, _ in seq], automaton.variables)
+    mu2 = _decode([config(q2) for _, q2 in seq], automaton.variables)
+    return KeyAttributeWitness(s, mu1, mu2)
+
+
+def _decode(
+    sequence: list[VariableConfiguration], variables: frozenset[str]
+) -> SpanTuple:
+    """Turn a configuration sequence into the tuple it encodes (§4.1)."""
+    assignment: dict[str, Span] = {}
+    for var in variables:
+        start = next(
+            i for i, c in enumerate(sequence) if c.of(var) != WAITING
+        )
+        end = next(i for i, c in enumerate(sequence) if c.of(var) == CLOSED)
+        assignment[var] = Span(start + 1, end + 1)
+    return SpanTuple(assignment)
+
+
+def is_key_attribute(automaton: VSetAutomaton, variable: str) -> bool:
+    """Decide whether ``variable`` is a key attribute (Proposition 3.6)."""
+    return key_attribute_witness(automaton, variable) is None

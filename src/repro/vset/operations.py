@@ -1,0 +1,111 @@
+"""Projection, union and renaming of vset-automata (Lemmas 3.8, 3.9).
+
+* **Projection** (Lemma 3.8): replace every marker of a variable
+  outside ``Y`` with epsilon.  Linear time; functionality is preserved
+  because erasing out-of-``Y`` markers cannot invalidate the remaining
+  ones.
+* **Union** (Lemma 3.9): the standard NFA union — fresh initial and
+  final states epsilon-linked to the operands.  Linear time; requires
+  identical variable sets (as the spanner algebra does).
+* **Renaming** is not a paper operator but a library convenience used
+  when wiring reusable extractors into queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..alphabet import EPSILON, VariableMarker, is_marker, is_marker_set
+from ..automata.nfa import NFA
+from ..errors import SchemaError
+from .automaton import VSetAutomaton
+
+__all__ = ["project", "union", "rename_variables"]
+
+
+def project(automaton: VSetAutomaton, variables: Iterable[str]) -> VSetAutomaton:
+    """The projection ``pi_Y(A)`` (Lemma 3.8).
+
+    Markers of variables outside ``Y`` become epsilon transitions; for
+    marker-set labels the out-of-``Y`` operations are dropped from the
+    set (an emptied set becomes epsilon).
+    """
+    keep = frozenset(variables)
+    unknown = keep - automaton.variables
+    if unknown:
+        raise SchemaError(
+            f"cannot project onto unknown variables {sorted(unknown)}"
+        )
+
+    def map_label(label: object) -> object:
+        if is_marker(label):
+            assert isinstance(label, VariableMarker)
+            return label if label.variable in keep else EPSILON
+        if is_marker_set(label):
+            assert isinstance(label, frozenset)
+            kept = frozenset(m for m in label if m.variable in keep)
+            return kept if kept else EPSILON
+        return label
+
+    return VSetAutomaton(automaton.nfa.map_labels(map_label), keep)
+
+
+def union(automata: Sequence[VSetAutomaton]) -> VSetAutomaton:
+    """The union ``A_1 ∪ ... ∪ A_k`` (Lemma 3.9).
+
+    All operands must share one variable set.  The construction adds a
+    fresh initial and a fresh final state with epsilon transitions into
+    each operand's initial and out of each operand's final state —
+    linear time in the total size of the input.
+    """
+    if not automata:
+        raise ValueError("union of zero automata is undefined")
+    variables = automata[0].variables
+    for a in automata[1:]:
+        if a.variables != variables:
+            raise SchemaError(
+                "union requires identical variable sets: "
+                f"{sorted(variables)} vs {sorted(a.variables)}"
+            )
+    combined = NFA()
+    new_initial = combined.add_state()
+    new_final = combined.add_state()
+    combined.set_initial(new_initial)
+    combined.add_final(new_final)
+    for a in automata:
+        offset = combined.n_states
+        combined.add_states(a.n_states)
+        for src, label, dst in a.nfa.iter_edges():
+            combined.add_transition(src + offset, label, dst + offset)
+        combined.add_transition(new_initial, EPSILON, a.initial + offset)
+        combined.add_transition(a.final + offset, EPSILON, new_final)
+    return VSetAutomaton(combined, variables)
+
+
+def rename_variables(
+    automaton: VSetAutomaton, mapping: dict[str, str]
+) -> VSetAutomaton:
+    """A copy with variables renamed per ``mapping`` (identity elsewhere).
+
+    Raises:
+        SchemaError: if the renaming collapses two variables into one.
+    """
+    target = {mapping.get(v, v) for v in automaton.variables}
+    if len(target) != len(automaton.variables):
+        raise SchemaError("variable renaming must be injective")
+
+    def map_label(label: object) -> object:
+        if is_marker(label):
+            assert isinstance(label, VariableMarker)
+            return VariableMarker(
+                mapping.get(label.variable, label.variable), label.is_open
+            )
+        if is_marker_set(label):
+            assert isinstance(label, frozenset)
+            return frozenset(
+                VariableMarker(mapping.get(m.variable, m.variable), m.is_open)
+                for m in label
+            )
+        return label
+
+    return VSetAutomaton(automaton.nfa.map_labels(map_label), target)

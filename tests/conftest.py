@@ -1,0 +1,32 @@
+"""Shared helpers for the spanner-join test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumeration import enumerate_tuples
+from repro.oracle import oracle_evaluate
+from repro.spans import SpanTuple
+from repro.vset import VSetAutomaton, compile_regex
+
+
+def engine_vs_oracle(spanner, s: str) -> set[SpanTuple]:
+    """Run the production enumerator and the brute-force oracle on the
+    same input and assert they agree; returns the common result."""
+    automaton = (
+        spanner
+        if isinstance(spanner, VSetAutomaton)
+        else compile_regex(spanner)
+    )
+    engine = set(enumerate_tuples(automaton, s))
+    oracle = oracle_evaluate(automaton, s)
+    assert engine == oracle, (
+        f"engine/oracle mismatch on {s!r}: "
+        f"engine-only={engine - oracle}, oracle-only={oracle - engine}"
+    )
+    return engine
+
+
+@pytest.fixture
+def check_against_oracle():
+    return engine_vs_oracle

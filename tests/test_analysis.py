@@ -1,0 +1,102 @@
+"""Tests for membership/emptiness decision procedures (vset.analysis)."""
+
+import pytest
+
+from repro.enumeration import enumerate_tuples
+from repro.errors import SchemaError
+from repro.spans import Span, SpanTuple
+from repro.vset import (
+    assignment_automaton,
+    compile_regex,
+    contains_tuple,
+    is_empty_on,
+    is_vset_functional,
+)
+
+
+class TestAssignmentAutomaton:
+    def test_single_tuple_on_its_string(self):
+        s = "abab"
+        mu = {"x": Span(1, 3), "y": Span(3, 3)}
+        probe = assignment_automaton(s, mu)
+        assert is_vset_functional(probe)
+        got = list(enumerate_tuples(probe, s))
+        assert got == [SpanTuple(mu)]
+
+    def test_empty_on_other_strings(self):
+        probe = assignment_automaton("ab", {"x": Span(1, 2)})
+        assert list(enumerate_tuples(probe, "ba")) == []
+        assert list(enumerate_tuples(probe, "abc")) == []
+
+    def test_span_must_fit(self):
+        with pytest.raises(SchemaError):
+            assignment_automaton("ab", {"x": Span(1, 9)})
+
+    def test_empty_string(self):
+        probe = assignment_automaton("", {"x": Span(1, 1)})
+        assert list(enumerate_tuples(probe, "")) == [
+            SpanTuple({"x": Span(1, 1)})
+        ]
+
+
+class TestContainsTuple:
+    def test_membership_agrees_with_enumeration(self):
+        automaton = compile_regex(".*x{a+}.*")
+        s = "aab"
+        answers = set(enumerate_tuples(automaton, s))
+        for candidate in Span.all_spans(s):
+            mu = SpanTuple({"x": candidate})
+            assert contains_tuple(automaton, s, mu) == (mu in answers)
+
+    def test_two_variable_membership(self):
+        automaton = compile_regex(".*x{a}.*y{b}.*")
+        s = "ab"
+        inside = SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})
+        outside = SpanTuple({"x": Span(2, 3), "y": Span(1, 2)})
+        assert contains_tuple(automaton, s, inside)
+        assert not contains_tuple(automaton, s, outside)
+
+    def test_schema_mismatch_rejected(self):
+        automaton = compile_regex("x{a}")
+        with pytest.raises(SchemaError):
+            contains_tuple(automaton, "a", SpanTuple({"z": Span(1, 2)}))
+
+    def test_boolean_spanner_membership(self):
+        automaton = compile_regex(".*ab.*")
+        assert contains_tuple(automaton, "zab", SpanTuple({}))
+        assert not contains_tuple(automaton, "zzz", SpanTuple({}))
+
+
+class TestIsEmptyOn:
+    def test_empty_and_nonempty(self):
+        automaton = compile_regex(".*x{ab}.*")
+        assert not is_empty_on(automaton, "zabz")
+        assert is_empty_on(automaton, "zzz")
+
+    def test_agrees_with_enumeration(self):
+        automaton = compile_regex("x{a+}b")
+        for s in ("", "b", "ab", "aab", "ba"):
+            assert is_empty_on(automaton, s) == (
+                not list(enumerate_tuples(automaton, s))
+            )
+
+
+class TestMembershipProperty:
+    def test_membership_equals_enumeration_on_families(self):
+        """contains_tuple must agree with enumeration over every
+        candidate tuple, across a family of spanners and strings."""
+        cases = [
+            (".*x{a+}.*", "aaba"),
+            ("x{a*}b", "aab"),
+            (".*x{[ab]}b.*", "abab"),
+        ]
+        for pattern, s in cases:
+            automaton = compile_regex(pattern)
+            answers = set(enumerate_tuples(automaton, s))
+            for span in Span.all_spans(s):
+                mu = SpanTuple({"x": span})
+                assert contains_tuple(automaton, s, mu) == (mu in answers), (
+                    pattern,
+                    s,
+                    span,
+                )

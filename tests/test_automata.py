@@ -1,0 +1,209 @@
+"""Unit tests for the NFA substrate: container, ops, Thompson."""
+
+import re
+
+import pytest
+
+from repro.alphabet import (
+    ANY,
+    EPSILON,
+    Chars,
+    NotChars,
+    char_pred,
+    close_marker,
+    intersect_predicates,
+    is_epsilon,
+    open_marker,
+)
+from repro.automata import NFA, closure, coreachable_states, reachable_states, simulate, trim
+from repro.automata.thompson import thompson_nfa
+from repro.regex import parse
+
+
+class TestPredicates:
+    def test_chars(self):
+        pred = Chars("ab")
+        assert pred.matches("a") and not pred.matches("c")
+
+    def test_not_chars(self):
+        pred = NotChars("ab")
+        assert pred.matches("c") and not pred.matches("a")
+
+    def test_any(self):
+        assert ANY.matches("x")
+
+    def test_concretize(self):
+        assert Chars("ab").concretize("abc") == frozenset("ab")
+        assert NotChars("a").concretize("abc") == frozenset("bc")
+        assert ANY.concretize("ab") == frozenset("ab")
+
+    @pytest.mark.parametrize(
+        "a, b, expect",
+        [
+            (Chars("ab"), Chars("bc"), Chars("b")),
+            (Chars("a"), Chars("b"), None),
+            (ANY, Chars("ab"), Chars("ab")),
+            (Chars("ab"), ANY, Chars("ab")),
+            (Chars("ab"), NotChars("a"), Chars("b")),
+            (NotChars("a"), Chars("ab"), Chars("b")),
+            (NotChars("a"), NotChars("b"), NotChars("ab")),
+            (ANY, ANY, ANY),
+        ],
+    )
+    def test_intersection(self, a, b, expect):
+        assert intersect_predicates(a, b) == expect
+
+    def test_sort_keys_are_total(self):
+        preds = [Chars("a"), Chars("b"), NotChars("a"), ANY]
+        keys = [p.sort_key() for p in preds]
+        assert len(set(keys)) == len(keys)
+        sorted(keys)  # must not raise
+
+    def test_char_pred_single(self):
+        with pytest.raises(ValueError):
+            char_pred("ab")
+
+
+class TestNfaContainer:
+    def test_add_and_count(self):
+        nfa = NFA()
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_transition(a, EPSILON, b)
+        assert nfa.n_states == 2
+        assert nfa.n_transitions == 1
+
+    def test_add_states_range(self):
+        nfa = NFA()
+        states = nfa.add_states(3)
+        assert list(states) == [0, 1, 2]
+
+    def test_iter_edges(self):
+        nfa = NFA()
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_transition(a, "lab", b)
+        assert list(nfa.iter_edges()) == [(a, "lab", b)]
+
+    def test_induced_keeps_mapping(self):
+        nfa = NFA()
+        a, b, c = nfa.add_state(), nfa.add_state(), nfa.add_state()
+        nfa.set_initial(a)
+        nfa.add_final(c)
+        nfa.add_transition(a, "1", b)
+        nfa.add_transition(b, "2", c)
+        sub, mapping = nfa.induced([a, c])
+        assert sub.n_states == 2
+        assert sub.n_transitions == 0
+        assert sub.initial == mapping[a]
+        assert sub.finals == {mapping[c]}
+
+    def test_map_labels(self):
+        nfa = NFA()
+        a, b = nfa.add_state(), nfa.add_state()
+        nfa.add_transition(a, 1, b)
+        mapped = nfa.map_labels(lambda lab: lab + 1)
+        assert list(mapped.iter_edges()) == [(a, 2, b)]
+
+
+class TestOps:
+    def _chain(self):
+        nfa = NFA()
+        a, b, c, d = (nfa.add_state() for _ in range(4))
+        nfa.set_initial(a)
+        nfa.add_final(c)
+        nfa.add_transition(a, EPSILON, b)
+        nfa.add_transition(b, char_pred("x"), c)
+        nfa.add_transition(d, EPSILON, c)  # d unreachable
+        return nfa, (a, b, c, d)
+
+    def test_closure_epsilon(self):
+        nfa, (a, b, c, d) = self._chain()
+        assert closure(nfa, (a,), is_epsilon) == {a, b}
+
+    def test_reachable(self):
+        nfa, (a, b, c, d) = self._chain()
+        assert reachable_states(nfa, (a,)) == {a, b, c}
+
+    def test_coreachable(self):
+        nfa, (a, b, c, d) = self._chain()
+        assert coreachable_states(nfa, (c,)) == {a, b, c, d}
+
+    def test_trim_drops_dead_states(self):
+        nfa, states = self._chain()
+        trimmed, mapping = trim(nfa)
+        assert trimmed.n_states == 3
+        assert trimmed.finals
+
+    def test_trim_empty_language(self):
+        nfa = NFA()
+        a = nfa.add_state()
+        nfa.add_state()
+        nfa.set_initial(a)  # no finals at all
+        trimmed, _ = trim(nfa)
+        assert not trimmed.finals
+        assert trimmed.initial is not None
+
+    def test_simulate_chars_and_markers(self):
+        nfa = NFA()
+        a, b, c = (nfa.add_state() for _ in range(3))
+        nfa.set_initial(a)
+        nfa.add_final(c)
+        nfa.add_transition(a, open_marker("x"), b)
+        nfa.add_transition(b, char_pred("z"), c)
+        assert simulate(nfa, [open_marker("x"), "z"])
+        assert not simulate(nfa, [close_marker("x"), "z"])
+        assert not simulate(nfa, [open_marker("x")])
+
+
+class TestThompson:
+    @pytest.mark.parametrize(
+        "pattern, pystring",
+        [
+            ("a", "a"),
+            ("ab", "ab"),
+            ("a|b", "a|b"),
+            ("a*", "a*"),
+            ("a+", "a+"),
+            ("a?b", "a?b"),
+            ("(ab|c)*d", "(ab|c)*d"),
+            ("[ab]c", "[ab]c"),
+            ("[^a]b", "[^a]b"),
+            (".a.", ".a."),
+        ],
+    )
+    def test_agrees_with_python_re(self, pattern, pystring):
+        """Variable-free formulas must match exactly Python's re."""
+        nfa = thompson_nfa(parse(pattern))
+        compiled = re.compile(pystring)
+        alphabet = "abcd"
+        words = [""]
+        for _ in range(4):
+            words += [w + ch for w in words for ch in alphabet]
+        for word in set(words):
+            expected = compiled.fullmatch(word) is not None
+            assert simulate(nfa, word) == expected, (pattern, word)
+
+    def test_single_initial_and_final(self):
+        nfa = thompson_nfa(parse("x{a|b}*" if False else "x{a|b}c"))
+        assert nfa.initial is not None
+        assert len(nfa.finals) == 1
+
+    def test_linear_size(self):
+        small = thompson_nfa(parse("ab"))
+        big = thompson_nfa(parse("ab" * 50))
+        # States grow linearly with formula size (within 3x).
+        assert big.n_states <= 3 * 50 * small.n_states
+
+    def test_empty_set_accepts_nothing(self):
+        nfa = thompson_nfa(parse("∅"))
+        assert not simulate(nfa, "")
+        assert not simulate(nfa, "a")
+
+    def test_epsilon_accepts_empty_only(self):
+        nfa = thompson_nfa(parse("ε"))
+        assert simulate(nfa, "")
+        assert not simulate(nfa, "a")
+
+    def test_capture_emits_markers(self):
+        nfa = thompson_nfa(parse("x{a}"))
+        assert simulate(nfa, [open_marker("x"), "a", close_marker("x")])
+        assert not simulate(nfa, "a")

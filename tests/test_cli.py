@@ -1,0 +1,148 @@
+"""Tests for the ``spanner-join`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_extract_strings(capsys):
+    code = main(
+        [
+            "extract",
+            "(ε|.* )m{u{[a-z]+}@d{[a-z]+\\.[a-z]+}}( .*|ε)",
+            "--text",
+            "mail ada@example.com now",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ada@example.com" in out
+    assert "u='ada'" in out
+
+
+def test_extract_spans_format(capsys):
+    code = main(["extract", "x{a+}", "--text", "aa", "--format", "spans"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[1, 3>" in out
+
+
+def test_extract_tsv_and_limit(capsys):
+    code = main(
+        [
+            "extract",
+            ".*x{a}.*",
+            "--text",
+            "aaa",
+            "--format",
+            "tsv",
+            "--limit",
+            "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert len(out.strip().split("\n")) == 2
+
+
+def test_extract_count_flag(capsys):
+    code = main(["extract", "x{a}", "--text", "a", "--count"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "# 1 tuples" in captured.err
+
+
+def test_extract_from_file(tmp_path, capsys):
+    path = tmp_path / "input.txt"
+    path.write_text("say hi")
+    code = main(["extract", ".*x{hi}.*", "--file", str(path)])
+    assert code == 0
+    assert "hi" in capsys.readouterr().out
+
+
+def test_query_boolean(capsys):
+    code = main(["query", "--atom", ".*x{ab}.*", "--text", "zabz"])
+    assert code == 0
+    assert capsys.readouterr().out.strip() == "true"
+
+
+def test_query_boolean_false(capsys):
+    code = main(["query", "--atom", ".*x{ab}.*", "--text", "zzz"])
+    assert code == 0
+    assert capsys.readouterr().out.strip() == "false"
+
+
+def test_query_with_head_and_explain(capsys):
+    code = main(
+        [
+            "query",
+            "--atom",
+            ".*x{a+}.*",
+            "--atom",
+            ".*y{b+}.*",
+            "--head",
+            "x",
+            "y",
+            "--text",
+            "ab",
+            "--explain",
+            "--format",
+            "spans",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "strategy:" in captured.err
+    assert "x=[1, 2>" in captured.out
+
+
+def test_query_with_equality(capsys):
+    code = main(
+        [
+            "query",
+            "--atom",
+            ".*x{a+}.*",
+            "--atom",
+            ".*y{a+}.*",
+            "--head",
+            "x",
+            "y",
+            "--equal",
+            "x,y",
+            "--text",
+            "aba",
+            "--strategy",
+            "canonical",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_info_functional(capsys):
+    code = main(["info", "a*x{a*}a*"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "functional: True" in out
+    assert "states" in out
+
+
+def test_info_non_functional(capsys):
+    code = main(["info", "x{a}x{a}"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "functional: False" in out
+    assert "reason:" in out
+
+
+def test_parse_error_reported(capsys):
+    code = main(["extract", "(a", "--text", "a"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

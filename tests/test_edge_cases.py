@@ -1,0 +1,138 @@
+"""Edge-case and robustness tests across the stack."""
+
+import pytest
+
+from repro import compile_regex, enumerate_tuples, evaluate, parse
+from repro.enumeration import SpannerEvaluator
+from repro.oracle import oracle_evaluate
+from repro.queries import CanonicalEvaluator, CompiledEvaluator, RegexCQ
+from repro.spans import Span, SpanTuple
+from repro.vset import join, project, union
+
+
+class TestUnicodeAndOddCharacters:
+    def test_unicode_text(self):
+        s = "héllo wörld"
+        rel = evaluate("(ε|.* )x{[^ ]+}( .*|ε)", s)
+        strings = {mu["x"].extract(s) for mu in rel}
+        assert strings == {"héllo", "wörld"}
+
+    def test_newlines_in_text(self):
+        s = "a\nb"
+        rel = evaluate(".*x{\\n}.*", s)
+        assert len(rel) == 1
+
+    def test_tab_escape(self):
+        rel = evaluate("x{\\t}", "\t")
+        assert len(rel) == 1
+
+    def test_space_heavy_pattern(self):
+        rel = evaluate("x{ }", " ")
+        assert len(rel) == 1
+
+
+class TestDeepAndWideFormulas:
+    def test_very_long_literal(self):
+        text = "ab" * 300
+        formula = parse(text)  # 600-char literal, balanced tree
+        assert evaluate(formula, text)
+        assert not evaluate(formula, text + "a")
+
+    def test_wide_alternation(self):
+        source = "|".join(f"x{{a{'b' * i}}}" for i in range(30))
+        automaton = compile_regex(source)
+        rel = automaton.evaluate("abbb")
+        assert len(rel) == 1
+
+    def test_deeply_nested_groups(self):
+        source = "(" * 40 + "a" + ")" * 40
+        assert evaluate(source, "a")
+
+    def test_nested_captures_chain(self):
+        vars_ = [f"v{i}" for i in range(10)]
+        source = "".join(f"{v}{{" for v in vars_) + "a" + "}" * 10
+        rel = evaluate(source, "a")
+        mu = next(iter(rel))
+        assert all(mu[v] == Span(1, 2) for v in vars_)
+
+
+class TestZeroAnswerAndSingularities:
+    def test_star_of_capture_free_empty_match(self):
+        # (ε)* must terminate and match only ε.
+        assert evaluate("(ε)*", "")
+        assert not evaluate("(ε)*", "a")
+
+    def test_epsilon_loop_automaton(self):
+        # a* with nested stars: (a*)* — pathological but legal.
+        assert evaluate("(a*)*", "aaa")
+
+    def test_all_spans_relation_size(self):
+        # x{.*} inside .* padding: every span of s.
+        s = "abc"
+        rel = evaluate(".*x{.*}.*", s)
+        assert len(rel) == len(list(Span.all_spans(s)))
+
+    def test_single_char_string_all_ops(self):
+        a1 = compile_regex("x{a}|x{a}a*")
+        a2 = compile_regex("x{a}")
+        j = join(a1, a2)
+        u = union([project(j, ["x"]), a2])
+        got = set(enumerate_tuples(u, "a"))
+        assert got == oracle_evaluate(u, "a")
+
+
+class TestEvaluatorReuse:
+    def test_evaluator_is_reiterable(self):
+        evaluator = SpannerEvaluator(compile_regex("a*x{a*}a*"), "aa")
+        first = list(evaluator)
+        second = list(evaluator)
+        assert first == second
+
+    def test_compiled_evaluator_cache_reuse(self):
+        query = RegexCQ(["x"], [".*x{a+}.*", ".*x{a+}b.*"])
+        evaluator = CompiledEvaluator()
+        r1 = evaluator.evaluate(query, "aab")
+        r2 = evaluator.evaluate(query, "aab")
+        assert r1 == r2
+        # Different strings reuse the static compilation.
+        r3 = evaluator.evaluate(query, "ab")
+        assert {mu["x"].extract("ab") for mu in r3} == {"a"}
+
+    def test_canonical_evaluator_reuse_across_queries(self):
+        evaluator = CanonicalEvaluator()
+        q1 = RegexCQ(["x"], [".*x{a}.*"])
+        q2 = RegexCQ(["y"], [".*y{b}.*"])
+        assert evaluator.evaluate(q1, "ab")
+        assert evaluator.evaluate(q2, "ab")
+
+
+class TestLargeAlphabetPredicates:
+    def test_negated_class_join(self):
+        a1 = compile_regex(".*x{[^b]+}.*")
+        a2 = compile_regex(".*x{[^c]+}.*")
+        j = join(a1, a2)
+        s = "abc"
+        got = {mu["x"].extract(s) for mu in enumerate_tuples(j, s)}
+        # x avoids both b and c: only 'a' runs.
+        assert got == {"a"}
+
+    def test_wildcard_with_negated_join(self):
+        a1 = compile_regex("x{.}")
+        a2 = compile_regex("x{[^z]}")
+        j = join(a1, a2)
+        assert list(enumerate_tuples(j, "q"))
+        assert not list(enumerate_tuples(j, "z"))
+
+
+class TestDeterministicOutputOrder:
+    def test_radix_order_stable_across_runs(self):
+        automaton = compile_regex(".*x{[ab]+}.*")
+        s = "abab"
+        runs = [list(enumerate_tuples(automaton, s)) for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_relation_sorted_stable(self):
+        rel = evaluate(".*x{a+}.*", "aaa")
+        assert [str(t["x"]) for t in rel.sorted()] == sorted(
+            str(t["x"]) for t in rel
+        )

@@ -1,0 +1,93 @@
+"""Tests for runtime string-equality automata (Theorem 5.4)."""
+
+import pytest
+
+from repro.enumeration import enumerate_tuples
+from repro.errors import SchemaError
+from repro.spans import Span
+from repro.vset import compile_regex, equality_automaton, is_vset_functional, join
+from repro.vset.equality import equal_span_choices, equality_relation_rows
+
+
+class TestEqualSpanChoices:
+    def test_pairs_on_small_string(self):
+        s = "ab"
+        pairs = list(equal_span_choices(s, 2))
+        for left, right in pairs:
+            assert left.extract(s) == right.extract(s)
+
+    def test_counts_unary(self):
+        # On "aa": lengths 0,1,2 give 3,2,1 positions; pairs within each
+        # bucket: 9 + 4 + 1 = 14.
+        assert len(list(equal_span_choices("aa", 2))) == 14
+
+    def test_distinct_substrings_never_paired(self):
+        s = "ab"
+        pairs = list(equal_span_choices(s, 2))
+        assert (Span(1, 2), Span(2, 3)) not in pairs
+
+    def test_triples(self):
+        s = "aa"
+        triples = list(equal_span_choices(s, 3))
+        for a, b, c in triples:
+            assert a.extract(s) == b.extract(s) == c.extract(s)
+
+    def test_relation_rows_schema(self):
+        rows = list(equality_relation_rows("ab", ("x", "y")))
+        assert all(set(row) == {"x", "y"} for row in rows)
+
+
+class TestEqualityAutomaton:
+    def test_semantics_on_its_string(self, check_against_oracle):
+        s = "aba"
+        automaton = equality_automaton(s, ("x", "y"))
+        got = check_against_oracle(automaton, s)
+        for mu in got:
+            assert mu["x"].extract(s) == mu["y"].extract(s)
+        # Completeness: every equal pair is present.
+        assert len(got) == len(list(equal_span_choices(s, 2)))
+
+    def test_empty_on_other_strings(self):
+        automaton = equality_automaton("ab", ("x", "y"))
+        assert list(enumerate_tuples(automaton, "ba")) == []
+        assert list(enumerate_tuples(automaton, "abab")) == []
+
+    def test_functional(self):
+        automaton = equality_automaton("ab", ("x", "y"))
+        assert is_vset_functional(automaton)
+
+    def test_empty_string(self):
+        automaton = equality_automaton("", ("x", "y"))
+        tuples = list(enumerate_tuples(automaton, ""))
+        assert tuples and all(
+            mu["x"] == mu["y"] == Span(1, 1) for mu in tuples
+        )
+
+    def test_three_way_group(self, check_against_oracle):
+        s = "aa"
+        automaton = equality_automaton(s, ("x", "y", "z"))
+        got = check_against_oracle(automaton, s)
+        for mu in got:
+            assert (
+                mu["x"].extract(s)
+                == mu["y"].extract(s)
+                == mu["z"].extract(s)
+            )
+
+    def test_single_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            equality_automaton("ab", ("x",))
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(SchemaError):
+            equality_automaton("ab", ("x", "x"))
+
+    def test_join_with_spanner_implements_selection(self):
+        """[[ζ=_{x,y} A]](s) = [[A ⋈ A_eq]](s) — the Theorem 5.4 identity."""
+        s = "abab"
+        automaton = compile_regex(".*x{a(b|ε)}.*y{[ab]+}.*")
+        base = automaton.evaluate(s)
+        selected = base.select_string_equality(s, ["x", "y"])
+        joined = join(automaton, equality_automaton(s, ("x", "y")))
+        got = set(enumerate_tuples(joined, s))
+        assert got == set(selected)

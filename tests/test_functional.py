@@ -1,0 +1,171 @@
+"""Tests for the functionality checks (Theorems 2.4 and 2.7)."""
+
+import pytest
+
+from repro.alphabet import EPSILON, char_pred, close_marker, open_marker
+from repro.automata.nfa import NFA
+from repro.errors import NotFunctionalError
+from repro.regex import check_functional, is_functional, parse
+from repro.vset import (
+    VSetAutomaton,
+    check_vset_functional,
+    compile_regex,
+    is_vset_functional,
+)
+
+
+class TestRegexFunctionality:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a*x{a*}a*",
+            ".*(x{foo}.*y{bar}|y{bar}.*x{foo}).*",
+            ".* xmail{xuser{[a-z]*}@xdomain{[a-z]*\\.[a-z]*}} .*",
+            "x{a}y{b}",
+            "x{y{}}az{}",  # the Theorem 3.1 assignment shape
+            "ε",
+            "∅",
+            "a*",
+        ],
+    )
+    def test_functional_positive(self, source):
+        assert is_functional(parse(source))
+
+    def test_paper_nonfunctional_double_binding(self):
+        report = check_functional(parse("x{a}x{a}"))
+        assert not report.functional
+        assert "both sides" in report.reason
+
+    def test_paper_nonfunctional_union(self):
+        report = check_functional(parse("x{a}|y{a}"))
+        assert not report.functional
+        assert "different variables" in report.reason
+
+    def test_capture_under_star(self):
+        report = check_functional(parse("(x{a})*"))
+        assert not report.functional
+        assert "'*'" in report.reason
+
+    def test_capture_under_plus(self):
+        assert not is_functional(parse("(x{a})+"))
+
+    def test_capture_under_optional(self):
+        assert not is_functional(parse("(x{a})?"))
+
+    def test_rebinding_inside_capture(self):
+        report = check_functional(parse("x{x{a}}"))
+        assert not report.functional
+        assert "re-bound" in report.reason
+
+    def test_empty_branch_is_exempt(self):
+        # The ∅ branch generates no ref-words, so differing variable
+        # sets across the union are fine.
+        assert is_functional(parse("x{a}|∅"))
+        assert is_functional(parse("∅|x{a}"))
+
+    def test_concat_with_empty_set_is_vacuous(self):
+        assert is_functional(parse("x{a}x{b}∅"))
+        report = check_functional(parse("x{a}x{b}∅"))
+        assert report.language_empty
+
+    def test_star_of_empty_set(self):
+        # ∅* matches ε; no variables involved.
+        report = check_functional(parse("(∅)*"))
+        assert report.functional
+        assert not report.language_empty
+
+    def test_plus_of_empty_set_is_empty(self):
+        report = check_functional(parse("(∅)+"))
+        assert report.functional
+        assert report.language_empty
+
+    def test_report_variables(self):
+        report = check_functional(parse("x{a}y{b}"))
+        assert report.variables == {"x", "y"}
+
+
+def _example_2_6_nonfunctional() -> VSetAutomaton:
+    """The paper's Example 2.6 automaton A: one state, three loops."""
+    nfa = NFA()
+    q0 = nfa.add_state()
+    nfa.set_initial(q0)
+    nfa.add_final(q0)
+    nfa.add_transition(q0, open_marker("x"), q0)
+    nfa.add_transition(q0, char_pred("a"), q0)
+    nfa.add_transition(q0, close_marker("x"), q0)
+    return VSetAutomaton(nfa, {"x"})
+
+
+def _example_2_6_functional() -> VSetAutomaton:
+    """The paper's Example 2.6 automaton A_fun: a 3-state chain."""
+    nfa = NFA()
+    q0, q1, q2 = nfa.add_state(), nfa.add_state(), nfa.add_state()
+    nfa.set_initial(q0)
+    nfa.add_final(q2)
+    nfa.add_transition(q0, char_pred("a"), q0)
+    nfa.add_transition(q0, open_marker("x"), q1)
+    nfa.add_transition(q1, char_pred("a"), q1)
+    nfa.add_transition(q1, close_marker("x"), q2)
+    nfa.add_transition(q2, char_pred("a"), q2)
+    return VSetAutomaton(nfa, {"x"})
+
+
+class TestVsetFunctionality:
+    def test_paper_example_2_6_not_functional(self):
+        report = check_vset_functional(_example_2_6_nonfunctional())
+        assert not report.functional
+
+    def test_paper_example_2_6_functional(self):
+        assert is_vset_functional(_example_2_6_functional())
+
+    def test_compiled_formulas_are_functional(self):
+        for source in ("a*x{a*}a*", ".*x{a|b}.*y{c}.*"):
+            assert is_vset_functional(compile_regex(source))
+
+    def test_unclosed_variable_detected(self):
+        nfa = NFA()
+        q0, q1 = nfa.add_state(), nfa.add_state()
+        nfa.set_initial(q0)
+        nfa.add_final(q1)
+        nfa.add_transition(q0, open_marker("x"), q1)
+        report = check_vset_functional(VSetAutomaton(nfa, {"x"}))
+        assert not report.functional
+        assert "not closed" in report.reason
+
+    def test_conflicting_configurations_detected(self):
+        # Two paths to q1: one opens x, one does not.
+        nfa = NFA()
+        q0, q1, q2 = nfa.add_state(), nfa.add_state(), nfa.add_state()
+        nfa.set_initial(q0)
+        nfa.add_final(q2)
+        nfa.add_transition(q0, open_marker("x"), q1)
+        nfa.add_transition(q0, EPSILON, q1)
+        nfa.add_transition(q1, close_marker("x"), q2)
+        report = check_vset_functional(VSetAutomaton(nfa, {"x"}))
+        assert not report.functional
+
+    def test_empty_language_vacuously_functional(self):
+        nfa = NFA()
+        q0 = nfa.add_state()
+        qf = nfa.add_state()  # unreachable
+        nfa.set_initial(q0)
+        nfa.add_final(qf)
+        report = check_vset_functional(VSetAutomaton(nfa, {"x"}))
+        assert report.functional
+        assert report.language_empty
+
+    def test_compile_rejects_nonfunctional_by_default(self):
+        with pytest.raises(NotFunctionalError):
+            compile_regex("x{a}x{a}")
+
+    def test_compile_can_skip_the_gate(self):
+        automaton = compile_regex("x{a}x{a}", require_functional=False)
+        assert not is_vset_functional(automaton)
+
+    def test_dead_states_do_not_affect_verdict(self):
+        # A functional automaton plus an unreachable bad state.
+        base = compile_regex("x{a}")
+        nfa = base.nfa.copy()
+        dead = nfa.add_state()
+        nfa.add_transition(dead, open_marker("x"), dead)
+        assert is_vset_functional(VSetAutomaton(nfa, {"x"}))

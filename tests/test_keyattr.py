@@ -1,0 +1,67 @@
+"""Tests for key-attribute detection (Proposition 3.6)."""
+
+import pytest
+
+from repro.enumeration import enumerate_tuples
+from repro.vset import compile_regex, is_key_attribute
+from repro.vset.keyattr import key_attribute_witness
+
+
+class TestKeyAttribute:
+    def test_sole_variable_of_deterministic_shape_is_key(self):
+        # x{a*}b on any string: x's span determines the tuple trivially
+        # (there is only one variable).
+        automaton = compile_regex("x{a*}b")
+        assert is_key_attribute(automaton, "x")
+
+    def test_two_free_variables_not_key(self):
+        automaton = compile_regex("x{a*}a*y{a*}")
+        assert not is_key_attribute(automaton, "x")
+
+    def test_determined_companion_is_key(self):
+        # y is forced to span exactly the b-run after x; x determines y.
+        automaton = compile_regex("x{a*}y{b}")
+        assert is_key_attribute(automaton, "x")
+        assert is_key_attribute(automaton, "y")
+
+    def test_padding_breaks_key(self):
+        # .*x{a}.*y{b}.* — a fixed x still allows many y.
+        automaton = compile_regex(".*x{a}.*y{b}.*")
+        assert not is_key_attribute(automaton, "x")
+
+    def test_unknown_variable(self):
+        automaton = compile_regex("x{a}")
+        with pytest.raises(KeyError):
+            is_key_attribute(automaton, "nope")
+
+    def test_empty_language_everything_is_key(self):
+        automaton = compile_regex("x{a}∅", require_functional=False)
+        assert is_key_attribute(automaton, "x")
+
+    def test_witness_is_genuine(self):
+        automaton = compile_regex("x{a*}a*y{a*}")
+        witness = key_attribute_witness(automaton, "x")
+        assert witness is not None
+        s = witness.string
+        tuples = set(enumerate_tuples(automaton, s))
+        assert witness.tuple_a in tuples
+        assert witness.tuple_b in tuples
+        assert witness.tuple_a != witness.tuple_b
+        assert witness.tuple_a["x"] == witness.tuple_b["x"]
+
+    def test_no_witness_for_key(self):
+        automaton = compile_regex("x{a*}b")
+        assert key_attribute_witness(automaton, "x") is None
+
+    def test_union_shape_key(self):
+        # x{a}|x{b}: single variable, string determines nothing more.
+        automaton = compile_regex("x{a}b|x{b}a")
+        assert is_key_attribute(automaton, "x")
+
+    def test_disjunction_with_hidden_variable(self):
+        # For a fixed x, y can sit left or right: not a key.
+        automaton = compile_regex("y{a}x{b}a|a(x{b})y{a}")
+        assert not is_key_attribute(automaton, "x")
+        witness = key_attribute_witness(automaton, "x")
+        assert witness is not None
+        assert witness.string == "aba"

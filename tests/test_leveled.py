@@ -1,0 +1,157 @@
+"""Tests for leveled NFAs, radix enumeration and cross-sections (§4.2)."""
+
+from itertools import product
+
+import pytest
+
+from repro.automata import NFA, LeveledNFA, RadixEnumerator, cross_section, enumerate_fixed_length
+from repro.automata.crosssection import default_symbol_key
+from repro.automata.thompson import thompson_nfa
+from repro.automata.ops import simulate
+from repro.regex import parse
+
+
+def _identity_key(label):
+    return label
+
+
+class TestLeveledNFA:
+    def _diamond(self):
+        """Two paths spelling 'ab' and 'ac'."""
+        leveled = LeveledNFA(2)
+        m1 = leveled.add_node(1)
+        m2 = leveled.add_node(1)
+        end1 = leveled.add_node(2)
+        end2 = leveled.add_node(2)
+        leveled.add_edge(LeveledNFA.ROOT, "a", m1)
+        leveled.add_edge(LeveledNFA.ROOT, "a", m2)
+        leveled.add_edge(m1, "b", end1)
+        leveled.add_edge(m2, "c", end2)
+        leveled.mark_accepting(end1)
+        leveled.mark_accepting(end2)
+        return leveled
+
+    def test_enumeration_radix_order(self):
+        leveled = self._diamond()
+        words = list(RadixEnumerator(leveled, _identity_key))
+        assert words == [("a", "b"), ("a", "c")]
+
+    def test_no_duplicates_on_overlapping_paths(self):
+        # Two distinct paths both spelling "ab".
+        leveled = LeveledNFA(2)
+        m1, m2 = leveled.add_node(1), leveled.add_node(1)
+        e1, e2 = leveled.add_node(2), leveled.add_node(2)
+        leveled.add_edge(LeveledNFA.ROOT, "a", m1)
+        leveled.add_edge(LeveledNFA.ROOT, "a", m2)
+        leveled.add_edge(m1, "b", e1)
+        leveled.add_edge(m2, "b", e2)
+        leveled.mark_accepting(e1)
+        leveled.mark_accepting(e2)
+        words = list(RadixEnumerator(leveled, _identity_key))
+        assert words == [("a", "b")]
+
+    def test_prune_removes_dead_branches(self):
+        leveled = LeveledNFA(2)
+        good = leveled.add_node(1)
+        dead = leveled.add_node(1)  # no accepting continuation
+        end = leveled.add_node(2)
+        leveled.add_edge(LeveledNFA.ROOT, "a", good)
+        leveled.add_edge(LeveledNFA.ROOT, "z", dead)
+        leveled.add_edge(good, "b", end)
+        leveled.mark_accepting(end)
+        leveled.prune()
+        assert not leveled.out_edges[dead]
+        assert list(RadixEnumerator(leveled, _identity_key)) == [("a", "b")]
+
+    def test_count_words_distinct(self):
+        leveled = self._diamond()
+        assert leveled.count_words() == 2
+
+    def test_count_words_cap(self):
+        leveled = self._diamond()
+        assert leveled.count_words(cap=1) == 1
+
+    def test_zero_slots_accepting(self):
+        leveled = LeveledNFA(0)
+        leveled.mark_accepting(LeveledNFA.ROOT)
+        leveled.prune()
+        assert list(RadixEnumerator(leveled, _identity_key)) == [()]
+        assert leveled.count_words() == 1
+
+    def test_zero_slots_rejecting(self):
+        leveled = LeveledNFA(0)
+        leveled.prune()
+        assert list(RadixEnumerator(leveled, _identity_key)) == []
+        assert leveled.is_empty
+
+    def test_edge_level_validation(self):
+        leveled = LeveledNFA(2)
+        n2 = leveled.add_node(2)
+        with pytest.raises(ValueError):
+            leveled.add_edge(LeveledNFA.ROOT, "a", n2)
+
+    def test_accepting_level_validation(self):
+        leveled = LeveledNFA(2)
+        n1 = leveled.add_node(1)
+        with pytest.raises(ValueError):
+            leveled.mark_accepting(n1)
+
+    def test_empty_after_prune(self):
+        leveled = LeveledNFA(1)
+        leveled.add_node(1)  # never accepting
+        leveled.prune()
+        assert leveled.is_empty
+        assert list(RadixEnumerator(leveled, _identity_key)) == []
+
+
+class TestCrossSection:
+    def _brute_force(self, pattern: str, length: int, alphabet: str):
+        nfa = thompson_nfa(parse(pattern))
+        return sorted(
+            "".join(w)
+            for w in product(alphabet, repeat=length)
+            if simulate(nfa, "".join(w))
+        )
+
+    @pytest.mark.parametrize(
+        "pattern, length",
+        [
+            ("(a|b)*", 3),
+            ("a*b*", 4),
+            ("(ab|ba)*", 4),
+            ("a(a|b)*b", 3),
+            ("(a|b)(a|b)(a|b)", 3),
+        ],
+    )
+    def test_matches_brute_force(self, pattern, length):
+        nfa = thompson_nfa(parse(pattern))
+        got = [
+            "".join(word)
+            for word in enumerate_fixed_length(nfa, length, "ab")
+        ]
+        assert got == self._brute_force(pattern, length, "ab")
+
+    def test_radix_order_and_uniqueness(self):
+        nfa = thompson_nfa(parse("(a|b|c)*"))
+        words = list(enumerate_fixed_length(nfa, 2, "abc"))
+        assert words == sorted(set(words))
+        assert len(words) == 9
+
+    def test_length_zero(self):
+        nfa = thompson_nfa(parse("a*"))
+        assert list(enumerate_fixed_length(nfa, 0, "a")) == [()]
+        nfa2 = thompson_nfa(parse("a+"))
+        assert list(enumerate_fixed_length(nfa2, 0, "a")) == []
+
+    def test_cross_section_counts(self):
+        nfa = thompson_nfa(parse("(a|b)*"))
+        section = cross_section(nfa, 5, "ab")
+        assert section.count_words() == 32
+
+    def test_default_symbol_key_total(self):
+        from repro.alphabet import open_marker, close_marker
+
+        symbols = ["a", "b", open_marker("x"), close_marker("x")]
+        keys = [default_symbol_key(sym) for sym in symbols]
+        assert len(set(keys)) == len(keys)
+        assert sorted(keys)[0] == default_symbol_key("a")

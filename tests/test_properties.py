@@ -1,0 +1,354 @@
+"""Property-based tests (hypothesis) on the engine's core invariants.
+
+The heavyweight invariant: on *random functional regex formulas* and
+*random strings*, the production pipeline (compile → configurations →
+leveled graph → radix enumeration) agrees with the brute-force ref-word
+oracle, which implements the paper's definitions literally.  Around it,
+algebraic laws (join/projection/union against their relational
+counterparts), encode/decode round trips, and ordering contracts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.enumeration import SpannerEvaluator, enumerate_tuples
+from repro.oracle import oracle_evaluate
+from repro.refwords import refword_from_tuple, tuple_from_refword, clr
+from repro.regex import check_functional
+from repro.regex.ast import (
+    Capture,
+    CharClass,
+    Concat,
+    Epsilon,
+    RegexFormula,
+    Star,
+    Union,
+)
+from repro.alphabet import Chars
+from repro.relational.hypergraph import Hypergraph
+from repro.relational.relation import Relation
+from repro.relational.yannakakis import evaluate_acyclic
+from repro.relational.generic import evaluate_generic
+from repro.spans import Span, SpanTuple
+from repro.vset import compile_regex, equality_automaton, join, project, union
+from repro.vset.functionality import is_vset_functional
+
+ALPHABET = "ab"
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def _leaf() -> st.SearchStrategy[RegexFormula]:
+    return st.one_of(
+        st.sampled_from([CharClass(Chars("a")), CharClass(Chars("b"))]),
+        st.just(Epsilon()),
+        st.just(CharClass(Chars("ab"))),
+    )
+
+
+def _nested_captures(variables: tuple[str, ...]) -> st.SearchStrategy[RegexFormula]:
+    """The minimal functional formula binding ``variables``: nested
+    captures around a leaf."""
+
+    def wrap(leaf: RegexFormula) -> RegexFormula:
+        formula = leaf
+        for var in reversed(variables):
+            formula = Capture(var, formula)
+        return formula
+
+    return _leaf().map(wrap)
+
+
+def _formula_over(variables: tuple[str, ...], depth: int) -> st.SearchStrategy[RegexFormula]:
+    """Random *functional by construction* formula binding exactly
+    ``variables``."""
+    if not variables:
+        if depth <= 0:
+            return _leaf()
+        sub = _formula_over((), depth - 1)
+        return st.one_of(
+            _leaf(),
+            st.builds(Star, sub),
+            st.builds(Concat, sub, sub),
+            st.builds(Union, sub, sub),
+        )
+    if depth <= 0:
+        return _nested_captures(variables)
+
+    # Must bind all variables exactly once on every path.
+    head, rest = variables[0], variables[1:]
+    strategies = []
+    # Capture the first variable around a formula binding a subset.
+    strategies.append(
+        st.builds(
+            Capture,
+            st.just(head),
+            _formula_over(rest, depth - 1),
+        )
+    )
+    if rest:
+        # Split variables across a concatenation.
+        strategies.append(
+            st.builds(
+                Concat,
+                _formula_over((head,), depth - 1),
+                _formula_over(rest, depth - 1),
+            )
+        )
+    else:
+        strategies.append(
+            st.builds(
+                Concat,
+                _formula_over((head,), depth - 1),
+                _formula_over((), depth - 1),
+            )
+        )
+        strategies.append(
+            st.builds(
+                Concat,
+                _formula_over((), depth - 1),
+                _formula_over((head,), depth - 1),
+            )
+        )
+    # Union: both branches bind the same variables.
+    strategies.append(
+        st.builds(
+            Union,
+            _formula_over(variables, depth - 1),
+            _formula_over(variables, depth - 1),
+        )
+    )
+    return st.one_of(*strategies)
+
+
+@st.composite
+def functional_formulas(draw, max_variables: int = 2) -> RegexFormula:
+    n_vars = draw(st.integers(0, max_variables))
+    variables = tuple(f"v{i}" for i in range(n_vars))
+    formula = draw(_formula_over(variables, depth=2))
+    report = check_functional(formula)
+    assert report.functional, f"strategy produced non-functional {formula}"
+    return formula
+
+
+short_strings = st.text(alphabet=ALPHABET, max_size=4)
+tiny_strings = st.text(alphabet=ALPHABET, max_size=3)
+
+
+# ---------------------------------------------------------------------------
+# Engine vs oracle
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(functional_formulas(), short_strings)
+def test_engine_matches_oracle(formula, s):
+    automaton = compile_regex(formula)
+    engine = set(enumerate_tuples(automaton, s))
+    oracle = oracle_evaluate(automaton, s)
+    assert engine == oracle
+
+
+@settings(max_examples=40, deadline=None)
+@given(functional_formulas(), short_strings)
+def test_compaction_is_semantics_preserving(formula, s):
+    automaton = compile_regex(formula)
+    compact = automaton.compacted()
+    assert set(enumerate_tuples(compact, s)) == set(
+        enumerate_tuples(automaton, s)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(functional_formulas(), short_strings)
+def test_enumeration_order_and_uniqueness(formula, s):
+    evaluator = SpannerEvaluator(compile_regex(formula), s)
+    words = list(evaluator.configuration_words())
+    keys = [tuple(k.sort_key() for k in w) for w in words]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=40, deadline=None)
+@given(functional_formulas(), short_strings)
+def test_count_matches_enumeration(formula, s):
+    evaluator = SpannerEvaluator(compile_regex(formula), s)
+    assert evaluator.count() == len(list(evaluator))
+
+
+# ---------------------------------------------------------------------------
+# Algebra laws vs materialized relational semantics
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    functional_formulas(max_variables=1),
+    functional_formulas(max_variables=1),
+    tiny_strings,
+)
+def test_join_matches_relational_join(f1, f2, s):
+    a1 = compile_regex(f1)
+    a2 = compile_regex(f2)
+    joined = join(a1, a2)
+    assert is_vset_functional(joined)
+    got = set(enumerate_tuples(joined, s))
+    want = set(a1.evaluate(s).natural_join(a2.evaluate(s)))
+    assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(functional_formulas(max_variables=2), tiny_strings)
+def test_projection_matches_relational_projection(formula, s):
+    automaton = compile_regex(formula)
+    variables = sorted(automaton.variables)
+    for keep_count in range(len(variables) + 1):
+        keep = variables[:keep_count]
+        projected = project(automaton, keep)
+        got = set(enumerate_tuples(projected, s))
+        want = set(automaton.evaluate(s).project(keep))
+        assert got == want
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    functional_formulas(max_variables=1),
+    functional_formulas(max_variables=1),
+    tiny_strings,
+)
+def test_union_matches_relational_union(f1, f2, s):
+    a1 = compile_regex(f1)
+    a2 = compile_regex(f2)
+    if a1.variables != a2.variables:
+        return  # union requires identical variable sets
+    combined = union([a1, a2])
+    got = set(enumerate_tuples(combined, s))
+    want = set(a1.evaluate(s).union(a2.evaluate(s)))
+    assert got == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.text(alphabet=ALPHABET, min_size=0, max_size=3))
+def test_equality_automaton_complete_and_sound(s):
+    automaton = equality_automaton(s, ("x", "y"))
+    got = set(enumerate_tuples(automaton, s))
+    brute = {
+        SpanTuple({"x": a, "y": b})
+        for a in Span.all_spans(s)
+        for b in Span.all_spans(s)
+        if a.extract(s) == b.extract(s)
+    }
+    assert got == brute
+
+
+# ---------------------------------------------------------------------------
+# Ref-word encode/decode round trip
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def tuples_over(draw, s: str, variables: tuple[str, ...]):
+    n = len(s)
+    assignment = {}
+    for var in variables:
+        start = draw(st.integers(1, n + 1))
+        end = draw(st.integers(start, n + 1))
+        assignment[var] = Span(start, end)
+    return SpanTuple(assignment)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data(), st.text(alphabet=ALPHABET, min_size=0, max_size=5))
+def test_refword_round_trip(data, s):
+    mu = data.draw(tuples_over(s, ("x", "y")))
+    refword = refword_from_tuple(mu, s)
+    assert clr(refword) == s
+    assert tuple_from_refword(refword, ("x", "y")) == mu
+
+
+# ---------------------------------------------------------------------------
+# Yannakakis vs generic join on random acyclic instances
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def acyclic_instances(draw):
+    """A random chain CQ R0(a0,a1) ⋈ R1(a1,a2) ⋈ ... with random rows."""
+    length = draw(st.integers(2, 4))
+    relations = {}
+    edges = {}
+    for i in range(length):
+        schema = (f"a{i}", f"a{i+1}")
+        rows = draw(
+            st.sets(
+                st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                max_size=8,
+            )
+        )
+        relations[f"R{i}"] = Relation(schema, rows)
+        edges[f"R{i}"] = set(schema)
+    output = draw(
+        st.lists(
+            st.sampled_from([f"a{i}" for i in range(length + 1)]),
+            unique=True,
+            max_size=3,
+        )
+    )
+    return relations, Hypergraph(edges), tuple(output)
+
+
+@settings(max_examples=40, deadline=None)
+@given(acyclic_instances())
+def test_yannakakis_matches_generic(instance):
+    relations, hypergraph, output = instance
+    gyo = hypergraph.gyo()
+    assert gyo.acyclic
+    fast = evaluate_acyclic(relations, gyo, output)
+    slow = evaluate_generic(relations, output)
+    assert fast == slow
+
+
+# ---------------------------------------------------------------------------
+# Functionality: syntactic test (Thm 2.4) vs semantic test (Thm 2.7)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def arbitrary_formulas(draw):
+    """Formulas that may or may not be functional."""
+    depth = draw(st.integers(0, 2))
+
+    def build(d):
+        if d <= 0:
+            return draw(
+                st.sampled_from(
+                    [
+                        CharClass(Chars("a")),
+                        Epsilon(),
+                        Capture("x", CharClass(Chars("a"))),
+                        Capture("y", Epsilon()),
+                    ]
+                )
+            )
+        kind = draw(st.sampled_from(["concat", "union", "star", "capture"]))
+        if kind == "concat":
+            return Concat(build(d - 1), build(d - 1))
+        if kind == "union":
+            return Union(build(d - 1), build(d - 1))
+        if kind == "star":
+            return Star(build(d - 1))
+        return Capture(draw(st.sampled_from(["x", "y", "z"])), build(d - 1))
+
+    return build(depth)
+
+
+@settings(max_examples=80, deadline=None)
+@given(arbitrary_formulas())
+def test_syntactic_and_semantic_functionality_agree(formula):
+    syntactic = check_functional(formula).functional
+    automaton = compile_regex(formula, require_functional=False)
+    semantic = is_vset_functional(automaton)
+    assert syntactic == semantic, f"disagreement on {formula}"

@@ -1,0 +1,194 @@
+"""Tests for the hardness reductions (Theorems 3.1, 3.2, 5.2)."""
+
+import pytest
+
+from repro.queries import CanonicalEvaluator, CompiledEvaluator
+from repro.reductions import (
+    CliqueEqualityReduction,
+    CliqueReduction,
+    SatReduction,
+)
+from repro.util.graphs import Graph
+from repro.util.sat import (
+    Literal,
+    ThreeCNF,
+    brute_force_satisfiable,
+    dpll_satisfiable,
+)
+
+
+class TestSatSolvers:
+    def test_solvers_agree_on_random_instances(self):
+        for seed in range(10):
+            formula = ThreeCNF.random(5, 10, seed=seed)
+            bf, bf_witness = brute_force_satisfiable(formula)
+            dp, dp_witness = dpll_satisfiable(formula)
+            assert bf == dp
+            if bf:
+                assert formula.evaluate(bf_witness)
+
+    def test_unsatisfiable_core(self):
+        # (x ∨ x ∨ x) ∧ (¬x ∨ ¬x ∨ ¬x) is unsatisfiable... with three
+        # distinct variables required, use the standard 8-clause core.
+        lits = [
+            [(0, p0), (1, p1), (2, p2)]
+            for p0 in (True, False)
+            for p1 in (True, False)
+            for p2 in (True, False)
+        ]
+        clauses = tuple(
+            tuple(Literal(v, p) for v, p in clause) for clause in lits
+        )
+        formula = ThreeCNF(3, clauses)
+        assert not brute_force_satisfiable(formula)[0]
+        assert not dpll_satisfiable(formula)[0]
+
+    def test_random_rejects_tiny_variable_count(self):
+        with pytest.raises(ValueError):
+            ThreeCNF.random(2, 1)
+
+    def test_clause_arity_validated(self):
+        with pytest.raises(ValueError):
+            ThreeCNF(3, ((Literal(0, True),),))
+
+
+class TestSatReduction:
+    def test_string_is_single_character(self):
+        red = SatReduction.build(ThreeCNF.random(4, 4, seed=1))
+        assert red.string == "a"
+
+    def test_atom_sizes_bounded(self):
+        # Theorem 3.1: hardness with bounded-size regex formulas — the
+        # atom size depends only on the clause arity (3), never on the
+        # formula size: 7 branches of at most ~10 nodes plus glue.
+        red_small = SatReduction.build(ThreeCNF.random(4, 3, seed=2))
+        red_large = SatReduction.build(ThreeCNF.random(40, 80, seed=2))
+        size_cap = max(
+            atom.formula.size() for atom in red_small.query.regex_atoms
+        )
+        assert all(
+            atom.formula.size() <= size_cap + 4
+            for atom in red_large.query.regex_atoms
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reduction_correct(self, seed):
+        formula = ThreeCNF.random(4, 6, seed=seed)
+        truth, _ = brute_force_satisfiable(formula)
+        red = SatReduction.build(formula)
+        assert CanonicalEvaluator().evaluate_boolean(red.query, red.string) == truth
+        assert CompiledEvaluator().evaluate_boolean(red.query, red.string) == truth
+
+    def test_witness_decoding(self):
+        formula = ThreeCNF.random(4, 5, seed=7)
+        truth, _ = brute_force_satisfiable(formula)
+        if not truth:
+            pytest.skip("instance unsatisfiable for this seed")
+        red = SatReduction.build(formula, boolean=False)
+        rel = CanonicalEvaluator().evaluate(red.query, red.string)
+        assert rel
+        assignment = red.decode(next(iter(rel)))
+        assert red.check_decoded(assignment)
+
+
+class TestCliqueReduction:
+    @pytest.fixture
+    def graph(self):
+        return Graph.from_edges(
+            5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 3)]
+        )
+
+    def test_string_encoding_sorted(self, graph):
+        red = CliqueReduction.build(graph, 2)
+        assert red.string.startswith("<")
+        assert red.string.count("<") == len(graph.edges)
+
+    def test_query_is_gamma_acyclic(self, graph):
+        for k in (2, 3):
+            red = CliqueReduction.build(graph, k)
+            assert red.query.is_gamma_acyclic()
+
+    def test_atom_count_linear_in_k(self, graph):
+        red = CliqueReduction.build(graph, 3)
+        assert red.query.atom_count == 1 + 3  # gamma + k deltas
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_reduction_correct(self, graph, k):
+        red = CliqueReduction.build(graph, k)
+        got = CanonicalEvaluator().evaluate_boolean(red.query, red.string)
+        assert got == graph.has_clique(k)
+
+    def test_clique_decoding(self, graph):
+        red = CliqueReduction.build(graph, 3, boolean=False)
+        rel = CanonicalEvaluator().evaluate(red.query, red.string)
+        decoded = {tuple(sorted(red.decode(t))) for t in rel}
+        truth = {tuple(sorted(c)) for c in graph.cliques_of_size(3)}
+        assert decoded == truth
+
+    def test_triangle_free_graph(self):
+        # A 4-cycle has no triangle.
+        square = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        red = CliqueReduction.build(square, 3)
+        assert not CanonicalEvaluator().evaluate_boolean(red.query, red.string)
+
+    def test_rejects_k_below_two(self, graph):
+        with pytest.raises(ValueError):
+            CliqueReduction.build(graph, 1)
+
+
+class TestCliqueEqualityReduction:
+    def test_single_regex_atom(self):
+        g = Graph.complete(4)
+        red = CliqueEqualityReduction.build(g, 3)
+        assert red.query.atom_count == 1
+        assert red.query.equality_count == 3
+
+    def test_query_size_independent_of_graph(self):
+        # The W[1] point: |q| depends only on k.
+        small = CliqueEqualityReduction.build(Graph.complete(4), 3)
+        large = CliqueEqualityReduction.build(
+            Graph.random(10, 0.5, seed=3), 3
+        )
+        size_small = small.query.regex_atoms[0].formula.size()
+        size_large = large.query.regex_atoms[0].formula.size()
+        assert size_small == size_large
+        assert small.query.equality_count == large.query.equality_count
+
+    def test_reduction_correct_positive(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3)])
+        red = CliqueEqualityReduction.build(g, 3)
+        got = CanonicalEvaluator().evaluate_boolean(red.query, red.string)
+        assert got == g.has_clique(3) == True  # noqa: E712
+
+    def test_reduction_correct_negative(self):
+        square = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        red = CliqueEqualityReduction.build(square, 3)
+        got = CanonicalEvaluator().evaluate_boolean(red.query, red.string)
+        assert got is False
+
+
+class TestGraphUtility:
+    def test_random_graph_reproducible(self):
+        assert Graph.random(6, 0.5, seed=1).edges == Graph.random(6, 0.5, seed=1).edges
+
+    def test_complete_graph(self):
+        g = Graph.complete(4)
+        assert len(g.edges) == 6
+        assert g.has_clique(4)
+
+    def test_planted_clique(self):
+        g = Graph.with_planted_clique(8, 0.1, 4, seed=5)
+        assert g.is_clique(range(4))
+
+    def test_edge_normalization(self):
+        g = Graph.from_edges(3, [(2, 0), (0, 2)])
+        assert g.edges == frozenset({(0, 2)})
+        assert g.has_edge(2, 0)
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, frozenset({(0, 3)}))
+
+    def test_cliques_of_size(self):
+        g = Graph.complete(4)
+        assert len(list(g.cliques_of_size(3))) == 4

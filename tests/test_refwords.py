@@ -1,0 +1,126 @@
+"""Unit tests for ref-words (§2.2.1): validity, clr, encode/decode."""
+
+import pytest
+
+from repro.alphabet import close_marker, open_marker
+from repro.errors import SpannerError
+from repro.refwords import (
+    all_valid_refwords,
+    clr,
+    is_valid,
+    refword_from_tuple,
+    refword_str,
+    tuple_from_refword,
+)
+from repro.spans import Span, SpanTuple
+
+
+def _r(*symbols):
+    return tuple(symbols)
+
+
+OX = open_marker("x")
+CX = close_marker("x")
+OY = open_marker("y")
+CY = close_marker("y")
+
+
+class TestValidity:
+    def test_paper_example_2_2_valid(self):
+        # r1 := c x⊢ oo ⊣x ie   and   r2 := x⊢ ⊣x
+        r1 = _r("c", OX, "o", "o", CX, "i", "e")
+        r2 = _r(OX, CX)
+        assert is_valid(r1, {"x"})
+        assert is_valid(r2, {"x"})
+
+    def test_paper_example_2_2_invalid(self):
+        # r3 := ⊣x ⊣x ...  wrong order; r4 opens x twice
+        r3 = _r(CX, "a", OX)
+        r4 = _r(OX, "a", CX, OX, "a", CX)
+        assert not is_valid(r3, {"x"})
+        assert not is_valid(r4, {"x"})
+
+    def test_paper_example_2_2_larger_variable_set(self):
+        # valid for {x} but not for {x, y}: y never opened.
+        r1 = _r("c", OX, "o", "o", CX)
+        assert is_valid(r1, {"x"})
+        assert not is_valid(r1, {"x", "y"})
+
+    def test_foreign_marker_invalid(self):
+        assert not is_valid(_r(OX, CX, OY, CY), {"x"})
+
+    def test_close_before_open(self):
+        assert not is_valid(_r(CX, OX), {"x"})
+
+    def test_double_close(self):
+        assert not is_valid(_r(OX, CX, CX), {"x"})
+
+    def test_empty_refword_no_vars(self):
+        assert is_valid((), set())
+
+
+class TestClr:
+    def test_erases_markers(self):
+        assert clr(_r("c", OX, "o", "o", CX, "i", "e")) == "cooie"
+
+    def test_empty(self):
+        assert clr(_r(OX, CX)) == ""
+
+    def test_refword_str(self):
+        assert refword_str(_r("a", OX, "b", CX)) == "a⊢xb⊣x"
+
+
+class TestTupleDecoding:
+    def test_paper_example_2_3(self):
+        # r1 := c x⊢ oo ⊣x kie  ->  mu(x) = [2, 4>
+        r1 = _r("c", OX, "o", "o", CX, "k", "i", "e")
+        assert tuple_from_refword(r1, {"x"})["x"] == Span(2, 4)
+        # r2 := cookie x⊢ ⊣x  ->  mu(x) = [7, 7>
+        r2 = _r("c", "o", "o", "k", "i", "e", OX, CX)
+        assert tuple_from_refword(r2, {"x"})["x"] == Span(7, 7)
+
+    def test_same_tuple_different_interleavings(self):
+        # x⊢ y⊢ ⊣x ⊣y and y⊢ x⊢ ⊣y ⊣x encode the same tuple.
+        a = tuple_from_refword(_r(OX, OY, CX, CY), {"x", "y"})
+        b = tuple_from_refword(_r(OY, OX, CY, CX), {"x", "y"})
+        assert a == b == SpanTuple({"x": Span(1, 1), "y": Span(1, 1)})
+
+    def test_invalid_raises(self):
+        with pytest.raises(SpannerError):
+            tuple_from_refword(_r(CX, OX), {"x"})
+
+    def test_round_trip_encode_decode(self):
+        s = "abcab"
+        mu = SpanTuple({"x": Span(2, 4), "y": Span(4, 4)})
+        r = refword_from_tuple(mu, s)
+        assert clr(r) == s
+        assert tuple_from_refword(r, {"x", "y"}) == mu
+
+    def test_encode_rejects_overflowing_span(self):
+        with pytest.raises(SpannerError):
+            refword_from_tuple(SpanTuple({"x": Span(1, 9)}), "ab")
+
+
+class TestAllValidRefwords:
+    def test_count_single_variable(self):
+        # For |s|=1 and one variable: 3 spans, one interleaving each
+        # except [i,i> spans have a single order anyway -> 3 ref-words.
+        words = list(all_valid_refwords("a", ["x"]))
+        assert len(words) == 3
+        assert all(is_valid(w, {"x"}) for w in words)
+        assert all(clr(w) == "a" for w in words)
+
+    def test_count_two_variables_empty_string(self):
+        # On the empty string both variables sit at gap 1.  Tuples: 1.
+        # Interleavings of {x⊢,⊣x,y⊢,⊣y} with each open before its
+        # close: 4!/(2*2) = 6.
+        words = list(all_valid_refwords("", ["x", "y"]))
+        assert len(words) == 6
+        tuples = {tuple_from_refword(w, {"x", "y"}) for w in words}
+        assert len(tuples) == 1
+
+    def test_distinct_tuples_covered(self):
+        words = list(all_valid_refwords("ab", ["x"]))
+        tuples = {tuple_from_refword(w, {"x"}) for w in words}
+        # N=2 -> (N+1)(N+2)/2 = 6 spans.
+        assert len(tuples) == 6

@@ -1,0 +1,216 @@
+"""Unit tests for the regex-formula AST, parser and rendering (§2.2.2)."""
+
+import pytest
+
+from repro.alphabet import ANY, Chars, NotChars
+from repro.errors import RegexParseError
+from repro.regex import parse
+from repro.regex.ast import (
+    Capture,
+    CharClass,
+    Concat,
+    EmptySet,
+    Epsilon,
+    Optional,
+    Plus,
+    Star,
+    Union,
+    any_char,
+    char,
+    concat,
+    epsilon,
+    sigma_star,
+    string_literal,
+    union,
+)
+
+
+class TestParserBasics:
+    def test_single_char(self):
+        assert parse("a") == char("a")
+
+    def test_concat(self):
+        assert parse("ab") == Concat(char("a"), char("b"))
+
+    def test_union(self):
+        assert parse("a|b") == Union(char("a"), char("b"))
+
+    def test_union_binds_weaker_than_concat(self):
+        assert parse("ab|c") == Union(Concat(char("a"), char("b")), char("c"))
+
+    def test_star_plus_optional(self):
+        assert parse("a*") == Star(char("a"))
+        assert parse("a+") == Plus(char("a"))
+        assert parse("a?") == Optional(char("a"))
+
+    def test_repetition_binds_tightest(self):
+        assert parse("ab*") == Concat(char("a"), Star(char("b")))
+
+    def test_grouping(self):
+        assert parse("(ab)*") == Star(Concat(char("a"), char("b")))
+
+    def test_empty_alternative_is_epsilon(self):
+        assert parse("a|") == Union(char("a"), Epsilon())
+        assert parse("(|a)") == Union(Epsilon(), char("a"))
+
+    def test_epsilon_literals(self):
+        assert parse("ε") == Epsilon()
+        assert parse("\\e") == Epsilon()
+
+    def test_empty_set_literals(self):
+        assert parse("∅") == EmptySet()
+        assert parse("\\0") == EmptySet()
+
+    def test_wildcard(self):
+        assert parse(".") == CharClass(ANY)
+
+    def test_whitespace_is_literal(self):
+        assert parse("a b") == Concat(char("a"), Concat(char(" "), char("b")))
+
+
+class TestParserCaptures:
+    def test_simple_capture(self):
+        assert parse("x{a}") == Capture("x", char("a"))
+
+    def test_capture_with_long_name(self):
+        node = parse("xmail{a}")
+        assert isinstance(node, Capture)
+        assert node.variable == "xmail"
+
+    def test_name_not_followed_by_brace_is_literal(self):
+        # "ab" with no brace: two literal characters.
+        assert parse("ab") == Concat(char("a"), char("b"))
+
+    def test_nested_captures(self):
+        node = parse("x{y{a}}")
+        assert node == Capture("x", Capture("y", char("a")))
+
+    def test_capture_of_alternation(self):
+        node = parse("x{a|b}")
+        assert node == Capture("x", Union(char("a"), char("b")))
+
+    def test_unclosed_capture(self):
+        with pytest.raises(RegexParseError):
+            parse("x{a")
+
+    def test_paper_example_2_5_email(self):
+        beta = parse(".* xmail{xuser{[a-z]*}@xdomain{[a-z]*\\.[a-z]*}} .*")
+        assert beta.variables() == {"xmail", "xuser", "xdomain"}
+
+
+class TestParserClasses:
+    def test_simple_class(self):
+        assert parse("[abc]") == CharClass(Chars("abc"))
+
+    def test_range(self):
+        node = parse("[a-d]")
+        assert node == CharClass(Chars("abcd"))
+
+    def test_negated(self):
+        assert parse("[^ab]") == CharClass(NotChars("ab"))
+
+    def test_mixed_range_and_single(self):
+        assert parse("[a-c9]") == CharClass(Chars("abc9"))
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(RegexParseError):
+            parse("[]")
+
+    def test_unterminated_class(self):
+        with pytest.raises(RegexParseError):
+            parse("[ab")
+
+    def test_reversed_range(self):
+        with pytest.raises(RegexParseError):
+            parse("[z-a]")
+
+    def test_escaped_in_class(self):
+        assert parse("[\\]]") == CharClass(Chars("]"))
+
+
+class TestParserEscapes:
+    def test_escaped_specials(self):
+        for special in "|*+?(){}[].\\":
+            assert parse("\\" + special) == char(special)
+
+    def test_control_escapes(self):
+        assert parse("\\n") == char("\n")
+        assert parse("\\t") == char("\t")
+
+    def test_dangling_backslash(self):
+        with pytest.raises(RegexParseError):
+            parse("a\\")
+
+    def test_unescaped_special_rejected(self):
+        with pytest.raises(RegexParseError):
+            parse("*a")
+
+    def test_error_carries_position(self):
+        with pytest.raises(RegexParseError) as info:
+            parse("ab)")
+        assert info.value.position == 2
+
+
+class TestAstHelpers:
+    def test_size_counts_nodes(self):
+        assert parse("a*x{a*}a*").size() == 9
+
+    def test_variables(self):
+        assert parse("x{a}y{b}|y{a}x{b}").variables() == {"x", "y"}
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert concat() == Epsilon()
+
+    def test_union_of_nothing_is_empty_set(self):
+        assert union() == EmptySet()
+
+    def test_string_literal(self):
+        assert string_literal("ab") == Concat(char("a"), char("b"))
+        assert string_literal("") == Epsilon()
+
+    def test_sigma_star(self):
+        assert sigma_star() == Star(any_char())
+
+    def test_combinators(self):
+        node = (char("a") | char("b")) + epsilon()
+        assert isinstance(node, Concat)
+        assert isinstance(node.left, Union)
+        assert char("a").star() == Star(char("a"))
+        assert char("a").capture("x") == Capture("x", char("a"))
+
+    def test_char_requires_single_character(self):
+        with pytest.raises(ValueError):
+            char("ab")
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "a",
+            "ab|c",
+            "(a|b)c",
+            "a*",
+            "(ab)+",
+            "x{a*}b",
+            "x{y{a}}",
+            "[abc]",
+            "[^ab]",
+            ".",
+            "ε",
+            "∅",
+            "a?b",
+            "\\*a",
+            ".*x{foo}.*",
+            "(ε|.* )m{[a-z]+}( .*|ε)",
+        ],
+    )
+    def test_round_trip(self, source):
+        node = parse(source)
+        assert parse(str(node)) == node
+
+    def test_renders_escapes(self):
+        assert str(parse("\\{")) == "\\{"
+
+    def test_renders_class(self):
+        assert str(parse("[ba]")) == "[ab]"

@@ -1,0 +1,242 @@
+"""Tests for the relational substrate: relations, algebra, hypergraphs."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    GYOResult,
+    Hypergraph,
+    Relation,
+    difference,
+    evaluate_acyclic,
+    evaluate_generic,
+    natural_join,
+    project,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+from repro.spans import Span, SpanRelation, SpanTuple
+
+
+class TestRelation:
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            Relation(["a", "a"])
+        with pytest.raises(SchemaError):
+            Relation(["a"], [(1, 2)])
+
+    def test_from_mappings(self):
+        rel = Relation.from_mappings(["a", "b"], [{"a": 1, "b": 2}])
+        assert (1, 2) in rel.rows
+
+    def test_span_relation_round_trip(self):
+        sr = SpanRelation(
+            ["x", "y"],
+            [SpanTuple({"x": Span(1, 2), "y": Span(2, 2)})],
+        )
+        rel = Relation.from_span_relation(sr)
+        assert rel.to_span_relation() == sr
+
+    def test_equality_modulo_column_order(self):
+        a = Relation(["x", "y"], [(1, 2)])
+        b = Relation(["y", "x"], [(2, 1)])
+        assert a == b
+
+    def test_column(self):
+        rel = Relation(["a", "b"], [(1, 2), (3, 2)])
+        assert rel.column("a") == {1, 3}
+        assert rel.column("b") == {2}
+
+    def test_mappings(self):
+        rel = Relation(["a"], [(1,)])
+        assert list(rel.mappings()) == [{"a": 1}]
+
+
+class TestAlgebra:
+    def test_natural_join_shared(self):
+        r = Relation(["a", "b"], [(1, 2), (3, 4)])
+        s = Relation(["b", "c"], [(2, 9), (2, 8), (5, 7)])
+        joined = natural_join(r, s)
+        assert set(joined.rows) == {(1, 2, 9), (1, 2, 8)}
+        assert joined.schema == ("a", "b", "c")
+
+    def test_natural_join_disjoint_cartesian(self):
+        r = Relation(["a"], [(1,), (2,)])
+        s = Relation(["b"], [(9,)])
+        assert len(natural_join(r, s)) == 2
+
+    def test_semijoin(self):
+        r = Relation(["a", "b"], [(1, 2), (3, 4)])
+        s = Relation(["b"], [(2,)])
+        assert set(semijoin(r, s).rows) == {(1, 2)}
+
+    def test_semijoin_no_shared_attrs(self):
+        r = Relation(["a"], [(1,)])
+        assert semijoin(r, Relation(["b"], [(9,)])) == r
+        assert len(semijoin(r, Relation(["b"]))) == 0
+
+    def test_project_dedups(self):
+        r = Relation(["a", "b"], [(1, 2), (1, 3)])
+        assert len(project(r, ["a"])) == 1
+
+    def test_project_reorders(self):
+        r = Relation(["a", "b"], [(1, 2)])
+        assert project(r, ["b", "a"]).rows == {(2, 1)}
+
+    def test_union_aligns_columns(self):
+        a = Relation(["x", "y"], [(1, 2)])
+        b = Relation(["y", "x"], [(2, 1), (5, 6)])
+        u = union(a, b)
+        assert set(u.rows) == {(1, 2), (6, 5)}
+
+    def test_difference(self):
+        a = Relation(["x"], [(1,), (2,)])
+        b = Relation(["x"], [(2,)])
+        assert difference(a, b).rows == {(1,)}
+
+    def test_select(self):
+        r = Relation(["a"], [(1,), (5,)])
+        assert select(r, lambda row: row["a"] > 3).rows == {(5,)}
+
+    def test_rename(self):
+        r = Relation(["a"], [(1,)])
+        assert rename(r, {"a": "z"}).schema == ("z",)
+
+
+class TestHypergraph:
+    def test_path_is_alpha_and_gamma_acyclic(self):
+        h = Hypergraph({"R": {"a", "b"}, "S": {"b", "c"}})
+        assert h.is_alpha_acyclic()
+        assert h.is_gamma_acyclic()
+        assert h.is_berge_acyclic()
+
+    def test_triangle_is_cyclic(self):
+        h = Hypergraph(
+            {"R": {"a", "b"}, "S": {"b", "c"}, "T": {"a", "c"}}
+        )
+        assert not h.is_alpha_acyclic()
+        assert not h.is_gamma_acyclic()
+
+    def test_alpha_but_not_gamma(self):
+        # {A,B}, {B,C}, {A,B,C}: the classic separator.
+        h = Hypergraph(
+            {"R": {"a", "b"}, "S": {"b", "c"}, "T": {"a", "b", "c"}}
+        )
+        assert h.is_alpha_acyclic()
+        assert not h.is_gamma_acyclic()
+
+    def test_gamma_but_not_berge(self):
+        # Two edges sharing two vertices: berge-cyclic, gamma-acyclic.
+        h = Hypergraph({"R": {"a", "b"}, "S": {"a", "b"}})
+        assert h.is_gamma_acyclic()
+        assert not h.is_berge_acyclic()
+
+    def test_gyo_join_tree(self):
+        h = Hypergraph(
+            {"R": {"a", "b"}, "S": {"b", "c"}, "T": {"c", "d"}}
+        )
+        result = h.gyo()
+        assert result.acyclic
+        roots = [n for n, p in result.parent.items() if p is None]
+        assert len(roots) == 1
+        assert set(result.elimination_order) == {"R", "S", "T"}
+
+    def test_gyo_single_edge(self):
+        assert Hypergraph({"R": {"a", "b"}}).gyo().acyclic
+
+    def test_disconnected_acyclic(self):
+        h = Hypergraph({"R": {"a"}, "S": {"b"}})
+        assert h.is_alpha_acyclic()
+
+    def test_clique_query_hypergraph_from_paper(self):
+        # gamma (all pairs) + deltas (per-slot stars) for k=3: the
+        # Theorem 3.2 shape — gamma-acyclic by construction.
+        k = 3
+        gamma_vars = {
+            f"{p}{i}{j}"
+            for i in range(1, k + 1)
+            for j in range(i + 1, k + 1)
+            for p in "xy"
+        }
+        edges = {"gamma": gamma_vars}
+        for l in range(1, k + 1):
+            vars_l = {f"y{i}{l}" for i in range(1, l)} | {
+                f"x{l}{j}" for j in range(l + 1, k + 1)
+            }
+            edges[f"delta{l}"] = vars_l
+        assert Hypergraph(edges).is_gamma_acyclic()
+
+    def test_vertices(self):
+        h = Hypergraph({"R": {"a", "b"}})
+        assert h.vertices == {"a", "b"}
+
+
+class TestAcyclicEvaluation:
+    def _relations(self):
+        return {
+            "R": Relation(["a", "b"], [(1, 2), (3, 4), (1, 5)]),
+            "S": Relation(["b", "c"], [(2, 7), (4, 8), (9, 9)]),
+            "T": Relation(["c", "d"], [(7, 0), (8, 1)]),
+        }
+
+    def _hypergraph(self):
+        return Hypergraph(
+            {"R": {"a", "b"}, "S": {"b", "c"}, "T": {"c", "d"}}
+        )
+
+    def test_matches_generic_full_output(self):
+        relations = self._relations()
+        gyo = self._hypergraph().gyo()
+        out = ["a", "b", "c", "d"]
+        assert evaluate_acyclic(relations, gyo, out) == evaluate_generic(
+            relations, out
+        )
+
+    def test_matches_generic_projected(self):
+        relations = self._relations()
+        gyo = self._hypergraph().gyo()
+        assert evaluate_acyclic(relations, gyo, ["a", "d"]) == (
+            evaluate_generic(relations, ["a", "d"])
+        )
+
+    def test_boolean_fast_path(self):
+        relations = self._relations()
+        gyo = self._hypergraph().gyo()
+        result = evaluate_acyclic(relations, gyo, [])
+        assert result.schema == ()
+        assert bool(result)
+
+    def test_boolean_unsatisfiable(self):
+        relations = self._relations()
+        relations["T"] = Relation(["c", "d"], [(999, 0)])
+        gyo = self._hypergraph().gyo()
+        assert not evaluate_acyclic(relations, gyo, [])
+
+    def test_rejects_cyclic_forest(self):
+        bad = GYOResult(False, {}, ())
+        with pytest.raises(SchemaError):
+            evaluate_acyclic(self._relations(), bad, [])
+
+    def test_rejects_uncovered_output(self):
+        gyo = self._hypergraph().gyo()
+        with pytest.raises(SchemaError):
+            evaluate_acyclic(self._relations(), gyo, ["zzz"])
+
+    def test_generic_triangle(self):
+        relations = {
+            "R": Relation(["a", "b"], [(1, 2), (2, 3)]),
+            "S": Relation(["b", "c"], [(2, 3), (3, 1)]),
+            "T": Relation(["a", "c"], [(1, 3), (2, 1)]),
+        }
+        out = evaluate_generic(relations, ["a", "b", "c"])
+        assert set(out.rows) == {(1, 2, 3), (2, 3, 1)}
+
+    def test_generic_single_relation(self):
+        relations = {"R": Relation(["a"], [(1,)])}
+        assert evaluate_generic(relations, ["a"]).rows == {(1,)}
+
+    def test_generic_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            evaluate_generic({}, [])

@@ -1,0 +1,210 @@
+"""Tests for projection, union, renaming and join (Lemmas 3.8–3.10)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.oracle import oracle_evaluate
+from repro.enumeration import enumerate_tuples
+from repro.spans import Span, SpanTuple
+from repro.vset import (
+    compile_regex,
+    is_vset_functional,
+    join,
+    project,
+    rename_variables,
+    union,
+)
+from repro.vset.join import join_many
+
+
+class TestProjection:
+    def test_semantics_vs_oracle(self, check_against_oracle):
+        automaton = compile_regex(".*x{a+}.*y{b+}.*")
+        projected = project(automaton, ["x"])
+        got = check_against_oracle(projected, "aab")
+        want = {
+            mu.restrict(["x"])
+            for mu in oracle_evaluate(automaton, "aab")
+        }
+        assert got == want
+
+    def test_projection_to_empty_is_boolean(self):
+        automaton = compile_regex(".*x{a}.*")
+        boolean = project(automaton, [])
+        assert boolean.variables == frozenset()
+        assert list(enumerate_tuples(boolean, "za")) == [SpanTuple({})]
+        assert list(enumerate_tuples(boolean, "zz")) == []
+
+    def test_projection_preserves_functionality(self):
+        automaton = compile_regex("x{a}y{b}")
+        assert is_vset_functional(project(automaton, ["y"]))
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            project(compile_regex("x{a}"), ["zz"])
+
+    def test_linear_time_shape(self):
+        # Projection must not change state count.
+        automaton = compile_regex(".*x{a+}.*y{b+}.*")
+        assert project(automaton, ["x"]).n_states == automaton.n_states
+
+
+class TestUnion:
+    def test_semantics_vs_oracle(self, check_against_oracle):
+        a1 = compile_regex(".*x{a}.*")
+        a2 = compile_regex(".*x{b}.*")
+        u = union([a1, a2])
+        got = check_against_oracle(u, "ab")
+        want = oracle_evaluate(a1, "ab") | oracle_evaluate(a2, "ab")
+        assert got == want
+
+    def test_duplicate_elimination_across_branches(self):
+        # Both branches produce the same tuples; enumeration must not
+        # repeat them (one-to-one correspondence with A_G's language).
+        a = compile_regex("x{a}")
+        u = union([a, compile_regex("x{a}")])
+        assert list(enumerate_tuples(u, "a")) == [
+            SpanTuple({"x": Span(1, 2)})
+        ]
+
+    def test_variable_set_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            union([compile_regex("x{a}"), compile_regex("y{a}")])
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            union([])
+
+    def test_many_operands(self, check_against_oracle):
+        parts = [compile_regex(f".*x{{{ch}}}.*") for ch in "abc"]
+        u = union(parts)
+        got = check_against_oracle(u, "cab")
+        assert len(got) == 3
+
+    def test_functionality_preserved(self):
+        u = union([compile_regex("x{a}"), compile_regex("x{b}")])
+        assert is_vset_functional(u)
+
+
+class TestRenaming:
+    def test_rename_semantics(self):
+        automaton = compile_regex("x{a}")
+        renamed = rename_variables(automaton, {"x": "z"})
+        assert renamed.variables == {"z"}
+        tuples = list(enumerate_tuples(renamed, "a"))
+        assert tuples == [SpanTuple({"z": Span(1, 2)})]
+
+    def test_non_injective_rejected(self):
+        automaton = compile_regex("x{a}y{b}")
+        with pytest.raises(SchemaError):
+            rename_variables(automaton, {"x": "y"})
+
+
+class TestJoin:
+    def test_disjoint_variables_is_intersection_product(
+        self, check_against_oracle
+    ):
+        a1 = compile_regex(".*x{a+}.*")
+        a2 = compile_regex(".*y{b+}.*")
+        joined = join(a1, a2)
+        got = check_against_oracle(joined, "aab")
+        want = {
+            m1.merge(m2)
+            for m1 in oracle_evaluate(a1, "aab")
+            for m2 in oracle_evaluate(a2, "aab")
+        }
+        assert got == want
+
+    def test_shared_variable_agreement(self, check_against_oracle):
+        a1 = compile_regex(".*x{a+}.*")
+        a2 = compile_regex(".*x{a+}b.*")
+        joined = join(a1, a2)
+        got = check_against_oracle(joined, "aab")
+        # x must be an a-run immediately followed by b.
+        assert {str(mu["x"]) for mu in got} == {"[1, 3>", "[2, 3>"}
+
+    def test_join_with_contradiction_is_empty(self):
+        a1 = compile_regex("x{a}")
+        a2 = compile_regex("x{b}")
+        joined = join(a1, a2)
+        assert joined.is_empty_language() or not list(
+            enumerate_tuples(joined, "a")
+        )
+
+    def test_join_with_empty_language(self):
+        a1 = compile_regex("x{a}")
+        a2 = compile_regex("∅x{b}", require_functional=False)
+        joined = join(a1, a2)
+        assert joined.is_empty_language()
+
+    def test_result_is_functional(self):
+        joined = join(
+            compile_regex(".*x{a+}.*"), compile_regex(".*y{b}.*x{a+}.*")
+        )
+        assert is_vset_functional(joined)
+
+    def test_join_commutative_semantics(self):
+        a1 = compile_regex(".*x{a}.*y{b}.*")
+        a2 = compile_regex(".*y{b}.*z{a}.*")
+        s = "aba"
+        left = set(enumerate_tuples(join(a1, a2), s))
+        right = set(enumerate_tuples(join(a2, a1), s))
+        assert left == right
+
+    def test_join_matches_relational_join(self):
+        """Lemma 3.10's semantics: [[A1 ⋈ A2]] = [[A1]] ⋈ [[A2]]."""
+        a1 = compile_regex(".*x{[ab]+}y{a}.*")
+        a2 = compile_regex(".*y{a}z{b+}.*")
+        s = "abab"
+        joined = set(enumerate_tuples(join(a1, a2), s))
+        rel1 = compile_regex(".*x{[ab]+}y{a}.*").evaluate(s)
+        rel2 = compile_regex(".*y{a}z{b+}.*").evaluate(s)
+        want = set(rel1.natural_join(rel2))
+        assert joined == want
+
+    def test_join_many_associativity(self):
+        parts = [
+            compile_regex(".*x{a}.*"),
+            compile_regex(".*y{b}.*"),
+            compile_regex(".*z{a}.*"),
+        ]
+        s = "aba"
+        fold_left = set(enumerate_tuples(join_many(parts), s))
+        other = set(
+            enumerate_tuples(join(parts[0], join(parts[1], parts[2])), s)
+        )
+        assert fold_left == other
+
+    def test_join_empty_string(self):
+        a1 = compile_regex("x{}")
+        a2 = compile_regex("y{}")
+        joined = join(a1, a2)
+        tuples = list(enumerate_tuples(joined, ""))
+        assert tuples == [
+            SpanTuple({"x": Span(1, 1), "y": Span(1, 1)})
+        ]
+
+    def test_join_many_rejects_empty(self):
+        with pytest.raises(ValueError):
+            join_many([])
+
+    def test_empty_span_burst_clash(self, check_against_oracle):
+        # a1 puts x at gap 2 and y at gap 3; a2 swaps them.  The join
+        # must be empty: spans cannot agree.
+        a1 = compile_regex("a(x{})b(y{})c")
+        a2 = compile_regex("a(y{})b(x{})c")
+        joined = join(a1, a2)
+        got = check_against_oracle(joined, "abc")
+        assert got == set()
+
+    def test_same_gap_interleaving_joins(self, check_against_oracle):
+        # Both operands place x and y at gap 2 but open them in
+        # different orders inside the burst; configurations reconcile
+        # the interleavings (the r1/r2 example before Example 2.6).
+        a1 = compile_regex("a(x{})(y{})bc")
+        a2 = compile_regex("a(y{})(x{})bc")
+        joined = join(a1, a2)
+        got = check_against_oracle(joined, "abc")
+        assert got == {
+            SpanTuple({"x": Span(2, 2), "y": Span(2, 2)})
+        }
