@@ -1,0 +1,178 @@
+"""E13 — compiled-spanner runtime: amortized preprocessing throughput.
+
+Claim (engineering, not from the paper): Theorem 3.3's preprocessing
+splits into a string-independent half (trim/compaction, configuration
+sweep, VE closures, terminal-edge lists, per-character burst rows) and
+a string-dependent half (the leveled-graph sweep).  Hoisting the former
+into :class:`~repro.runtime.CompiledSpanner` should multiply docs/sec
+on repeated-automaton workloads — the serving scenario of *Reducing a
+Set of Regular Expressions…* (Kalmbach et al., 2022) — by >= 3x versus
+constructing a fresh ``SpannerEvaluator`` per document, with
+**identical** output tuple sequences.
+
+Workload: a dictionary extractor (log keywords plus a service-name
+vocabulary, most absent from any given line) evaluated over individual
+machine-log lines.  Short documents with a mid-sized automaton are the
+amortization-friendliest — and the most serving-realistic — regime:
+per document the string sweep is tiny, while the cold path re-derives
+an ~200-state automaton's closures and predicate tables every time.
+
+Series reproduced:
+
+* docs/sec, cold vs compiled, as the corpus grows (the speedup is a
+  per-document constant, so it should be roughly corpus-size
+  independent);
+* the same on longer multi-sentence documents, where the string sweep
+  dilutes the saving (speedup smaller but still > 1);
+* a count-only workload (``count_many``), no tuple decoding;
+* output equality is asserted, not sampled.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.enumeration import SpannerEvaluator
+from repro.extractors import capitalized_spanner, dictionary_spanner
+from repro.runtime import CompiledSpanner
+from repro.text import log_lines, sentences
+from repro.vset import compile_regex
+
+from .common import Table
+
+#: Log keywords + a service-name vocabulary: the fixed query workload.
+DICTIONARY = [
+    "disk", "net", "auth", "db", "cache", "ERROR", "INFO", "timeout",
+    "retry", "request", "connection", "checksum", "scheduled",
+    "completed", "reset", "exceeded", "mismatch", "code",
+] + [f"svc{i}" for i in range(16)]
+
+
+def log_corpus(n_docs: int, seed: int = 3) -> list[str]:
+    """``n_docs`` individual machine-log lines (short documents)."""
+    return log_lines(n_docs, seed=seed).split("\n")
+
+
+def sentence_corpus(n_docs: int, seed: int = 13) -> list[str]:
+    """Longer documents: 3 sentences with a planted address each."""
+    return [
+        sentences(3, seed=seed + i, plant_addresses=1)
+        for i in range(n_docs)
+    ]
+
+
+def workload_automaton():
+    return compile_regex(dictionary_spanner(DICTIONARY)).compacted()
+
+
+def _cold_pass(automaton, docs: list[str]) -> list[list]:
+    """Per-document evaluator construction: preprocessing paid per doc."""
+    return [list(SpannerEvaluator(automaton, doc)) for doc in docs]
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def _timed_best(fn, repeat: int = 3) -> tuple[float, object]:
+    """Best-of-``repeat`` wall clock: robust to GC pauses / noisy CI."""
+    best = float("inf")
+    out = None
+    for _ in range(repeat):
+        elapsed, out = _timed(fn)
+        best = min(best, elapsed)
+    return best, out
+
+
+def run() -> list[Table]:
+    automaton = workload_automaton()
+
+    throughput = Table(
+        "E13a  docs/sec over log lines: cold SpannerEvaluator vs "
+        "CompiledSpanner.evaluate_many",
+        ["docs", "cold (s)", "compiled (s)", "cold docs/s",
+         "compiled docs/s", "speedup"],
+    )
+    for n_docs in (50, 100, 200, 400):
+        docs = log_corpus(n_docs)
+        spanner = CompiledSpanner(automaton)
+        # Warm the burst table on one document so the sweep measures
+        # the steady serving state, then time full passes.
+        list(spanner.stream(docs[0]))
+        cold_s, cold_out = _timed(lambda: _cold_pass(automaton, docs))
+        comp_s, comp_out = _timed(lambda: list(spanner.evaluate_many(docs)))
+        assert comp_out == cold_out, "compiled output diverged from cold"
+        throughput.add(
+            n_docs, cold_s, comp_s,
+            n_docs / cold_s, n_docs / comp_s, cold_s / comp_s,
+        )
+    throughput.note(
+        "identical tuple sequences asserted per corpus; target >= 3x"
+    )
+
+    long_docs = Table(
+        "E13b  longer documents (3 sentences each, capitalized-word "
+        "extractor): sweep dilutes the saving",
+        ["docs", "cold (s)", "compiled (s)", "speedup", "answers/doc"],
+    )
+    cap = compile_regex(capitalized_spanner()).compacted()
+    for n_docs in (50, 100):
+        docs = sentence_corpus(n_docs)
+        spanner = CompiledSpanner(cap)
+        list(spanner.stream(docs[0]))
+        cold_s, cold_out = _timed(lambda: _cold_pass(cap, docs))
+        comp_s, comp_out = _timed(lambda: list(spanner.evaluate_many(docs)))
+        assert comp_out == cold_out
+        long_docs.add(
+            n_docs, cold_s, comp_s, cold_s / comp_s,
+            sum(map(len, comp_out)) / n_docs,
+        )
+
+    counts = Table(
+        "E13c  count-only workload over log lines (no tuple decoding)",
+        ["docs", "cold (s)", "compiled (s)", "speedup", "total tuples"],
+    )
+    for n_docs in (100, 200):
+        docs = log_corpus(n_docs)
+        spanner = CompiledSpanner(automaton)
+        spanner.count(docs[0])
+        cold_s, cold_counts = _timed(
+            lambda: [SpannerEvaluator(automaton, d).count() for d in docs]
+        )
+        comp_s, comp_counts = _timed(lambda: list(spanner.count_many(docs)))
+        assert comp_counts == cold_counts
+        counts.add(n_docs, cold_s, comp_s, cold_s / comp_s, sum(comp_counts))
+
+    return [throughput, long_docs, counts]
+
+
+# ---------------------------------------------------------------------------
+# pytest checks / micro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+def test_e13_speedup_and_equality():
+    """Acceptance: >= 3x docs/sec on a 100+-doc corpus, same outputs.
+
+    Both sides take the best of three passes so a GC pause or CPU
+    throttle on a shared CI runner cannot flip the verdict.
+    """
+    automaton = workload_automaton()
+    docs = log_corpus(150)
+    spanner = CompiledSpanner(automaton)
+    list(spanner.stream(docs[0]))  # steady state: burst table warmed
+    cold_s, cold_out = _timed_best(lambda: _cold_pass(automaton, docs))
+    comp_s, comp_out = _timed_best(lambda: list(spanner.evaluate_many(docs)))
+    assert comp_out == cold_out
+    speedup = cold_s / comp_s
+    assert speedup >= 3.0, f"speedup {speedup:.2f}x below the 3x target"
+
+
+def test_e13_compiled_throughput(benchmark):
+    automaton = workload_automaton()
+    docs = log_corpus(50)
+    spanner = CompiledSpanner(automaton)
+    list(spanner.stream(docs[0]))
+    benchmark(lambda: list(spanner.evaluate_many(docs)))

@@ -4,11 +4,17 @@ Prints the paper-shaped tables for every experiment in the DESIGN.md
 index.  Timing numbers are machine-dependent; the *shapes* (slopes,
 orderings, crossovers) are what EXPERIMENTS.md records against the
 paper's claims.
+
+``--json PATH`` additionally writes machine-readable per-experiment
+timings and tables, so CI runs can record ``BENCH_*.json`` performance
+trajectories across commits.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import platform
 import sys
 import time
 
@@ -25,6 +31,7 @@ from . import (
     bench_e10_equality,
     bench_e11_w1,
     bench_e12_strategies,
+    bench_e13_runtime,
     fig1_ag,
 )
 
@@ -41,8 +48,16 @@ EXPERIMENTS = {
     "E10": (bench_e10_equality, "Thm 5.4/Cor 5.5: string equalities"),
     "E11": (bench_e11_w1, "Thm 5.2: W[1]-hardness in |q|"),
     "E12": (bench_e12_strategies, "strategy ablation"),
+    "E13": (bench_e13_runtime, "compiled-spanner runtime amortization"),
     "F1": (fig1_ag, "Figure 1 / Appendix A.3 regeneration"),
 }
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a table cell to something ``json.dump`` accepts."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,7 +69,12 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment ids (E1..E12, F1) or 'all'",
+        help="experiment ids (E1..E13, F1) or 'all'",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write machine-readable per-experiment timings and tables",
     )
     args = parser.parse_args(argv)
     wanted = args.experiments
@@ -63,14 +83,47 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [e for e in wanted if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
+    records = []
     for exp in wanted:
         module, description = EXPERIMENTS[exp]
         print(f"\n### {exp} — {description}")
         start = time.perf_counter()
+        tables = []
         for table in module.run():
+            tables.append(table)
             print()
             print(table.render())
-        print(f"\n[{exp} completed in {time.perf_counter() - start:.1f}s]")
+        elapsed = time.perf_counter() - start
+        print(f"\n[{exp} completed in {elapsed:.1f}s]")
+        records.append(
+            {
+                "experiment": exp,
+                "description": description,
+                "seconds": elapsed,
+                "tables": [
+                    {
+                        "title": table.title,
+                        "headers": list(table.headers),
+                        "rows": [
+                            [_jsonable(v) for v in row] for row in table.rows
+                        ],
+                        "notes": list(table.notes),
+                    }
+                    for table in tables
+                ],
+            }
+        )
+    if args.json:
+        payload = {
+            "unix_time": time.time(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "experiments": records,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\n[wrote {args.json}]")
     return 0
 
 

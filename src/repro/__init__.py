@@ -15,8 +15,10 @@ Quickstart::
 
 Layering (bottom-up): :mod:`repro.spans` / :mod:`repro.refwords` →
 :mod:`repro.regex` / :mod:`repro.automata` → :mod:`repro.vset` →
-:mod:`repro.enumeration` → :mod:`repro.relational` → :mod:`repro.queries`
-→ :mod:`repro.reductions` / :mod:`repro.extractors`.
+:mod:`repro.runtime` (string-independent tables) →
+:mod:`repro.enumeration` → :mod:`repro.runtime.compiled`
+(:class:`CompiledSpanner`) → :mod:`repro.relational` →
+:mod:`repro.queries` → :mod:`repro.reductions` / :mod:`repro.extractors`.
 """
 
 from .errors import (
@@ -42,6 +44,7 @@ from .vset import (
     union,
 )
 from .enumeration import SpannerEvaluator, enumerate_tuples, measure_delays
+from .runtime.compiled import CompiledSpanner
 
 __version__ = "1.0.0"
 
@@ -62,6 +65,7 @@ __all__ = [
     "is_key_attribute",
     "is_vset_functional",
     "SpannerEvaluator",
+    "CompiledSpanner",
     "enumerate_tuples",
     "measure_delays",
     "evaluate",

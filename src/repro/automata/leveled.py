@@ -110,13 +110,16 @@ class LeveledNFA:
         useful = set(self.accepting)
         # Backward sweep: a node is useful if some edge reaches a useful
         # node.  Nodes are created level by level in practice, but we do
-        # not rely on id order — iterate by descending level.
-        order = sorted(range(self.n_nodes), key=lambda v: -self.level_of[v])
-        for node in order:
-            if node in useful:
-                continue
-            if any(dst in useful for _, dst in self.out_edges[node]):
-                useful.add(node)
+        # not rely on id order — bucket by level and walk levels top-down.
+        by_level: list[list[int]] = [[] for _ in range(self.n_slots + 1)]
+        for node, level in enumerate(self.level_of):
+            by_level[level].append(node)
+        for bucket in reversed(by_level):
+            for node in bucket:
+                if node in useful:
+                    continue
+                if any(dst in useful for _, dst in self.out_edges[node]):
+                    useful.add(node)
         for node in range(self.n_nodes):
             if node in useful:
                 self.out_edges[node] = [
@@ -198,26 +201,58 @@ class RadixEnumerator:
             leveled.prune()
         self.leveled = leveled
         self.label_key = label_key
-        # Per node: sorted distinct labels, and label -> destinations.
-        self._labels: list[list[Label]] = []
-        self._keys: list[list[object]] = []
-        self._dests: list[dict[Label, tuple[int, ...]]] = []
-        for node in range(leveled.n_nodes):
-            by_label: dict[Label, list[int]] = {}
-            for label, dst in leveled.out_edges[node]:
-                by_label.setdefault(label, []).append(dst)
-            ordered = sorted(by_label, key=label_key)
-            self._labels.append(ordered)
-            self._keys.append([label_key(lab) for lab in ordered])
-            self._dests.append({lab: tuple(ds) for lab, ds in by_label.items()})
+        # Per node: sorted distinct labels, their precomputed sort keys,
+        # and label -> destinations — materialized *lazily*, because the
+        # enumeration only ever inspects nodes that appear in some
+        # reached state set (often a fraction of the graph when the
+        # answer count is small).  ``label_key`` runs only inside
+        # :meth:`_prepare`; the hot loops work on cached keys, and the
+        # current word carries its keys alongside its letters, so
+        # nextString never re-keys a letter it already placed.
+        n = leveled.n_nodes
+        self._labels: list[list[Label] | None] = [None] * n
+        self._keys: list[list[object] | None] = [None] * n
+        self._dests: list[dict[Label, tuple[int, ...]] | None] = [None] * n
+        self._min_label: list[Label | None] = [None] * n
+        self._min_key: list[object | None] = [None] * n
+        self._ready = bytearray(n)
+
+    def _prepare(self, node: int) -> None:
+        """Build the sorted-label tables for one node on first touch."""
+        self._ready[node] = 1
+        edges = self.leveled.out_edges[node]
+        if len(edges) == 1:
+            # Fast path: most evaluation-graph nodes have a single
+            # outgoing edge — no dict or sort needed.
+            label, dst = edges[0]
+            key = self.label_key(label)
+            self._labels[node] = [label]
+            self._keys[node] = [key]
+            self._dests[node] = {label: (dst,)}
+            self._min_label[node] = label
+            self._min_key[node] = key
+            return
+        by_label: dict[Label, list[int]] = {}
+        for label, dst in edges:
+            by_label.setdefault(label, []).append(dst)
+        ordered = sorted(by_label, key=self.label_key)
+        keys = [self.label_key(lab) for lab in ordered]
+        self._labels[node] = ordered
+        self._keys[node] = keys
+        self._dests[node] = {lab: tuple(ds) for lab, ds in by_label.items()}
+        self._min_label[node] = ordered[0] if ordered else None
+        self._min_key[node] = keys[0] if keys else None
 
     # -- minLetter / nextLetter (precomputed per state) ---------------------
     def _min_letter(self, node: int) -> Label | None:
-        labels = self._labels[node]
-        return labels[0] if labels else None
+        if not self._ready[node]:
+            self._prepare(node)
+        return self._min_label[node]
 
     def _next_letter(self, node: int, label: Label) -> Label | None:
         """Smallest letter strictly greater than ``label`` leaving ``node``."""
+        if not self._ready[node]:
+            self._prepare(node)
         keys = self._keys[node]
         idx = bisect_right(keys, self.label_key(label))
         if idx < len(keys):
@@ -227,8 +262,12 @@ class RadixEnumerator:
     # -- Algorithms 2 and 3 ----------------------------------------------------
     def _step(self, states: tuple[int, ...], label: Label) -> tuple[int, ...]:
         out: set[int] = set()
+        ready = self._ready
+        dests = self._dests
         for q in states:
-            out.update(self._dests[q].get(label, ()))
+            if not ready[q]:
+                self._prepare(q)
+            out.update(dests[q].get(label, ()))
         return tuple(sorted(out))
 
     def _min_string(
@@ -236,28 +275,36 @@ class RadixEnumerator:
         start_level: int,
         stack: list[tuple[int, ...]],
         word: list[Label],
+        word_keys: list[object],
     ) -> None:
         """Extend ``word`` minimally from ``start_level`` to the last slot.
 
         ``stack[i]`` is the state set before choosing the letter at slot
         ``i``; the method pushes the sets for the remaining slots.
+        ``word_keys`` mirrors ``word`` with each letter's sort key, so
+        later nextString scans compare keys without re-keying.
         """
+        min_label = self._min_label
+        min_key = self._min_key
+        ready = self._ready
         for i in range(start_level, self.leveled.n_slots):
             states = stack[i]
             best: Label | None = None
             best_key: object = None
             for q in states:
-                candidate = self._min_letter(q)
-                if candidate is None:
+                if not ready[q]:
+                    self._prepare(q)
+                key = min_key[q]
+                if key is None:
                     continue
-                key = self.label_key(candidate)
                 if best is None or key < best_key:
-                    best, best_key = candidate, key
+                    best, best_key = min_label[q], key
             if best is None:
                 raise AssertionError(
                     "pruned leveled NFA must complete every prefix"
                 )
             word.append(best)
+            word_keys.append(best_key)
             if i + 1 <= self.leveled.n_slots - 1:
                 stack.append(self._step(states, best))
 
@@ -271,29 +318,39 @@ class RadixEnumerator:
             return
         stack: list[tuple[int, ...]] = [(LeveledNFA.ROOT,)]
         word: list[Label] = []
-        self._min_string(0, stack, word)
+        word_keys: list[object] = []
+        self._min_string(0, stack, word, word_keys)
         yield tuple(word)
+        all_labels = self._labels
+        all_keys = self._keys
+        ready = self._ready
         while True:
             # nextString: find the rightmost slot whose letter can grow.
             i = leveled.n_slots - 1
             while i >= 0:
                 states = stack[i]
+                current_key = word_keys[i]
                 best: Label | None = None
                 best_key: object = None
                 for q in states:
-                    candidate = self._next_letter(q, word[i])
-                    if candidate is None:
+                    if not ready[q]:
+                        self._prepare(q)
+                    keys = all_keys[q]
+                    idx = bisect_right(keys, current_key)
+                    if idx == len(keys):
                         continue
-                    key = self.label_key(candidate)
+                    key = keys[idx]
                     if best is None or key < best_key:
-                        best, best_key = candidate, key
+                        best, best_key = all_labels[q][idx], key
                 if best is not None:
                     del word[i:]
+                    del word_keys[i:]
                     del stack[i + 1 :]
                     word.append(best)
+                    word_keys.append(best_key)
                     if i + 1 <= leveled.n_slots - 1:
                         stack.append(self._step(states, best))
-                    self._min_string(i + 1, stack, word)
+                    self._min_string(i + 1, stack, word, word_keys)
                     yield tuple(word)
                     break
                 i -= 1

@@ -2,10 +2,15 @@
 
 Subcommands:
 
-* ``extract`` — evaluate one regex formula over text and print the
-  extracted span tuples (streaming, polynomial delay);
+* ``extract`` — evaluate one regex formula over one or more documents
+  and print the extracted span tuples (streaming, polynomial delay);
+  the formula is compiled **once** (the compiled-spanner runtime), so
+  repeating ``--file`` streams a whole collection through the same
+  precomputed tables;
 * ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
-  an optional ``--head`` and optional ``--equal`` groups;
+  an optional ``--head`` and optional ``--equal`` groups; with several
+  ``--file`` arguments the per-query compilation is shared across the
+  documents;
 * ``info`` — parse a formula and report variables, functionality and
   compiled-automaton size.
 
@@ -13,6 +18,7 @@ Examples::
 
     spanner-join extract '(ε|.* )m{u{[a-z]+}@d{[a-z]+\\.[a-z]+}}( .*|ε)' \\
         --text 'write to ada@example.com today'
+    spanner-join extract '.*x{[0-9]+}.*' --file a.log --file b.log
     spanner-join query --atom '.*x{[0-9]+}.*' --atom '.*y{ERROR}.*' \\
         --head x --file app.log
     spanner-join info 'a*x{a*}a*'
@@ -24,27 +30,42 @@ import argparse
 import sys
 from typing import Iterable
 
-from .enumeration import SpannerEvaluator
 from .errors import SpannerError
 from .queries import QueryEvaluator, RegexCQ
 from .regex import check_functional, parse
+from .runtime.compiled import CompiledSpanner
 from .spans import SpanTuple
 from .vset import compile_regex
 
 __all__ = ["main"]
 
 
-def _read_text(args: argparse.Namespace) -> str:
+def _read_documents(args: argparse.Namespace) -> list[tuple[str, str]]:
+    """The ``(name, text)`` documents selected by --text/--file/stdin."""
     if args.text is not None:
-        return args.text
-    if args.file is not None:
-        with open(args.file, encoding="utf-8") as handle:
-            return handle.read()
-    return sys.stdin.read()
+        return [("<text>", args.text)]
+    if args.file:
+        docs = []
+        for path in args.file:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    docs.append((path, handle.read()))
+            except OSError as err:
+                # Surface as a SpannerError so main()'s single error
+                # convention applies (prints "error: ...", exits 2).
+                raise SpannerError(
+                    f"cannot read {path}: {err.strerror or err}"
+                ) from err
+        return docs
+    return [("<stdin>", sys.stdin.read())]
 
 
 def _print_tuples(
-    tuples: Iterable[SpanTuple], s: str, fmt: str, limit: int | None
+    tuples: Iterable[SpanTuple],
+    s: str,
+    fmt: str,
+    limit: int | None,
+    prefix: str | None = None,
 ) -> int:
     count = 0
     for mu in tuples:
@@ -56,6 +77,8 @@ def _print_tuples(
             )
         else:  # tsv
             row = "\t".join(mu[v].extract(s) for v in sorted(mu.variables))
+        if prefix is not None:
+            row = f"{prefix}\t{row}" if fmt == "tsv" else f"{prefix}: {row}"
         print(row)
         count += 1
         if limit is not None and count >= limit:
@@ -64,29 +87,51 @@ def _print_tuples(
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    text = _read_text(args)
-    automaton = compile_regex(args.formula).compacted()
-    evaluator = SpannerEvaluator(automaton, text)
-    count = _print_tuples(evaluator, text, args.format, args.limit)
+    docs = _read_documents(args)
+    spanner = CompiledSpanner(args.formula)
+    label_docs = len(docs) > 1
+    total = 0
+    for name, text in docs:
+        total += _print_tuples(
+            spanner.stream(text),
+            text,
+            args.format,
+            args.limit,
+            prefix=name if label_docs else None,
+        )
     if args.count:
-        print(f"# {count} tuples", file=sys.stderr)
+        print(f"# {total} tuples", file=sys.stderr)
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    text = _read_text(args)
+    docs = _read_documents(args)
     head = args.head or []
     equalities = [group.split(",") for group in (args.equal or [])]
     query = RegexCQ(head, args.atom, equalities=equalities)
+    # One evaluator for all documents: its compilation caches (static
+    # join folds, equality-free compiled spanners) amortize across them.
     evaluator = QueryEvaluator()
-    relation = evaluator.evaluate(query, text, strategy=args.strategy)
-    decision = evaluator.last_decision
-    if decision is not None and args.explain:
-        print(f"# strategy: {decision.strategy} — {decision.reason}", file=sys.stderr)
-    if query.is_boolean:
-        print("true" if relation else "false")
-        return 0
-    _print_tuples(relation.sorted(), text, args.format, args.limit)
+    label_docs = len(docs) > 1
+    for name, text in docs:
+        relation = evaluator.evaluate(query, text, strategy=args.strategy)
+        decision = evaluator.last_decision
+        if decision is not None and args.explain:
+            print(
+                f"# strategy: {decision.strategy} — {decision.reason}",
+                file=sys.stderr,
+            )
+        if query.is_boolean:
+            verdict = "true" if relation else "false"
+            print(f"{name}: {verdict}" if label_docs else verdict)
+            continue
+        _print_tuples(
+            relation.sorted(),
+            text,
+            args.format,
+            args.limit,
+            prefix=name if label_docs else None,
+        )
     return 0
 
 
@@ -122,14 +167,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_io(p: argparse.ArgumentParser) -> None:
         p.add_argument("--text", help="input string (default: stdin)")
-        p.add_argument("--file", help="read input from a file")
+        p.add_argument(
+            "--file",
+            action="append",
+            help=(
+                "read input from a file (repeatable: the query is "
+                "compiled once and streamed over every file)"
+            ),
+        )
         p.add_argument(
             "--format",
             choices=("spans", "strings", "tsv"),
             default="strings",
             help="output format (default: strings)",
         )
-        p.add_argument("--limit", type=int, help="stop after N tuples")
+        p.add_argument(
+            "--limit", type=int, help="stop after N tuples (per document)"
+        )
 
     p_extract = sub.add_parser("extract", help="evaluate one regex formula")
     p_extract.add_argument("formula", help="regex formula (concrete syntax)")

@@ -13,6 +13,7 @@ from typing import Iterator, Sequence
 
 from ..spans import Span, SpanTuple
 from ..automata.leveled import RadixEnumerator
+from ..runtime.tables import AutomatonTables
 from ..vset.automaton import VSetAutomaton
 from ..vset.configurations import CLOSED, WAITING, VariableConfiguration
 from .graph import EvaluationGraph, build_evaluation_graph
@@ -63,12 +64,26 @@ class SpannerEvaluator:
 
     The constructor performs Theorem 3.3's preprocessing; it raises
     :class:`~repro.errors.NotFunctionalError` on non-functional input.
+
+    The string-independent half of that preprocessing is factored into
+    :class:`~repro.runtime.tables.AutomatonTables`; pass ``tables`` to
+    reuse a precomputed set (``CompiledSpanner`` does this to amortize
+    it across a document stream), otherwise a fresh one is built for
+    this call.
     """
 
-    def __init__(self, automaton: VSetAutomaton, s: str):
+    def __init__(
+        self,
+        automaton: VSetAutomaton,
+        s: str,
+        *,
+        tables: AutomatonTables | None = None,
+    ):
         self.automaton = automaton
         self.string = s
-        self.graph: EvaluationGraph = build_evaluation_graph(automaton, s)
+        self.graph: EvaluationGraph = build_evaluation_graph(
+            automaton, s, tables=tables
+        )
 
     # -- Introspection ------------------------------------------------------
     @property

@@ -28,21 +28,11 @@ precomputation — the preprocessing bound of Theorem 3.3.
 
 from __future__ import annotations
 
-from ..alphabet import is_epsilon, is_marker, is_marker_set, is_symbol
 from ..automata.leveled import LeveledNFA
-from ..automata.ops import closure
-from ..errors import NotFunctionalError
+from ..runtime.tables import AutomatonTables
 from ..vset.automaton import VSetAutomaton
-from ..vset.configurations import (
-    VariableConfiguration,
-    compute_state_configurations,
-)
 
 __all__ = ["build_evaluation_graph", "EvaluationGraph"]
-
-
-def _variable_epsilon(label: object) -> bool:
-    return is_epsilon(label) or is_marker(label) or is_marker_set(label)
 
 
 class EvaluationGraph:
@@ -64,76 +54,79 @@ class EvaluationGraph:
         self.n_slots = n_slots
 
 
-def build_evaluation_graph(automaton: VSetAutomaton, s: str) -> EvaluationGraph:
+def build_evaluation_graph(
+    automaton: VSetAutomaton,
+    s: str,
+    tables: AutomatonTables | None = None,
+) -> EvaluationGraph:
     """Preprocessing of Theorem 3.3: build the pruned ``A_G`` for (A, s).
+
+    The string-independent half (trim, configuration sweep, VE closures,
+    terminal-edge lists) lives in :class:`AutomatonTables`; pass
+    precomputed ``tables`` (the compiled-spanner runtime does) to skip
+    it entirely and pay only the per-string sweep.  Without ``tables``
+    the artifacts are rebuilt for this call — the cold path of
+    ``SpannerEvaluator``.
 
     Raises:
         NotFunctionalError: when the automaton is not functional (the
             configuration sweep detects a conflict, or the final
             configuration leaves a variable unclosed).
     """
-    trimmed = automaton.trimmed()
+    if tables is None:
+        tables = AutomatonTables(automaton)
     n = len(s)
     leveled = LeveledNFA(n + 1)
 
-    if trimmed.is_empty_language():
+    if tables.is_empty:
         leveled.prune()
-        return EvaluationGraph(leveled, automaton.variables, n + 1)
+        return EvaluationGraph(leveled, tables.variables, n + 1)
 
-    configs = compute_state_configurations(trimmed)
-    final_config = configs[trimmed.final]
-    if final_config is None or not final_config.is_all_closed:
-        raise NotFunctionalError(
-            "final state configuration leaves variables unclosed"
-        )
-
-    nfa = trimmed.nfa
-    ve = [closure(nfa, (q,), _variable_epsilon) for q in range(nfa.n_states)]
-    terminal_edges = [
-        [(label, dst) for label, dst in nfa.transitions[q] if is_symbol(label)]
-        for q in range(nfa.n_states)
-    ]
-
-    def config(q: int) -> VariableConfiguration:
-        c = configs[q]
-        if c is None:
-            raise AssertionError("trimmed state without configuration")
-        return c
+    tables.require_all_closed_final()
+    configs = tables.configs
+    # The construction below appends nodes/edges directly instead of
+    # going through the checked add_node/add_edge: it only ever creates
+    # nodes at ``position + 1`` and edges advancing exactly one level,
+    # and this is the per-document hot path of the whole engine.
+    level_of = leveled.level_of
+    out_edges = leveled.out_edges
 
     node_of: dict[int, int] = {}
     # Level 1: states reachable from q0 by a burst, read before sigma_1.
     frontier: list[int] = []
-    for q in ve[trimmed.initial]:
-        node = leveled.add_node(1)
+    root_edges = out_edges[LeveledNFA.ROOT]
+    for q in tables.initial_ve:
+        level_of.append(1)
+        out_edges.append([])
+        node = len(level_of) - 1
         node_of[q] = node
-        leveled.add_edge(LeveledNFA.ROOT, config(q), node)
+        root_edges.append((configs[q], node))
         frontier.append(q)
 
     for position in range(1, n + 1):
-        ch = s[position - 1]
+        steps = tables.burst_step(s[position - 1])
         next_nodes: dict[int, int] = {}
         next_frontier: list[int] = []
-        seen_edges: set[tuple[int, int]] = set()
+        next_level = position + 1
         for p in frontier:
-            src = node_of[p]
-            for pred, r in terminal_edges[p]:
-                if not pred.matches(ch):
-                    continue
-                for q in ve[r]:
-                    if (src, q) in seen_edges:
-                        continue
-                    seen_edges.add((src, q))
-                    dst = next_nodes.get(q)
-                    if dst is None:
-                        dst = leveled.add_node(position + 1)
-                        next_nodes[q] = dst
-                        next_frontier.append(q)
-                    leveled.add_edge(src, config(q), dst)
+            succs = steps.get(p)
+            if not succs:
+                continue
+            src_edges = out_edges[node_of[p]]
+            for q in succs:
+                dst = next_nodes.get(q)
+                if dst is None:
+                    level_of.append(next_level)
+                    out_edges.append([])
+                    dst = len(level_of) - 1
+                    next_nodes[q] = dst
+                    next_frontier.append(q)
+                src_edges.append((configs[q], dst))
         node_of = next_nodes
         frontier = next_frontier
 
-    final_node = node_of.get(trimmed.final)
+    final_node = node_of.get(tables.automaton.final)
     if final_node is not None:
         leveled.mark_accepting(final_node)
     leveled.prune()
-    return EvaluationGraph(leveled, automaton.variables, n + 1)
+    return EvaluationGraph(leveled, tables.variables, n + 1)

@@ -9,6 +9,7 @@ the example applications and benchmarks wire into regex CQs.
 from .builtin import (
     address_spanner,
     capitalized_spanner,
+    compile_extractor,
     dictionary_spanner,
     email_spanner,
     number_spanner,
@@ -30,4 +31,5 @@ __all__ = [
     "number_spanner",
     "capitalized_spanner",
     "word_spanner",
+    "compile_extractor",
 ]

@@ -18,10 +18,13 @@ lowercase emails), mirroring how the paper's intro examples pair
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..regex.ast import RegexFormula
 from ..regex.parser import parse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.compiled import CompiledSpanner
 
 __all__ = [
     "sentence_spanner",
@@ -34,6 +37,7 @@ __all__ = [
     "number_spanner",
     "capitalized_spanner",
     "word_spanner",
+    "compile_extractor",
 ]
 
 #: Characters ending a sentence.
@@ -143,6 +147,39 @@ def capitalized_spanner(variable: str = "x") -> RegexFormula:
 def word_spanner(variable: str = "x") -> RegexFormula:
     """Maximal lowercase words (token-delimited)."""
     return parse(f"(ε|.*[^a-z]){variable}{{[a-z]+}}([^a-z].*|ε)")
+
+
+#: Compiled-spanner cache, keyed structurally by formula AST (the ASTs
+#: are frozen dataclasses, so two instantiations of the same extractor
+#: with the same variables share one compiled runtime).  Bounded: when
+#: full, the least-recently-used entry is evicted, so data-derived
+#: formulas (e.g. per-document dictionaries) cannot pin compilations
+#: for the process lifetime.
+_COMPILED: "dict[RegexFormula, CompiledSpanner]" = {}
+_COMPILED_MAX_ENTRIES = 64
+
+
+def compile_extractor(formula: RegexFormula | str) -> "CompiledSpanner":
+    """Compile an extractor once for evaluate-many workloads.
+
+    Built-in extractors are exactly the "fixed query workload over many
+    documents" the runtime targets: the returned
+    :class:`~repro.runtime.CompiledSpanner` carries all
+    string-independent preprocessing, and repeated calls with a
+    structurally equal formula return the same instance (while it stays
+    in the bounded cache).
+    """
+    from ..runtime.compiled import CompiledSpanner
+
+    if isinstance(formula, str):
+        formula = parse(formula)
+    spanner = _COMPILED.pop(formula, None)
+    if spanner is None:
+        spanner = CompiledSpanner(formula)
+        while len(_COMPILED) >= _COMPILED_MAX_ENTRIES:
+            _COMPILED.pop(next(iter(_COMPILED)))
+    _COMPILED[formula] = spanner  # (re)insert as most recently used
+    return spanner
 
 
 def all_builtin_names() -> Iterable[str]:

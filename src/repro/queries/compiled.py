@@ -19,8 +19,11 @@ Consequences implemented here:
   disjuncts producing the same tuple produce the same word.
 
 The string-free part of the compilation (everything except equality
-automata) is cached per query, so repeated evaluation over a document
-collection pays the join fold once.
+automata) is cached per query *structure*, so repeated evaluation over
+a document collection pays the join fold once; for equality-free
+queries the fully compiled automaton is additionally wrapped in a
+:class:`~repro.runtime.CompiledSpanner`, amortizing Theorem 3.3's
+string-independent preprocessing across the collection as well.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..enumeration.enumerator import SpannerEvaluator
+from ..runtime.compiled import CompiledSpanner
 from ..spans import SpanRelation, SpanTuple
 from ..vset.automaton import VSetAutomaton
 from ..vset.equality import equality_automaton
@@ -36,14 +40,39 @@ from ..vset.operations import project, union
 from .cq import RegexCQ
 from .ucq import RegexUCQ
 
-__all__ = ["CompiledEvaluator"]
+__all__ = ["CompiledEvaluator", "query_fingerprint"]
+
+
+def query_fingerprint(query: RegexCQ | RegexUCQ) -> tuple:
+    """A structural key identifying what the compilation depends on.
+
+    Two queries with equal fingerprints compile to the same automata:
+    per disjunct the regex-atom formulas (the ASTs are frozen
+    dataclasses, so equality is structural), the head, and the merged
+    equality groups.  Keying caches by this — instead of ``id(query)``
+    — survives garbage collection: a recycled object id can otherwise
+    silently serve a stale compilation for a *different* query.
+    """
+    if isinstance(query, RegexCQ):
+        query = RegexUCQ([query])
+    return (
+        query.head,
+        tuple(
+            (
+                tuple(atom.formula for atom in cq.regex_atoms),
+                tuple(eq.variables for eq in cq.merged_equalities()),
+            )
+            for cq in query
+        ),
+    )
 
 
 class CompiledEvaluator:
     """Evaluate regex CQs / UCQs by compiling to one vset-automaton."""
 
     def __init__(self) -> None:
-        self._static_cache: dict[int, list[VSetAutomaton]] = {}
+        self._static_cache: dict[tuple, list[VSetAutomaton]] = {}
+        self._runtime_cache: dict[tuple, CompiledSpanner] = {}
 
     # -- Compilation -----------------------------------------------------------
     def compile_static(self, query: RegexCQ | RegexUCQ) -> list[VSetAutomaton]:
@@ -54,7 +83,11 @@ class CompiledEvaluator:
         """
         if isinstance(query, RegexCQ):
             query = RegexUCQ([query])
-        key = id(query)
+        # The static fold ignores head and equalities, so key by the
+        # formulas alone: queries differing only in projection share it.
+        key = tuple(
+            tuple(atom.formula for atom in cq.regex_atoms) for cq in query
+        )
         cached = self._static_cache.get(key)
         if cached is not None:
             return cached
@@ -86,6 +119,27 @@ class CompiledEvaluator:
             return per_disjunct[0]
         return union(per_disjunct)
 
+    def runtime(self, query: RegexCQ | RegexUCQ) -> CompiledSpanner | None:
+        """A reusable compiled spanner for an equality-free query.
+
+        Without string equalities the fully compiled automaton is
+        independent of the input string, so it — and its Theorem 3.3
+        string-independent tables — can be cached once per query
+        structure and streamed over any number of documents.  Returns
+        ``None`` when the query has equalities (those automata only
+        exist per string).
+        """
+        if isinstance(query, RegexCQ):
+            query = RegexUCQ([query])
+        if query.has_equalities:
+            return None
+        key = query_fingerprint(query)
+        spanner = self._runtime_cache.get(key)
+        if spanner is None:
+            spanner = CompiledSpanner(self.compile(query, ""))
+            self._runtime_cache[key] = spanner
+        return spanner
+
     # -- Evaluation ------------------------------------------------------------
     def prepare(self, query: RegexCQ | RegexUCQ, s: str) -> SpannerEvaluator:
         """Run all preprocessing eagerly; the result is iterable.
@@ -94,7 +148,14 @@ class CompiledEvaluator:
         level: compilation (joins, equalities, projection, union) plus
         the evaluation-graph construction happen here; iterating the
         returned evaluator then yields answers with polynomial delay.
+
+        Equality-free queries route through the compiled-spanner
+        runtime, so repeated calls over a document collection pay the
+        automaton-side preprocessing once.
         """
+        spanner = self.runtime(query)
+        if spanner is not None:
+            return spanner.evaluator(s)
         return SpannerEvaluator(self.compile(query, s), s)
 
     def stream(self, query: RegexCQ | RegexUCQ, s: str) -> Iterator[SpanTuple]:

@@ -1,0 +1,29 @@
+"""Compiled-spanner runtime: amortize preprocessing across documents.
+
+* :mod:`.tables` — :class:`AutomatonTables`, the string-independent
+  artifacts of Theorem 3.3's preprocessing (trim/compaction,
+  configuration sweep, interned VE closures, terminal-edge lists, the
+  lazily grown character-indexed burst-step table), plus the shared
+  :func:`tables_for` cache;
+* :mod:`.compiled` — :class:`CompiledSpanner`, the compile-once /
+  evaluate-many entry point with batch APIs.
+
+``CompiledSpanner`` is exposed lazily (PEP 562): :mod:`.tables` sits
+*below* the enumeration layer (the evaluation-graph construction builds
+on it), while :mod:`.compiled` sits *above* it, so importing both
+eagerly here would close an import cycle.
+"""
+
+from __future__ import annotations
+
+from .tables import AutomatonTables, tables_for
+
+__all__ = ["AutomatonTables", "tables_for", "CompiledSpanner"]
+
+
+def __getattr__(name: str):
+    if name == "CompiledSpanner":
+        from .compiled import CompiledSpanner
+
+        return CompiledSpanner
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -45,7 +45,7 @@ class VSetAutomaton:
         variables: the variable set ``V`` (``Vars(A)``).
     """
 
-    __slots__ = ("nfa", "variables")
+    __slots__ = ("nfa", "variables", "__weakref__")
 
     def __init__(self, nfa: NFA, variables: Iterable[str]):
         if nfa.initial is None:

@@ -51,7 +51,7 @@ class VariableConfiguration:
     letters of the enumeration alphabet ``K`` in Section 4.2.
     """
 
-    __slots__ = ("variables", "states")
+    __slots__ = ("variables", "states", "_hash")
 
     def __init__(self, variables: Iterable[str], states: Iterable[int] | None = None):
         vars_tuple = tuple(sorted(variables))
@@ -66,6 +66,10 @@ class VariableConfiguration:
                 raise ValueError(f"invalid variable state {st!r}")
         self.variables: tuple[str, ...] = vars_tuple
         self.states: tuple[int, ...] = states_tuple
+        # Configurations are the letters of the enumeration alphabet K:
+        # they key dicts on every evaluation-graph edge and every radix
+        # bucket, so the hash is computed once, not per lookup.
+        self._hash = hash((vars_tuple, states_tuple))
 
     # -- Constructors -----------------------------------------------------
     @classmethod
@@ -210,9 +214,11 @@ class VariableConfiguration:
         return self.states
 
     def __hash__(self) -> int:
-        return hash((self.variables, self.states))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, VariableConfiguration):
             return NotImplemented
         return self.variables == other.variables and self.states == other.states

@@ -29,46 +29,51 @@ touches keep the Python constants sane: operands are epsilon-compacted
 first (:meth:`VSetAutomaton.compacted`), and the VE closures are
 bucketed by shared-variable configuration so the consistency check
 never scans pairs that cannot match.
+
+The compacted automaton, configuration sweep, VE closures and
+terminal-edge lists are the string-independent tables of
+:mod:`repro.runtime.tables`; operands fetch them through the shared
+:func:`~repro.runtime.tables.tables_for` cache, so joining the same
+automaton object repeatedly — a fold over many atoms, or a cached
+static operand joined against per-string equality automata — computes
+its closures once.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from functools import reduce
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from ..alphabet import (
-    EPSILON,
-    SymbolPredicate,
-    intersect_predicates,
-    is_epsilon,
-    is_marker,
-    is_marker_set,
-    is_symbol,
-)
+from ..alphabet import EPSILON, intersect_predicates
 from ..automata.nfa import NFA
-from ..automata.ops import closure
 from .automaton import VSetAutomaton
-from .configurations import VariableConfiguration, compute_state_configurations
+from .configurations import VariableConfiguration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.tables import AutomatonTables
 
 __all__ = ["join", "join_many"]
 
 
-def _variable_epsilon(label: object) -> bool:
-    """Labels traversable inside a burst: epsilon and variable markers."""
-    return is_epsilon(label) or is_marker(label) or is_marker_set(label)
-
-
 class _Operand:
-    """Precomputed per-operand data for the product construction."""
+    """Per-operand view of the shared tables for one product build.
+
+    The expensive artifacts (compaction, configurations, VE closures,
+    terminal edges) come from :class:`AutomatonTables`; only the
+    shared-variable bucketing is specific to this join's ``shared``
+    tuple, and that too is cached on the tables object so a repeated
+    join with the same shared variables skips it.
+    """
 
     __slots__ = ("automaton", "configs", "ve", "ve_by_key", "terminal_edges", "shared_key")
 
-    def __init__(self, automaton: VSetAutomaton, shared: tuple[str, ...]):
-        self.automaton = automaton.compacted()
-        self.configs = compute_state_configurations(self.automaton)
-        nfa = self.automaton.nfa
-        n = nfa.n_states
+    def __init__(self, tables: "AutomatonTables", shared: tuple[str, ...]):
+        self.automaton = tables.automaton
+        self.configs = tables.configs
+        self.ve = tables.ve
+        self.terminal_edges = tables.terminal_edges
+        n = self.automaton.nfa.n_states
 
         def key_of(q: int) -> tuple[int, ...] | None:
             config = self.configs[q]
@@ -77,7 +82,6 @@ class _Operand:
             return tuple(config.of(v) for v in shared)
 
         self.shared_key = [key_of(q) for q in range(n)]
-        self.ve = [closure(nfa, (q,), _variable_epsilon) for q in range(n)]
         # Bucket each VE closure by shared-variable configuration so the
         # product only pairs states that can be consistent.
         self.ve_by_key: list[dict[tuple[int, ...], tuple[int, ...]]] = []
@@ -90,14 +94,22 @@ class _Operand:
             self.ve_by_key.append(
                 {key: tuple(states) for key, states in buckets.items()}
             )
-        self.terminal_edges: list[list[tuple[SymbolPredicate, int]]] = [
-            [
-                (label, dst)
-                for label, dst in nfa.transitions[q]
-                if is_symbol(label)
-            ]
-            for q in range(n)
-        ]
+
+
+def _operand(automaton: VSetAutomaton, shared: tuple[str, ...]) -> _Operand:
+    """The (cached) operand view for ``automaton`` and ``shared``."""
+    # Imported lazily: runtime.tables sits between the vset and
+    # enumeration layers and importing it at module scope would close
+    # an import cycle when ``repro.runtime`` is imported first.
+    from ..runtime.tables import tables_for
+
+    tables = tables_for(automaton)
+    key = ("join-operand", shared)
+    view = tables.views.get(key)
+    if view is None:
+        view = _Operand(tables, shared)
+        tables.views[key] = view
+    return view
 
 
 def _empty_result(variables: frozenset[str]) -> VSetAutomaton:
@@ -122,8 +134,8 @@ def join(a1: VSetAutomaton, a2: VSetAutomaton) -> VSetAutomaton:
         return _empty_result(variables)
 
     shared = tuple(sorted(a1.variables & a2.variables))
-    op1 = _Operand(a1, shared)
-    op2 = _Operand(a2, shared)
+    op1 = _operand(a1, shared)
+    op2 = _operand(a2, shared)
 
     def merged(q1: int, q2: int) -> VariableConfiguration:
         c1 = op1.configs[q1]

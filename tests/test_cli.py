@@ -60,6 +60,55 @@ def test_extract_from_file(tmp_path, capsys):
     assert "hi" in capsys.readouterr().out
 
 
+def test_extract_many_files_shares_one_compilation(tmp_path, capsys):
+    """Repeated --file streams every document through one spanner."""
+    first = tmp_path / "a.txt"
+    second = tmp_path / "b.txt"
+    first.write_text("say hi")
+    second.write_text("hi hi")
+    code = main(
+        [
+            "extract",
+            ".*x{hi}.*",
+            "--file",
+            str(first),
+            "--file",
+            str(second),
+            "--count",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    lines = captured.out.strip().split("\n")
+    # Rows are prefixed with their document when several are given.
+    assert len(lines) == 3
+    assert sum(1 for line in lines if line.startswith(str(first))) == 1
+    assert sum(1 for line in lines if line.startswith(str(second))) == 2
+    assert "# 3 tuples" in captured.err
+
+
+def test_query_over_many_files(tmp_path, capsys):
+    first = tmp_path / "a.log"
+    second = tmp_path / "b.log"
+    first.write_text("code=1")
+    second.write_text("nothing")
+    code = main(
+        [
+            "query",
+            "--atom",
+            ".*x{[0-9]+}.*",
+            "--file",
+            str(first),
+            "--file",
+            str(second),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"{first}: true" in captured.out
+    assert f"{second}: false" in captured.out
+
+
 def test_query_boolean(capsys):
     code = main(["query", "--atom", ".*x{ab}.*", "--text", "zabz"])
     assert code == 0
