@@ -25,20 +25,33 @@ Series reproduced:
 * the same on longer multi-sentence documents, where the string sweep
   dilutes the saving (speedup smaller but still > 1);
 * a count-only workload (``count_many``), no tuple decoding;
+* the multiprocess scaling curve (``ParallelSpanner``, 1/2/4/8
+  workers): docs/sec and speedup versus the serial compiled path,
+  with identical outputs asserted per worker count — the speedup
+  ceiling is the machine's physical core count, which the table
+  reports;
 * output equality is asserted, not sampled.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.enumeration import SpannerEvaluator
 from repro.extractors import capitalized_spanner, dictionary_spanner
-from repro.runtime import CompiledSpanner
+from repro.runtime import CompiledSpanner, ParallelSpanner
 from repro.text import log_lines, sentences
 from repro.vset import compile_regex
 
 from .common import Table
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 #: Log keywords + a service-name vocabulary: the fixed query workload.
 DICTIONARY = [
@@ -145,7 +158,38 @@ def run() -> list[Table]:
         assert comp_counts == cold_counts
         counts.add(n_docs, cold_s, comp_s, cold_s / comp_s, sum(comp_counts))
 
-    return [throughput, long_docs, counts]
+    scaling = Table(
+        "E13d  multiprocess sharding (ParallelSpanner over log lines): "
+        "scaling vs the serial compiled path",
+        ["workers", "docs", "wall (s)", "docs/s", "speedup"],
+    )
+    docs = log_corpus(800)
+    spanner = CompiledSpanner(automaton)
+    list(spanner.stream(docs[0]))
+    serial_s, serial_out = _timed_best(
+        lambda: list(spanner.evaluate_many(docs))
+    )
+    scaling.add(1, len(docs), serial_s, len(docs) / serial_s, 1.0)
+    for workers in (2, 4, 8):
+        with ParallelSpanner(
+            spanner, workers=workers, chunk_size=32
+        ) as engine:
+            par_s, par_out = _timed_best(
+                lambda: list(engine.evaluate_many(docs))
+            )
+        assert par_out == serial_out, (
+            f"parallel output diverged from serial at {workers} workers"
+        )
+        scaling.add(
+            workers, len(docs), par_s, len(docs) / par_s, serial_s / par_s
+        )
+    scaling.note(
+        f"identical tuple sequences asserted per worker count; "
+        f"{_available_cpus()} cpu(s) available — the speedup ceiling is "
+        "the physical core count (target >= 2x at 4 workers on >= 4 cores)"
+    )
+
+    return [throughput, long_docs, counts, scaling]
 
 
 # ---------------------------------------------------------------------------
@@ -176,3 +220,64 @@ def test_e13_compiled_throughput(benchmark):
     spanner = CompiledSpanner(automaton)
     list(spanner.stream(docs[0]))
     benchmark(lambda: list(spanner.evaluate_many(docs)))
+
+
+def test_e13_parallel_two_workers_identical():
+    """CI smoke: a 2-worker shard must reproduce the serial output.
+
+    Byte-identical, not just equal: the canonical rendering of every
+    tuple list is compared as bytes, so ordering, grouping and span
+    values all have to match exactly.  No timing assertion — wall-clock
+    parity depends on the runner's core count; the scaling curve lives
+    in the E13d table.
+    """
+    automaton = workload_automaton()
+    docs = log_corpus(120)
+    spanner = CompiledSpanner(automaton)
+    serial = list(spanner.evaluate_many(docs))
+    with ParallelSpanner(spanner, workers=2, chunk_size=16) as engine:
+        parallel = list(engine.evaluate_many(docs))
+    assert parallel == serial
+
+    def canonical(out: list) -> bytes:
+        lines = [
+            ";".join(
+                " ".join(f"{v}={t[v]}" for v in sorted(t.variables))
+                for t in per_doc
+            )
+            for per_doc in out
+        ]
+        return "\n".join(lines).encode()
+
+    assert canonical(parallel) == canonical(serial)
+
+
+def test_e13_parallel_speedup_when_cores_allow():
+    """>= 2x docs/sec at 4 workers — on hardware that can deliver it.
+
+    The timing bound only binds where >= 4 CPUs are available; on
+    smaller hosts the identity assertion still runs but the bound is
+    skipped.  CI deselects this test entirely (`-k "not parallel"` in
+    the bench-smoke job): shared virtualized runners advertise vCPUs,
+    not physical cores, and wall-clock asserts flake there — the E13d
+    table records the measured curve instead.
+    """
+    import pytest
+
+    automaton = workload_automaton()
+    docs = log_corpus(600)
+    spanner = CompiledSpanner(automaton)
+    list(spanner.stream(docs[0]))
+    serial_s, serial_out = _timed_best(
+        lambda: list(spanner.evaluate_many(docs))
+    )
+    with ParallelSpanner(spanner, workers=4, chunk_size=32) as engine:
+        par_s, par_out = _timed_best(lambda: list(engine.evaluate_many(docs)))
+    assert par_out == serial_out
+    if _available_cpus() < 4:
+        pytest.skip(
+            f"only {_available_cpus()} cpu(s) available — "
+            "speedup bound needs >= 4"
+        )
+    speedup = serial_s / par_s
+    assert speedup >= 2.0, f"speedup {speedup:.2f}x below the 2x target"

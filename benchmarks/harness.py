@@ -15,6 +15,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
 import time
 
@@ -58,6 +59,25 @@ def _jsonable(value: object) -> object:
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
     return str(value)
+
+
+def _git_sha() -> str | None:
+    """The commit the timings describe (None outside a git checkout).
+
+    Recorded in the ``--json`` payload so committed ``BENCH_*.json``
+    trajectory files stay self-identifying even if renamed.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -116,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         payload = {
             "unix_time": time.time(),
+            "git_sha": _git_sha(),
             "python": platform.python_version(),
             "machine": platform.machine(),
             "experiments": records,

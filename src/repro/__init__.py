@@ -44,7 +44,9 @@ from .vset import (
     union,
 )
 from .enumeration import SpannerEvaluator, enumerate_tuples, measure_delays
+from .runtime.cache import cache_metrics
 from .runtime.compiled import CompiledSpanner
+from .runtime.parallel import ParallelSpanner
 
 __version__ = "1.0.0"
 
@@ -66,6 +68,8 @@ __all__ = [
     "is_vset_functional",
     "SpannerEvaluator",
     "CompiledSpanner",
+    "ParallelSpanner",
+    "cache_metrics",
     "enumerate_tuples",
     "measure_delays",
     "evaluate",

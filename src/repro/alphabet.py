@@ -55,6 +55,13 @@ class _Epsilon:
     def __repr__(self) -> str:
         return "ε"
 
+    def __reduce__(self):
+        # Epsilon checks are identity checks (``label is EPSILON``), so
+        # unpickling — e.g. shipping AutomatonTables to a worker
+        # process — must resolve to the receiving process's singleton,
+        # never a second instance.
+        return (_Epsilon, ())
+
 
 #: The epsilon transition label.
 EPSILON = _Epsilon()

@@ -6,7 +6,9 @@ Subcommands:
   and print the extracted span tuples (streaming, polynomial delay);
   the formula is compiled **once** (the compiled-spanner runtime), so
   repeating ``--file`` streams a whole collection through the same
-  precomputed tables;
+  precomputed tables; ``--workers N`` shards the documents across N
+  worker processes sharing that one compiled artifact (output order
+  and content are identical to the serial run);
 * ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
   an optional ``--head`` and optional ``--equal`` groups; with several
   ``--file`` arguments the per-query compilation is shared across the
@@ -91,14 +93,34 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     spanner = CompiledSpanner(args.formula)
     label_docs = len(docs) > 1
     total = 0
-    for name, text in docs:
-        total += _print_tuples(
-            spanner.stream(text),
-            text,
-            args.format,
-            args.limit,
-            prefix=name if label_docs else None,
+    if args.workers > 1 and len(docs) > 1:
+        # Shard the corpus across worker processes; results stream back
+        # in input order, so the printed output matches the serial run.
+        from .runtime.parallel import ParallelSpanner
+
+        engine = ParallelSpanner(spanner, workers=args.workers)
+        # Push --limit into the workers: a capped extraction must stop
+        # enumerating at the cap there, as the serial path does here.
+        answer_streams = engine.evaluate_many(
+            (text for _name, text in docs), limit=args.limit
         )
+        for (name, text), answers in zip(docs, answer_streams):
+            total += _print_tuples(
+                answers,
+                text,
+                args.format,
+                args.limit,
+                prefix=name if label_docs else None,
+            )
+    else:
+        for name, text in docs:
+            total += _print_tuples(
+                spanner.stream(text),
+                text,
+                args.format,
+                args.limit,
+                prefix=name if label_docs else None,
+            )
     if args.count:
         print(f"# {total} tuples", file=sys.stderr)
     return 0
@@ -190,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_io(p_extract)
     p_extract.add_argument(
         "--count", action="store_true", help="print the tuple count to stderr"
+    )
+    p_extract.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard documents across N worker processes sharing one "
+            "compiled artifact (default: 1 = serial; pays off on "
+            "many/large documents)"
+        ),
     )
     p_extract.set_defaults(func=_cmd_extract)
 

@@ -109,7 +109,7 @@ def build_evaluation_graph(
         next_frontier: list[int] = []
         next_level = position + 1
         for p in frontier:
-            succs = steps.get(p)
+            succs = steps[p]
             if not succs:
                 continue
             src_edges = out_edges[node_of[p]]

@@ -19,11 +19,14 @@ Consequences implemented here:
   disjuncts producing the same tuple produce the same word.
 
 The string-free part of the compilation (everything except equality
-automata) is cached per query *structure*, so repeated evaluation over
-a document collection pays the join fold once; for equality-free
-queries the fully compiled automaton is additionally wrapped in a
-:class:`~repro.runtime.CompiledSpanner`, amortizing Theorem 3.3's
-string-independent preprocessing across the collection as well.
+automata) is cached per query *structure* in the **process-wide**
+bounded LRU of :mod:`repro.runtime.cache`, so repeated evaluation over
+a document collection pays the join fold once — and so do independent
+evaluators, the CLI and parallel workers compiling the same structure;
+for equality-free queries the fully compiled automaton is additionally
+wrapped in a :class:`~repro.runtime.CompiledSpanner`, amortizing
+Theorem 3.3's string-independent preprocessing across the collection
+as well.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..enumeration.enumerator import SpannerEvaluator
+from ..runtime.cache import LRUCache, compilation_cache
 from ..runtime.compiled import CompiledSpanner
 from ..spans import SpanRelation, SpanTuple
 from ..vset.automaton import VSetAutomaton
@@ -68,11 +72,21 @@ def query_fingerprint(query: RegexCQ | RegexUCQ) -> tuple:
 
 
 class CompiledEvaluator:
-    """Evaluate regex CQs / UCQs by compiling to one vset-automaton."""
+    """Evaluate regex CQs / UCQs by compiling to one vset-automaton.
 
-    def __init__(self) -> None:
-        self._static_cache: dict[tuple, list[VSetAutomaton]] = {}
-        self._runtime_cache: dict[tuple, CompiledSpanner] = {}
+    Compiled artifacts (static join folds, equality-free compiled
+    spanners) live in a bounded LRU keyed by query *structure*.  By
+    default that is the process-wide :func:`compilation_cache`, so any
+    number of evaluator instances — and the CLI and parallel workers —
+    share one compilation per structure; pass ``cache`` for an
+    isolated (e.g. per-test or differently-sized) cache.  Structural
+    keys make slot recycling safe: after an eviction, a reappearing
+    fingerprint can only belong to a structurally equal query, which
+    recompiles to an interchangeable artifact — never a stale one.
+    """
+
+    def __init__(self, cache: LRUCache | None = None) -> None:
+        self.cache = cache if cache is not None else compilation_cache()
 
     # -- Compilation -----------------------------------------------------------
     def compile_static(self, query: RegexCQ | RegexUCQ) -> list[VSetAutomaton]:
@@ -85,18 +99,20 @@ class CompiledEvaluator:
             query = RegexUCQ([query])
         # The static fold ignores head and equalities, so key by the
         # formulas alone: queries differing only in projection share it.
-        key = tuple(
-            tuple(atom.formula for atom in cq.regex_atoms) for cq in query
+        key = (
+            "static-fold",
+            tuple(
+                tuple(atom.formula for atom in cq.regex_atoms) for cq in query
+            ),
         )
-        cached = self._static_cache.get(key)
-        if cached is not None:
-            return cached
-        compiled: list[VSetAutomaton] = []
-        for cq in query:
-            automata = [atom.automaton() for atom in cq.regex_atoms]
-            compiled.append(join_many(automata))
-        self._static_cache[key] = compiled
-        return compiled
+
+        def build() -> list[VSetAutomaton]:
+            return [
+                join_many([atom.automaton() for atom in cq.regex_atoms])
+                for cq in query
+            ]
+
+        return self.cache.get_or_create(key, build)
 
     def compile(self, query: RegexCQ | RegexUCQ, s: str) -> VSetAutomaton:
         """The full compilation for input ``s`` (one automaton).
@@ -133,12 +149,10 @@ class CompiledEvaluator:
             query = RegexUCQ([query])
         if query.has_equalities:
             return None
-        key = query_fingerprint(query)
-        spanner = self._runtime_cache.get(key)
-        if spanner is None:
-            spanner = CompiledSpanner(self.compile(query, ""))
-            self._runtime_cache[key] = spanner
-        return spanner
+        key = ("compiled-spanner", query_fingerprint(query))
+        return self.cache.get_or_create(
+            key, lambda: CompiledSpanner(self.compile(query, ""))
+        )
 
     # -- Evaluation ------------------------------------------------------------
     def prepare(self, query: RegexCQ | RegexUCQ, s: str) -> SpannerEvaluator:

@@ -3,22 +3,39 @@
 * :mod:`.tables` — :class:`AutomatonTables`, the string-independent
   artifacts of Theorem 3.3's preprocessing (trim/compaction,
   configuration sweep, interned VE closures, terminal-edge lists, the
-  lazily grown character-indexed burst-step table), plus the shared
-  :func:`tables_for` cache;
+  character-indexed burst-step table — lazily grown, or prebuilt
+  eagerly for statically-known alphabets), plus the shared
+  :func:`tables_for` cache; picklable, so one compiled artifact can be
+  shipped to worker processes;
+* :mod:`.cache` — the process-wide bounded LRU compilation cache with
+  hit/miss/eviction counters (:func:`compilation_cache`,
+  :func:`cache_metrics`);
 * :mod:`.compiled` — :class:`CompiledSpanner`, the compile-once /
-  evaluate-many entry point with batch APIs.
+  evaluate-many entry point with batch APIs;
+* :mod:`.parallel` — :class:`ParallelSpanner`, multiprocess corpus
+  sharding over one pickled/rebuilt ``AutomatonTables`` artifact.
 
-``CompiledSpanner`` is exposed lazily (PEP 562): :mod:`.tables` sits
-*below* the enumeration layer (the evaluation-graph construction builds
-on it), while :mod:`.compiled` sits *above* it, so importing both
-eagerly here would close an import cycle.
+``CompiledSpanner`` / ``ParallelSpanner`` are exposed lazily (PEP 562):
+:mod:`.tables` sits *below* the enumeration layer (the evaluation-graph
+construction builds on it), while the spanner classes sit *above* it,
+so importing everything eagerly here would close an import cycle.
 """
 
 from __future__ import annotations
 
+from .cache import CacheStats, LRUCache, cache_metrics, compilation_cache
 from .tables import AutomatonTables, tables_for
 
-__all__ = ["AutomatonTables", "tables_for", "CompiledSpanner"]
+__all__ = [
+    "AutomatonTables",
+    "tables_for",
+    "CompiledSpanner",
+    "ParallelSpanner",
+    "CacheStats",
+    "LRUCache",
+    "cache_metrics",
+    "compilation_cache",
+]
 
 
 def __getattr__(name: str):
@@ -26,4 +43,8 @@ def __getattr__(name: str):
         from .compiled import CompiledSpanner
 
         return CompiledSpanner
+    if name == "ParallelSpanner":
+        from .parallel import ParallelSpanner
+
+        return ParallelSpanner
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

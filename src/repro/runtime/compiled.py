@@ -62,6 +62,36 @@ class CompiledSpanner:
         self.tables: AutomatonTables = tables_for(automaton)
         if not self.tables.is_empty:
             self.tables.require_all_closed_final()
+        # Chars-only automata have a statically known alphabet: index
+        # every character row now so no document ever runs the
+        # predicate fallback (no-op beyond the thresholds / for
+        # wildcard predicates — those stay lazily indexed).
+        self.tables.prebuild_burst()
+
+    @classmethod
+    def from_tables(cls, tables: AutomatonTables) -> "CompiledSpanner":
+        """A spanner over already-built (e.g. unpickled) tables.
+
+        The string-independent preprocessing is *not* rerun: this is
+        how a :class:`~repro.runtime.parallel.ParallelSpanner` worker
+        turns the one shipped :class:`AutomatonTables` artifact into a
+        serving spanner.  The automaton is the prepared (compacted) one
+        the tables describe.
+        """
+        self = object.__new__(cls)
+        self.automaton = tables.automaton
+        self.tables = tables
+        if not tables.is_empty:
+            tables.require_all_closed_final()
+        return self
+
+    # -- Serialization ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"automaton": self.automaton, "tables": self.tables}
+
+    def __setstate__(self, state: dict) -> None:
+        self.automaton = state["automaton"]
+        self.tables = state["tables"]
 
     # -- Introspection ------------------------------------------------------
     @property

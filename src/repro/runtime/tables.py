@@ -10,16 +10,32 @@ workload streamed over many documents (the serving scenario of Kalmbach
 et al. 2022) pays it once per automaton instead of once per
 ``(automaton, string)`` pair.
 
-On top of the static tables sits a lazily built **burst-step table**:
-for each distinct character ``σ`` seen so far, a mapping
+On top of the static tables sits the **burst-step table**: for each
+distinct character ``σ``, a row mapping
 
     ``state p  ->  tuple of states reachable by (terminal edge reading σ)
                    followed by a variable-epsilon burst``
 
 so the evaluation-graph construction's inner ``pred.matches(ch)`` loop
-collapses into a single dict lookup per frontier state.  Documents over
-a typical alphabet share a few dozen distinct characters, so the table
-converges quickly and subsequent documents run entirely on cached rows.
+collapses into a single indexed lookup per frontier state.  Rows are
+compact state-indexed tuples (one ``tuple[int, ...]`` per state, ``()``
+when the character is not readable there).  By default rows are built
+lazily on first sight of a character; for automata whose terminal
+predicates are all finite :class:`~repro.alphabet.Chars` sets the full
+alphabet is statically known and :meth:`AutomatonTables.prebuild_burst`
+(called by ``CompiledSpanner``) builds every row eagerly — afterwards
+*unseen* characters resolve to a shared all-empty row with no predicate
+sweep at all.
+
+**Pickling.**  ``AutomatonTables`` is an explicit serialization
+contract (``__getstate__``/``__setstate__``) so that
+:class:`~repro.runtime.parallel.ParallelSpanner` can ship one compiled
+artifact to every worker process: the prepared automaton,
+configurations, closures, terminal edges and every burst row built so
+far survive the round trip; pickle's memo preserves the interning of
+shared closure tuples and configurations; the ``views`` scratch dict
+(in-memory derived caches, e.g. the join's operand buckets) is
+deliberately dropped and rebuilt lazily on the other side.
 
 :func:`tables_for` memoizes tables per automaton *object* (weakly, so
 dropping the automaton frees its tables); it is shared by
@@ -30,9 +46,7 @@ operand twice never recomputes its closures.
 
 from __future__ import annotations
 
-from weakref import WeakKeyDictionary
-
-from ..alphabet import is_epsilon, is_marker, is_marker_set, is_symbol
+from ..alphabet import Chars, is_epsilon, is_marker, is_marker_set, is_symbol
 from ..automata.ops import closure
 from ..errors import NotFunctionalError
 from ..vset.automaton import VSetAutomaton
@@ -40,6 +54,7 @@ from ..vset.configurations import (
     VariableConfiguration,
     compute_state_configurations,
 )
+from .cache import WeakCache
 
 __all__ = ["AutomatonTables", "tables_for"]
 
@@ -49,6 +64,19 @@ __all__ = ["AutomatonTables", "tables_for"]
 #: computed per call (predicate fallback) instead of growing memory
 #: with input character diversity.
 BURST_TABLE_MAX_ROWS = 512
+
+#: :meth:`AutomatonTables.prebuild_burst` thresholds: skip the eager
+#: build when the static alphabet exceeds this many characters ...
+EAGER_BURST_MAX_CHARS = 96
+
+#: ... or when ``|alphabet| * n_states`` exceeds this many row cells
+#: (equality automata are Chars-only but have O(N^4) states — eagerly
+#: sweeping their edges per character would dwarf the join that
+#: consumes them).
+EAGER_BURST_MAX_CELLS = 1 << 18
+
+#: One burst row: successor tuples indexed by state (``()`` = none).
+BurstRow = "tuple[tuple[int, ...], ...]"
 
 
 def _variable_epsilon(label: object) -> bool:
@@ -72,7 +100,7 @@ class AutomatonTables:
         terminal_edges: per-state ``(predicate, dst)`` lists.
         views: a scratch dict for downstream layers (e.g. the join's
             per-shared-variable-set operand buckets) to cache derived
-            data alongside the tables.
+            data alongside the tables.  Not pickled.
     """
 
     __slots__ = (
@@ -86,6 +114,8 @@ class AutomatonTables:
         "terminal_edges",
         "views",
         "_burst",
+        "_burst_complete",
+        "_empty_row",
         "__weakref__",
     )
 
@@ -97,7 +127,9 @@ class AutomatonTables:
         self.automaton = prepared
         self.is_empty = prepared.is_empty_language()
         self.views: dict[object, object] = {}
-        self._burst: dict[str, dict[int, tuple[int, ...]]] = {}
+        self._burst: dict[str, BurstRow] = {}
+        self._burst_complete = False
+        self._empty_row: BurstRow = ()
         if self.is_empty:
             self.configs: tuple[VariableConfiguration | None, ...] = ()
             self.final_config: VariableConfiguration | None = None
@@ -122,6 +154,7 @@ class AutomatonTables:
             )
             for q in range(nfa.n_states)
         )
+        self._empty_row = ((),) * nfa.n_states
 
     # -- Functionality gate -------------------------------------------------
     def require_all_closed_final(self) -> None:
@@ -132,27 +165,34 @@ class AutomatonTables:
             )
 
     # -- The character-indexed burst-step table -----------------------------
-    def burst_step(self, ch: str) -> dict[int, tuple[int, ...]]:
+    def burst_step(self, ch: str) -> BurstRow:
         """``state -> successors-after-VE`` for one input character.
 
         Built on first sight of ``ch`` by the predicate-match fallback
         (one ``pred.matches`` sweep over the terminal edges), then
         served from the cache for every later occurrence — in this
-        document or any other.  The cache is bounded by
+        document or any other.  After a successful
+        :meth:`prebuild_burst`, every readable character already has a
+        row and unseen characters short-circuit to a shared all-empty
+        row.  The lazy cache is bounded by
         :data:`BURST_TABLE_MAX_ROWS` so character-diverse streams
         cannot grow it without limit; overflow rows are recomputed per
         call.
         """
-        table = self._burst.get(ch)
-        if table is None:
-            table = self._build_burst(ch)
+        row = self._burst.get(ch)
+        if row is None:
+            if self._burst_complete:
+                # Static alphabet fully indexed: a missing row means no
+                # terminal predicate can read ``ch`` anywhere.
+                return self._empty_row
+            row = self._build_burst(ch)
             if len(self._burst) < BURST_TABLE_MAX_ROWS:
-                self._burst[ch] = table
-        return table
+                self._burst[ch] = row
+        return row
 
-    def _build_burst(self, ch: str) -> dict[int, tuple[int, ...]]:
-        out: dict[int, tuple[int, ...]] = {}
-        for q, edges in enumerate(self.terminal_edges):
+    def _build_burst(self, ch: str) -> BurstRow:
+        rows: list[tuple[int, ...]] = []
+        for edges in self.terminal_edges:
             succs: set[int] | None = None
             for pred, r in edges:
                 if pred.matches(ch):
@@ -160,17 +200,98 @@ class AutomatonTables:
                         succs = set(self.ve[r])
                     else:
                         succs.update(self.ve[r])
-            if succs:
-                out[q] = tuple(sorted(succs))
-        return out
+            rows.append(tuple(sorted(succs)) if succs else ())
+        return tuple(rows)
+
+    def static_alphabet(self) -> frozenset[str] | None:
+        """The full readable alphabet, when statically known.
+
+        For automata whose terminal predicates are all finite
+        :class:`~repro.alphabet.Chars` sets this is their union; any
+        :class:`~repro.alphabet.AnyChar`/:class:`~repro.alphabet.NotChars`
+        predicate makes the readable set infinite — returns ``None``.
+        """
+        chars: set[str] = set()
+        for edges in self.terminal_edges:
+            for pred, _dst in edges:
+                if not isinstance(pred, Chars):
+                    return None
+                chars.update(pred.chars)
+        return frozenset(chars)
+
+    def prebuild_burst(
+        self,
+        *,
+        max_chars: int = EAGER_BURST_MAX_CHARS,
+        max_cells: int = EAGER_BURST_MAX_CELLS,
+    ) -> bool:
+        """Eagerly build every burst row of a statically-known alphabet.
+
+        Returns True when the table is complete afterwards — then no
+        evaluation ever runs the predicate fallback: known characters
+        hit their prebuilt row, unknown characters hit the shared empty
+        row.  Returns False (leaving the lazy path untouched) when the
+        alphabet is not static or exceeds the size thresholds.
+        Idempotent; called by ``CompiledSpanner`` at construction.
+        """
+        if self._burst_complete:
+            return True
+        if self.is_empty:
+            self._burst_complete = True
+            return True
+        alphabet = self.static_alphabet()
+        if alphabet is None or len(alphabet) > max_chars:
+            return False
+        if len(alphabet) * len(self.terminal_edges) > max_cells:
+            return False
+        for ch in alphabet:
+            if ch not in self._burst:
+                self._burst[ch] = self._build_burst(ch)
+        self._burst_complete = True
+        return True
+
+    @property
+    def burst_complete(self) -> bool:
+        """True when every readable character has a prebuilt row."""
+        return self._burst_complete
 
     @property
     def distinct_characters_seen(self) -> int:
         """How many burst-table rows exist (introspection / tests)."""
         return len(self._burst)
 
+    # -- Serialization (the ParallelSpanner shipping contract) --------------
+    def __getstate__(self) -> dict:
+        return {
+            "automaton": self.automaton,
+            "variables": self.variables,
+            "is_empty": self.is_empty,
+            "configs": self.configs,
+            "final_config": self.final_config,
+            "ve": self.ve,
+            "initial_ve": self.initial_ve,
+            "terminal_edges": self.terminal_edges,
+            "burst": self._burst,
+            "burst_complete": self._burst_complete,
+        }
 
-_CACHE: "WeakKeyDictionary[VSetAutomaton, AutomatonTables]" = WeakKeyDictionary()
+    def __setstate__(self, state: dict) -> None:
+        self.automaton = state["automaton"]
+        self.variables = state["variables"]
+        self.is_empty = state["is_empty"]
+        self.configs = state["configs"]
+        self.final_config = state["final_config"]
+        self.ve = state["ve"]
+        self.initial_ve = state["initial_ve"]
+        self.terminal_edges = state["terminal_edges"]
+        self._burst = state["burst"]
+        self._burst_complete = state["burst_complete"]
+        self._empty_row = ((),) * len(self.terminal_edges)
+        # Derived per-process caches rebuild lazily on first use.
+        self.views = {}
+
+
+_CACHE: WeakCache = WeakCache(name="automaton-tables")
 
 
 def tables_for(automaton: VSetAutomaton) -> AutomatonTables:
@@ -179,13 +300,13 @@ def tables_for(automaton: VSetAutomaton) -> AutomatonTables:
     Repeated callers — :class:`CompiledSpanner` instances, repeated
     joins of the same operand — get the same object, so closures and
     configuration sweeps run once per automaton for the lifetime of the
-    automaton object.
+    automaton object.  Hit/miss counters surface through
+    :func:`repro.runtime.cache.cache_metrics` under
+    ``"automaton-tables"``.
     """
-    tables = _CACHE.get(automaton)
-    if tables is None:
-        tables = AutomatonTables(automaton, compact=True)
-        _CACHE[automaton] = tables
-    return tables
+    return _CACHE.get_or_create(
+        automaton, lambda: AutomatonTables(automaton, compact=True)
+    )
 
 
 def _intern(

@@ -209,6 +209,15 @@ class VariableConfiguration:
         mapping.update(other.items())
         return VariableConfiguration.from_mapping(mapping)
 
+    def __reduce__(self):
+        # Rebuild through __init__ so ``_hash`` is recomputed in the
+        # receiving process: string hashes are salted per process
+        # (PYTHONHASHSEED), so a pickled hash would disagree with every
+        # dict the unpickling process builds around fresh
+        # configurations.  Pickle's memo still preserves object
+        # sharing, so interned configurations stay interned.
+        return (VariableConfiguration, (self.variables, self.states))
+
     # -- Ordering / hashing (the alphabet K) -----------------------------------
     def sort_key(self) -> tuple[int, ...]:
         return self.states

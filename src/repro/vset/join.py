@@ -96,19 +96,38 @@ class _Operand:
             )
 
 
+_VIEW_STATS = None  # lazily created HitCounter (import-cycle guard)
+
+
 def _operand(automaton: VSetAutomaton, shared: tuple[str, ...]) -> _Operand:
-    """The (cached) operand view for ``automaton`` and ``shared``."""
+    """The (cached) operand view for ``automaton`` and ``shared``.
+
+    Views ride on ``tables.views`` — a scratch dict that is dropped on
+    pickling, so worker processes rebuild their buckets lazily — and
+    their hit/miss counts surface through
+    :func:`repro.runtime.cache.cache_metrics` as ``"join-operand-views"``.
+    """
     # Imported lazily: runtime.tables sits between the vset and
     # enumeration layers and importing it at module scope would close
     # an import cycle when ``repro.runtime`` is imported first.
+    from ..runtime.cache import HitCounter
     from ..runtime.tables import tables_for
+
+    global _VIEW_STATS
+    if _VIEW_STATS is None:
+        # HitCounter.shared is race-free: concurrent first joins all
+        # resolve to one registered counter.
+        _VIEW_STATS = HitCounter.shared("join-operand-views")
 
     tables = tables_for(automaton)
     key = ("join-operand", shared)
     view = tables.views.get(key)
     if view is None:
+        _VIEW_STATS.miss()
         view = _Operand(tables, shared)
         tables.views[key] = view
+    else:
+        _VIEW_STATS.hit()
     return view
 
 

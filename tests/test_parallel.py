@@ -1,0 +1,167 @@
+"""Tests for multiprocess corpus sharding (``ParallelSpanner``).
+
+The contract: whatever the worker count, chunking or start method, the
+parallel engine yields **exactly** the serial ``CompiledSpanner``
+output — same tuples, same radix order, same per-document grouping, in
+input order — and ``workers=1`` never touches :mod:`multiprocessing`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import CompiledSpanner, ParallelSpanner
+from repro.runtime import parallel as parallel_module
+from repro.vset import compile_regex, join
+
+FORMULA = "(ε|.*[^a-z])x{[a-z]+}([^a-z].*|ε)"
+
+DOCS = [
+    "say hi ho",
+    "",
+    "a1bc2",
+    "UPPER lower",
+    "zzz",
+    "the quick brown fox",
+    "no-match-HERE-404",
+    "ab cd ab",
+] * 4  # 32 docs: several chunks at chunk_size 3
+
+
+@pytest.fixture(scope="module")
+def serial_output():
+    spanner = CompiledSpanner(FORMULA)
+    return list(spanner.evaluate_many(DOCS))
+
+
+class TestParallelMatchesSerial:
+    def test_two_workers_identical_output(self, serial_output):
+        engine = ParallelSpanner(FORMULA, workers=2, chunk_size=3)
+        assert list(engine.evaluate_many(DOCS)) == serial_output
+
+    def test_chunk_boundaries_do_not_matter(self, serial_output):
+        for chunk_size in (1, 5, 100):
+            engine = ParallelSpanner(FORMULA, workers=2, chunk_size=chunk_size)
+            assert list(engine.evaluate_many(DOCS)) == serial_output
+
+    def test_more_workers_than_documents(self):
+        engine = ParallelSpanner("a*x{a*}a*", workers=4, chunk_size=1)
+        docs = ["a", "aa"]
+        serial = list(CompiledSpanner("a*x{a*}a*").evaluate_many(docs))
+        assert list(engine.evaluate_many(docs)) == serial
+
+    def test_joined_marker_set_automaton(self):
+        joined = join(compile_regex(".*x{a+}.*"), compile_regex(".*y{b+}.*"))
+        docs = ["abab", "aabb", "ba", "aaa", "bbbb"] * 3
+        serial = list(CompiledSpanner(joined).evaluate_many(docs))
+        engine = ParallelSpanner(joined, workers=2, chunk_size=2)
+        assert list(engine.evaluate_many(docs)) == serial
+
+    def test_limit_caps_per_document(self, serial_output):
+        engine = ParallelSpanner(FORMULA, workers=2, chunk_size=3)
+        capped = list(engine.evaluate_many(DOCS, limit=2))
+        assert capped == [per_doc[:2] for per_doc in serial_output]
+        # workers=1 fallback honors the same cap.
+        serial_engine = ParallelSpanner(FORMULA, workers=1)
+        assert list(serial_engine.evaluate_many(DOCS, limit=2)) == capped
+
+    def test_count_many(self):
+        engine = ParallelSpanner("a*x{a*}a*", workers=2, chunk_size=2)
+        docs = ["", "a", "aa", "aaa", "b"] * 2
+        serial = list(CompiledSpanner("a*x{a*}a*").count_many(docs))
+        assert list(engine.count_many(docs)) == serial
+        capped = list(engine.count_many(docs, cap=3))
+        assert capped == [min(c, 3) for c in serial]
+
+    def test_spawn_start_method(self, serial_output):
+        engine = ParallelSpanner(
+            FORMULA, workers=2, chunk_size=8, mp_context="spawn"
+        )
+        assert list(engine.evaluate_many(DOCS[:16])) == serial_output[:16]
+
+    def test_persistent_pool_context_manager(self, serial_output):
+        with ParallelSpanner(FORMULA, workers=2, chunk_size=4) as engine:
+            assert engine._pool is not None
+            first = list(engine.evaluate_many(DOCS))
+            second = list(engine.evaluate_many(DOCS))
+        assert first == serial_output and second == serial_output
+        assert engine._pool is None  # closed on exit
+
+
+class TestSerialFallback:
+    def test_workers_one_never_touches_multiprocessing(
+        self, serial_output, monkeypatch
+    ):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("workers=1 must not create a pool")
+
+        monkeypatch.setattr(parallel_module.multiprocessing, "get_context", boom)
+        engine = ParallelSpanner(FORMULA, workers=1)
+        assert list(engine.evaluate_many(DOCS)) == serial_output
+        assert list(engine.count_many(DOCS[:4])) == [
+            len(t) for t in serial_output[:4]
+        ]
+
+    def test_empty_corpus_creates_no_pool(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("empty corpus must not create a pool")
+
+        engine = ParallelSpanner(FORMULA, workers=2)
+        monkeypatch.setattr(engine, "_make_pool", boom)
+        assert list(engine.evaluate_many([])) == []
+        assert list(engine.evaluate_many(iter(()))) == []
+
+
+class TestBackpressure:
+    def test_input_read_ahead_is_bounded(self):
+        # The dispatch loop must not slurp the whole (possibly
+        # unbounded) input iterable: with chunk_size=1, max_pending=2,
+        # the first result can be consumed while most of the input is
+        # still unread.
+        pulled = []
+
+        def docs():
+            for i in range(100):
+                pulled.append(i)
+                yield "a"
+
+        engine = ParallelSpanner(
+            "a*x{a*}a*", workers=2, chunk_size=1, max_pending=2
+        )
+        stream = engine.evaluate_many(docs())
+        next(stream)
+        assert len(pulled) <= 8, f"read {len(pulled)} docs ahead of one result"
+        stream.close()  # abandon mid-stream: pool must tear down cleanly
+
+    def test_results_arrive_lazily_in_order(self):
+        engine = ParallelSpanner("a*x{a*}a*", workers=2, chunk_size=2)
+        docs = ["a" * i for i in range(8)]
+        serial = list(CompiledSpanner("a*x{a*}a*").evaluate_many(docs))
+        stream = engine.evaluate_many(docs)
+        got = [next(stream) for _ in range(3)]
+        assert got == serial[:3]
+        assert list(stream) == serial[3:]
+
+
+class TestValidation:
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelSpanner(FORMULA, workers=0)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            ParallelSpanner(FORMULA, chunk_size=0)
+
+    def test_invalid_max_pending(self):
+        with pytest.raises(ValueError):
+            ParallelSpanner(FORMULA, workers=2, max_pending=0)
+
+    def test_wraps_existing_compiled_spanner(self):
+        spanner = CompiledSpanner(FORMULA)
+        engine = ParallelSpanner(spanner, workers=1)
+        assert engine.spanner is spanner
+        assert engine.variables == spanner.variables
+
+    def test_repr(self):
+        engine = ParallelSpanner(FORMULA, workers=2)
+        assert "workers=2" in repr(engine)

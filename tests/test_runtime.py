@@ -23,6 +23,7 @@ from repro.oracle import oracle_evaluate
 from repro.queries import CompiledEvaluator, RegexCQ
 from repro.queries.compiled import query_fingerprint
 from repro.runtime import AutomatonTables, CompiledSpanner, tables_for
+from repro.runtime.cache import LRUCache
 from repro.runtime.tables import _CACHE
 from repro.spans import Span, SpanTuple
 from repro.vset import VSetAutomaton, compile_regex, join
@@ -219,15 +220,16 @@ class TestStaticCacheFingerprint:
         # A RegexCQ is wrapped in a fresh RegexUCQ on every call, so the
         # old id()-keyed cache could never hit (and could collide after
         # garbage collection); the structural key must hit every time.
-        evaluator = CompiledEvaluator()
+        evaluator = CompiledEvaluator(cache=LRUCache(16))
         query = RegexCQ(["x"], [".*x{a+}.*"])
         first = evaluator.compile_static(query)
         second = evaluator.compile_static(query)
         assert first is second
-        assert len(evaluator._static_cache) == 1
+        assert len(evaluator.cache) == 1
+        assert evaluator.cache.stats().hits == 1
 
     def test_structurally_equal_queries_share_one_entry(self):
-        evaluator = CompiledEvaluator()
+        evaluator = CompiledEvaluator(cache=LRUCache(16))
         q1 = RegexCQ(["x"], [".*x{a+}.*"])
         q2 = RegexCQ(["x"], [".*x{a+}.*"])
         assert evaluator.compile_static(q1) is evaluator.compile_static(q2)
@@ -236,7 +238,7 @@ class TestStaticCacheFingerprint:
         # With id() keying, deleting q1 could hand its id to q2 and
         # serve q1's automata for q2's formulas.  Structural keys make
         # the collision impossible regardless of object lifetimes.
-        evaluator = CompiledEvaluator()
+        evaluator = CompiledEvaluator(cache=LRUCache(16))
         q1 = RegexCQ(["x"], [".*x{a+}.*"])
         compiled_1 = evaluator.compile_static(q1)
         del q1
@@ -244,12 +246,26 @@ class TestStaticCacheFingerprint:
         q2 = RegexCQ(["x"], [".*x{b+}.*"])
         compiled_2 = evaluator.compile_static(q2)
         assert compiled_1 is not compiled_2
-        assert len(evaluator._static_cache) == 2
+        static_keys = [
+            k for k in evaluator.cache.keys() if k[0] == "static-fold"
+        ]
+        assert len(static_keys) == 2
         relation = evaluator.evaluate(q2, "abbb")
         assert {mu["x"] for mu in relation} == {
             Span(2, 3), Span(2, 4), Span(2, 5),
             Span(3, 4), Span(3, 5), Span(4, 5),
         }
+
+    def test_default_cache_is_process_wide(self):
+        # Two independent evaluators share the module-level compilation
+        # cache: the second gets the first's compiled spanner for free
+        # (the CLI and parallel workers lean on exactly this).
+        query = RegexCQ(["x"], [".*x{(a|b)b}.*"])
+        first = CompiledEvaluator().runtime(query)
+        second = CompiledEvaluator().runtime(
+            RegexCQ(["x"], [".*x{(a|b)b}.*"])
+        )
+        assert first is not None and first is second
 
     def test_fingerprint_separates_heads_and_equalities(self):
         base = RegexCQ(["x"], [".*x{a+}.*", ".*y{a+}.*"])
