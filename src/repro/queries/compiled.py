@@ -36,7 +36,9 @@ from typing import Iterator
 from ..enumeration.enumerator import SpannerEvaluator
 from ..runtime.cache import LRUCache, compilation_cache
 from ..runtime.compiled import CompiledSpanner
+from ..runtime.equality import CompiledEqualityQuery, equality_join
 from ..spans import SpanRelation, SpanTuple
+from ..text.substrings import SubstringIndex
 from ..vset.automaton import VSetAutomaton
 from ..vset.equality import equality_automaton
 from ..vset.join import join, join_many
@@ -83,10 +85,24 @@ class CompiledEvaluator:
     keys make slot recycling safe: after an eviction, a reappearing
     fingerprint can only belong to a structurally equal query, which
     recompiles to an interchangeable artifact — never a stale one.
+
+    Equality groups evaluate through the **fused** runtime
+    (:func:`repro.runtime.equality.equality_join`) by default: the
+    per-string ``A_eq`` is never materialized, the product is driven
+    off the static operand's cached tables.  Pass
+    ``materialize_equalities=True`` to force the explicit
+    Theorem 5.4 construction — the parity reference the fused path is
+    tested against.
     """
 
-    def __init__(self, cache: LRUCache | None = None) -> None:
+    def __init__(
+        self,
+        cache: LRUCache | None = None,
+        *,
+        materialize_equalities: bool = False,
+    ) -> None:
         self.cache = cache if cache is not None else compilation_cache()
+        self.materialize_equalities = materialize_equalities
 
     # -- Compilation -----------------------------------------------------------
     def compile_static(self, query: RegexCQ | RegexUCQ) -> list[VSetAutomaton]:
@@ -126,10 +142,16 @@ class CompiledEvaluator:
         per_disjunct: list[VSetAutomaton] = []
         statics = self.compile_static(query)
         head = query.head
+        index: SubstringIndex | None = None
         for cq, automaton in zip(query, statics):
             for eq in cq.merged_equalities():
                 group = tuple(sorted(eq.variable_set))
-                automaton = join(automaton, equality_automaton(s, group))
+                if self.materialize_equalities:
+                    automaton = join(automaton, equality_automaton(s, group))
+                else:
+                    if index is None:
+                        index = SubstringIndex(s)
+                    automaton = equality_join(automaton, group, s, index=index)
             per_disjunct.append(project(automaton, head))
         if len(per_disjunct) == 1:
             return per_disjunct[0]
@@ -154,6 +176,39 @@ class CompiledEvaluator:
             key, lambda: CompiledSpanner(self.compile(query, ""))
         )
 
+    def equality_runtime(
+        self, query: RegexCQ | RegexUCQ
+    ) -> CompiledEqualityQuery | None:
+        """A reusable fused-equality engine for a query *with* equalities.
+
+        The string-independent half — the per-disjunct static join
+        folds and their tables — is cached per query structure; each
+        document then pays only the fused per-string equality joins.
+        The artifact is picklable (its tables ride the worker-
+        initializer path), so
+        :class:`~repro.runtime.parallel.ParallelSpanner` can shard it.
+        Returns ``None`` for equality-free queries (use
+        :meth:`runtime`, which amortizes strictly more).
+        """
+        if isinstance(query, RegexCQ):
+            query = RegexUCQ([query])
+        if not query.has_equalities:
+            return None
+        key = ("equality-query", query_fingerprint(query))
+
+        def build() -> CompiledEqualityQuery:
+            statics = self.compile_static(query)
+            groups = [
+                tuple(
+                    tuple(sorted(eq.variable_set))
+                    for eq in cq.merged_equalities()
+                )
+                for cq in query
+            ]
+            return CompiledEqualityQuery(statics, groups, query.head)
+
+        return self.cache.get_or_create(key, build)
+
     # -- Evaluation ------------------------------------------------------------
     def prepare(self, query: RegexCQ | RegexUCQ, s: str) -> SpannerEvaluator:
         """Run all preprocessing eagerly; the result is iterable.
@@ -165,11 +220,18 @@ class CompiledEvaluator:
 
         Equality-free queries route through the compiled-spanner
         runtime, so repeated calls over a document collection pay the
-        automaton-side preprocessing once.
+        automaton-side preprocessing once; equality queries route
+        through the fused :class:`CompiledEqualityQuery` engine, which
+        amortizes the static join folds the same way and fuses the
+        per-string equality joins.
         """
         spanner = self.runtime(query)
         if spanner is not None:
             return spanner.evaluator(s)
+        if not self.materialize_equalities:
+            engine = self.equality_runtime(query)
+            if engine is not None:
+                return engine.evaluator(s)
         return SpannerEvaluator(self.compile(query, s), s)
 
     def stream(self, query: RegexCQ | RegexUCQ, s: str) -> Iterator[SpanTuple]:

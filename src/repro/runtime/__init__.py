@@ -12,8 +12,13 @@
   :func:`cache_metrics`);
 * :mod:`.compiled` — :class:`CompiledSpanner`, the compile-once /
   evaluate-many entry point with batch APIs;
+* :mod:`.equality` — the fused equality-join runtime
+  (:func:`equality_join`, never materializing Theorem 5.4's per-string
+  ``A_eq``) and :class:`CompiledEqualityQuery`, its ship-to-workers
+  per-query artifact;
 * :mod:`.parallel` — :class:`ParallelSpanner`, multiprocess corpus
-  sharding over one pickled/rebuilt ``AutomatonTables`` artifact.
+  sharding over one pickled/rebuilt artifact (``AutomatonTables`` or a
+  ``CompiledEqualityQuery``).
 
 ``CompiledSpanner`` / ``ParallelSpanner`` are exposed lazily (PEP 562):
 :mod:`.tables` sits *below* the enumeration layer (the evaluation-graph
@@ -30,7 +35,9 @@ __all__ = [
     "AutomatonTables",
     "tables_for",
     "CompiledSpanner",
+    "CompiledEqualityQuery",
     "ParallelSpanner",
+    "equality_join",
     "CacheStats",
     "LRUCache",
     "cache_metrics",
@@ -47,4 +54,12 @@ def __getattr__(name: str):
         from .parallel import ParallelSpanner
 
         return ParallelSpanner
+    if name == "CompiledEqualityQuery":
+        from .equality import CompiledEqualityQuery
+
+        return CompiledEqualityQuery
+    if name == "equality_join":
+        from .equality import equality_join
+
+        return equality_join
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,624 @@
+"""The fused equality-join runtime (Theorem 5.4 without materializing A_eq).
+
+The paper evaluates a string-equality selection ``ζ^=(A)`` on input
+``s`` as ``A ⋈ A_eq`` (Lemma 3.10 + Theorem 5.4), where ``A_eq`` is a
+per-string path automaton with ``O(N^{k+2})`` states.  The materializing
+pipeline (:func:`repro.vset.equality.equality_automaton` + the generic
+join) therefore rebuilds and re-trims an enormous NFA for **every**
+input string, then runs the full product construction against it — the
+dominant per-document cost of equality workloads, while the
+equality-free path is fully amortized.
+
+This module evaluates the same join with the equality operand kept
+*implicit*.  The insight is that ``A_eq`` has almost no information in
+it: every path reads ``s`` verbatim, so a state of ``A_eq`` is fully
+described by
+
+* the current *gap* (1-based boundary position in ``s``),
+* whether a marker burst has already fired at this gap (paths fire all
+  of a gap's markers on one edge),
+* the start positions of the currently-open group variables,
+* which variables are already closed, and
+* once the first variable has closed: the common span length ``L`` and
+  a canonical *representative* start for the shared substring value
+  (from the rolling-hash :class:`~repro.text.substrings.SubstringIndex`).
+
+Crucially this representation **merges** the explicit construction's
+paths: all choices that agree on the fired prefix share one implicit
+state, and once a group is fully closed every choice collapses into a
+single per-gap state.  Validity is enforced on the fly — a burst is
+only emitted when the partial assignment still extends to a full
+equal-span choice (hash-checked substring equality, occurrence queries
+for still-unopened variables, longest-common-extension feasibility for
+partially-opened groups) — so the product construction below never
+explores a choice the string cannot complete.
+
+The product itself is Lemma 3.10's construction, driven directly off
+the static operand's cached :class:`~repro.runtime.tables.AutomatonTables`
+(VE closures, configuration sweep, terminal edges — all
+string-independent and shared with every other join of that operand)
+via :func:`repro.vset.join.operand_view`.  Two runtime prunes keep it
+lean:
+
+* the implicit operand reads ``s`` position by position, so the product
+  is automatically synchronized with the string — static states are
+  only ever paired at gaps they can reach on ``s``;
+* a backward sweep precomputes, per gap, the static states that can
+  still reach the final state on the rest of ``s``; pairs outside it —
+  e.g. marker bursts the static operand can never complete — are
+  dropped immediately instead of waiting for the final trim.
+
+The result is a :class:`~repro.vset.automaton.VSetAutomaton` with
+exactly the relation of ``join(static, equality_automaton(s, group))``
+on ``s``, so projection, union and Theorem 3.3 enumeration downstream
+are untouched — and enumeration order is identical too, because the
+radix order of configuration words depends only on the answer set.
+
+:class:`CompiledEqualityQuery` packages the string-independent half of
+an equality query (per-disjunct static join folds as picklable tables,
+equality groups, head) into a ship-to-workers artifact mirroring
+:class:`~repro.runtime.compiled.CompiledSpanner`'s interface, which is
+what lets :class:`~repro.runtime.parallel.ParallelSpanner` shard
+equality workloads across processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import product as cartesian_product
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..alphabet import EPSILON, char_pred, intersect_predicates
+from ..automata.nfa import NFA
+from ..errors import SchemaError
+from ..spans import SpanRelation, SpanTuple
+from ..text.substrings import SubstringIndex
+from ..vset.automaton import VSetAutomaton
+from ..vset.configurations import CLOSED, OPEN, WAITING, VariableConfiguration
+from ..vset.join import _empty_result, operand_view
+from ..vset.operations import project, union
+from .tables import AutomatonTables, tables_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..enumeration.enumerator import SpannerEvaluator
+
+__all__ = ["equality_join", "CompiledEqualityQuery"]
+
+
+#: The implicit operand's unique final state (all markers fired, the
+#: whole string read).  A sentinel, not a tuple-shaped state: identity
+#: checks are cheap and unambiguous.
+_FINAL = object()
+
+#: Fire options per variable inside one burst.
+_KEEP, _OPEN, _CLOSE, _OPEN_CLOSE = 0, 1, 2, 3
+
+
+class _ImplicitEqualityOperand:
+    """``A_eq`` for one group on one string, as states-on-demand.
+
+    States are tuples ``(gap, fired, opens, closed_mask, length, ref)``:
+
+    * ``gap``: 1-based boundary position, ``1 .. N+1``;
+    * ``fired``: True after the gap's (single) marker burst;
+    * ``opens``: sorted ``(var_index, start_gap)`` pairs of open vars;
+    * ``closed_mask``: bitmask of closed vars;
+    * ``length``/``ref``: the group's span length and the canonical
+      representative start of its substring value, fixed by the first
+      close (``None`` before; reset to ``None`` once *all* vars are
+      closed, so completed states merge across every choice).
+
+    ``ve_closure`` plays the role of the explicit operand's
+    variable-epsilon closures: the state itself, every valid one-burst
+    successor at the current gap, and the final state once the string
+    is consumed and the group fully closed.
+    """
+
+    __slots__ = (
+        "group",
+        "k",
+        "s",
+        "n",
+        "index",
+        "full_mask",
+        "initial",
+        "_ve",
+        "_advance",
+    )
+
+    def __init__(self, group: tuple[str, ...], s: str, index: SubstringIndex):
+        self.group = group
+        self.k = len(group)
+        self.s = s
+        self.n = len(s)
+        self.index = index
+        self.full_mask = (1 << self.k) - 1
+        self.initial = (1, False, (), 0, None, None)
+        self._ve: dict[tuple, tuple] = {}
+        self._advance: dict[tuple, tuple | None] = {}
+
+    # -- State inspection ---------------------------------------------------
+    def gap(self, u: tuple | object) -> int:
+        return self.n + 1 if u is _FINAL else u[0]  # type: ignore[index]
+
+    def var_states(self, u: tuple | object) -> tuple[int, ...]:
+        """Per-group-variable configuration states (w/o/c codes)."""
+        if u is _FINAL:
+            return (CLOSED,) * self.k
+        _g, _fired, opens, closed_mask, _length, _ref = u  # type: ignore[misc]
+        states = [WAITING] * self.k
+        for j, _start in opens:
+            states[j] = OPEN
+        for j in range(self.k):
+            if closed_mask >> j & 1:
+                states[j] = CLOSED
+        return tuple(states)
+
+    def is_complete(self, u: tuple) -> bool:
+        return u[3] == self.full_mask
+
+    # -- The variable-epsilon closure ---------------------------------------
+    def ve_closure(self, u: tuple | object) -> tuple:
+        """States reachable from ``u`` by at most one (valid) burst.
+
+        Mirrors the explicit ``A_eq``'s VE closures: paths fire all of
+        a gap's markers on one edge, so the closure is the state, its
+        burst successors, and the final state for fully-closed states
+        at gap ``N+1``.
+        """
+        if u is _FINAL:
+            return (_FINAL,)
+        cached = self._ve.get(u)  # type: ignore[arg-type]
+        if cached is None:
+            targets = [u]
+            if not u[1]:  # type: ignore[index]
+                targets.extend(self._fire_targets(u))  # type: ignore[arg-type]
+            closure: dict = {}
+            end_gap = self.n + 1
+            for t in targets:
+                closure[t] = None
+                if t[0] == end_gap and t[3] == self.full_mask:
+                    closure[_FINAL] = None
+            cached = tuple(closure)
+            self._ve[u] = cached  # type: ignore[index]
+        return cached
+
+    def advance(self, u: tuple) -> tuple | None:
+        """The state after reading the character at the current gap.
+
+        ``None`` when the state is provably dead at the next gap — a
+        fixed-length group variable whose mandatory close boundary was
+        just passed, or a required future occurrence that no longer
+        exists — so the product skips the whole doomed branch.
+        """
+        cached = self._advance.get(u, _FINAL)  # _FINAL = "not cached"
+        if cached is not _FINAL:
+            return cached  # type: ignore[return-value]
+        g, _fired, opens, closed_mask, length, ref = u
+        nxt: tuple | None = (g + 1, False, opens, closed_mask, length, ref)
+        if length is not None:
+            for _j, p in opens:
+                if p + length <= g:  # close boundary missed: dead branch
+                    nxt = None
+                    break
+            if nxt is not None and closed_mask != self.full_mask:
+                open_mask = 0
+                for j, _p in opens:
+                    open_mask |= 1 << j
+                if self.full_mask & ~closed_mask & ~open_mask:
+                    # A still-unopened variable needs a fresh occurrence
+                    # of the shared substring value from the next gap on.
+                    if (
+                        self.index.first_occurrence_at_or_after(
+                            ref, length, g + 1
+                        )
+                        is None
+                    ):
+                        nxt = None
+        self._advance[u] = nxt
+        return nxt
+
+    # -- Burst enumeration ---------------------------------------------------
+    def _fire_targets(self, u: tuple) -> list[tuple]:
+        """All valid one-burst successors of the unfired state ``u``.
+
+        A burst picks, per variable, one of: keep, open here, close
+        here (if open), or open-and-close here (an empty span).  The
+        result is kept only when the new partial assignment still
+        extends to a full equal-span choice of ``s``.
+        """
+        g, _fired, opens, closed_mask, length, ref = u
+        n, k, index = self.n, self.k, self.index
+        open_start = dict(opens)
+        options: list[tuple[int, ...]] = []
+        for j in range(k):
+            if closed_mask >> j & 1:
+                options.append((_KEEP,))
+            elif j in open_start:
+                options.append((_KEEP, _CLOSE))
+            else:
+                options.append((_KEEP, _OPEN, _OPEN_CLOSE))
+        out: dict[tuple, None] = {}
+        for combo in cartesian_product(*options):
+            closes: list[int] = []  # start gaps closed by this burst
+            new_opens: list[tuple[int, int]] = []
+            new_closed = closed_mask
+            changed = False
+            for j, action in enumerate(combo):
+                if action == _KEEP:
+                    if j in open_start and not (closed_mask >> j & 1):
+                        new_opens.append((j, open_start[j]))
+                elif action == _OPEN:
+                    new_opens.append((j, g))
+                    changed = True
+                elif action == _CLOSE:
+                    closes.append(open_start[j])
+                    new_closed |= 1 << j
+                    changed = True
+                else:  # _OPEN_CLOSE: an empty span at this gap
+                    closes.append(g)
+                    new_closed |= 1 << j
+                    changed = True
+            if not changed:
+                continue
+            # Fix (or check against) the group's common length/value.
+            if closes:
+                span_len = g - closes[0]
+                if any(g - p != span_len for p in closes[1:]):
+                    continue
+                if length is None:
+                    new_len = span_len
+                    new_ref = index.class_rep(closes[0], span_len)
+                else:
+                    if span_len != length:
+                        continue
+                    new_len, new_ref = length, ref
+                if not all(index.equal(p, new_ref, new_len) for p in closes):
+                    continue
+            else:
+                new_len, new_ref = length, ref
+            # Still-open variables must be closable later.
+            if new_opens:
+                if g == n + 1:
+                    continue
+                if new_len is not None:
+                    dead = False
+                    for _j, p in new_opens:
+                        close_gap = p + new_len
+                        if (
+                            close_gap <= g
+                            or close_gap > n + 1
+                            or not index.equal(p, new_ref, new_len)
+                        ):
+                            dead = True
+                            break
+                    if dead:
+                        continue
+                elif len(new_opens) > 1:
+                    # No length fixed yet: some common extension must
+                    # cover every open start until the earliest legal
+                    # close boundary (strictly after this gap).
+                    starts = [p for _j, p in new_opens]
+                    lo, hi = min(starts), max(starts)
+                    needed = g + 1 - lo
+                    if needed > n + 1 - hi:
+                        continue
+                    if needed > min(
+                        index.lce(a, b)
+                        for i, a in enumerate(starts)
+                        for b in starts[i + 1 :]
+                    ):
+                        continue
+            # Still-unopened variables must find an occurrence later.
+            open_mask = 0
+            for j, _p in new_opens:
+                open_mask |= 1 << j
+            if self.full_mask & ~new_closed & ~open_mask:
+                if g == n + 1:
+                    continue
+                if new_len is not None and (
+                    index.first_occurrence_at_or_after(new_ref, new_len, g + 1)
+                    is None
+                ):
+                    continue
+            if new_closed == self.full_mask:
+                # Completed groups merge across all choices.
+                out[(g, True, (), self.full_mask, None, None)] = None
+            else:
+                out[
+                    (g, True, tuple(sorted(new_opens)), new_closed, new_len, new_ref)
+                ] = None
+        return list(out)
+
+
+def _backward_reachable(
+    op, s: str, ve_sets: list[frozenset[int]]
+) -> list[frozenset[int]]:
+    """Per-gap static states that can still finish on the rest of ``s``.
+
+    ``result[g]`` (1-based, ``1 .. N+1``) holds every static state from
+    which the final state is reachable while reading exactly
+    ``s[g-1:]`` — the sound over-approximation the product uses to cut
+    branches the static operand can never complete.
+    """
+    n = len(s)
+    n_states = len(ve_sets)
+    final = op.automaton.final
+    reach: list[frozenset[int]] = [frozenset()] * (n + 2)
+    reach[n + 1] = frozenset(
+        q for q in range(n_states) if final in ve_sets[q]
+    )
+    for g in range(n, 0, -1):
+        sigma = s[g - 1]
+        nxt = reach[g + 1]
+        readers: set[int] = set()
+        for q in range(n_states):
+            for pred, dst in op.terminal_edges[q]:
+                if dst in nxt and pred.matches(sigma):
+                    readers.add(q)
+                    break
+        reach[g] = frozenset(
+            q for q in range(n_states) if ve_sets[q] & readers
+        )
+    return reach
+
+
+def equality_join(
+    static: VSetAutomaton,
+    group: Sequence[str],
+    s: str,
+    *,
+    tables: AutomatonTables | None = None,
+    index: SubstringIndex | None = None,
+) -> VSetAutomaton:
+    """The join ``static ⋈ A_eq(s, group)`` without materializing ``A_eq``.
+
+    Produces a functional vset-automaton whose relation on ``s`` is
+    byte-identical to ``join(static, equality_automaton(s, group))`` —
+    the tuples of ``static`` on ``s`` whose ``group`` spans carry equal
+    substrings — while building only product states the string *and*
+    the static operand can complete.
+
+    Args:
+        static: the (functional) static operand.
+        group: the equality group, at least two distinct variables;
+            variables outside ``static``'s set are allowed and join in
+            unconstrained, as the explicit construction's would.
+        s: the input string the equality is compiled against.
+        tables: precomputed tables for ``static`` (defaults to the
+            shared :func:`tables_for` cache).
+        index: a substring index of ``s`` to share across groups.
+    """
+    group = tuple(sorted(group))
+    if len(group) < 2:
+        raise SchemaError("a string-equality group needs at least 2 variables")
+    if len(set(group)) != len(group):
+        raise SchemaError("string-equality variables must be distinct")
+    if tables is None:
+        tables = tables_for(static)
+    variables = tables.variables | set(group)
+    if tables.is_empty:
+        return _empty_result(variables)
+
+    shared = tuple(v for v in group if v in tables.variables)
+    op = operand_view(tables, shared)
+    if index is None:
+        index = SubstringIndex(s)
+    eq = _ImplicitEqualityOperand(group, s, index)
+    n = len(s)
+
+    ve_sets = [frozenset(states) for states in op.ve]
+    reach = _backward_reachable(op, s, ve_sets)
+    initial1 = op.automaton.initial
+    final1 = op.automaton.final
+    if initial1 not in reach[1]:
+        return _empty_result(variables)
+
+    # Merged-configuration plan: values come from the static side for
+    # its variables and from the implicit operand for group-only ones
+    # (shared variables agree by the consistency bucketing).
+    union_vars = tuple(sorted(variables))
+    static_order = tuple(sorted(tables.variables))
+    static_pos = {v: i for i, v in enumerate(static_order)}
+    group_pos = {v: i for i, v in enumerate(group)}
+    plan = tuple(
+        (1, group_pos[v]) if v in group_pos else (0, static_pos[v])
+        for v in union_vars
+    )
+    shared_idx = tuple(group_pos[v] for v in shared)
+    merged_cache: dict[tuple, VariableConfiguration] = {}
+    ops_cache: dict[tuple, frozenset] = {}
+
+    def merged(q1: int, eq_states: tuple[int, ...]) -> VariableConfiguration:
+        config1 = op.configs[q1]
+        assert config1 is not None
+        key = (config1, eq_states)
+        out = merged_cache.get(key)
+        if out is None:
+            states1 = config1.states
+            out = VariableConfiguration(
+                union_vars,
+                tuple(
+                    eq_states[i] if side else states1[i]
+                    for side, i in plan
+                ),
+            )
+            merged_cache[key] = out
+        return out
+
+    product = NFA()
+    start_pair = (initial1, eq.initial)
+    state_of: dict[tuple, int] = {start_pair: product.add_state()}
+    product.set_initial(state_of[start_pair])
+    queue: deque[tuple] = deque((start_pair,))
+
+    while queue:
+        p1, u = queue.popleft()
+        src = state_of[(p1, u)]
+        src_eq_states = eq.var_states(u)
+        src_merged = merged(p1, src_eq_states)
+        g = eq.gap(u)
+
+        # Rule (a): burst transitions — every consistent pair of the
+        # static VE closure with the implicit operand's closure, found
+        # bucket-by-bucket on the shared-variable configuration.
+        buckets1 = op.ve_by_key[p1]
+        for v in eq.ve_closure(u):
+            v_eq_states = eq.var_states(v)
+            key = tuple(v_eq_states[i] for i in shared_idx)
+            for q1 in buckets1.get(key, ()):
+                if q1 == p1 and v is u:
+                    continue
+                if v is _FINAL:
+                    # Only the true final pair survives: _FINAL has no
+                    # outgoing moves, so anything else is dead weight.
+                    if q1 != final1:
+                        continue
+                elif q1 not in reach[g]:
+                    continue
+                dst_merged = merged(q1, v_eq_states)
+                ops_key = (src_merged, dst_merged)
+                ops = ops_cache.get(ops_key)
+                if ops is None:
+                    ops = src_merged.markers_to(dst_merged)
+                    ops_cache[ops_key] = ops
+                label: object = ops if ops else EPSILON
+                dst_pair = (q1, v)
+                dst = state_of.get(dst_pair)
+                if dst is None:
+                    dst = product.add_state()
+                    state_of[dst_pair] = dst
+                    queue.append(dst_pair)
+                product.add_transition(src, label, dst)
+
+        # Rule (b): terminal transitions — the implicit operand reads
+        # s verbatim, so the product reads exactly s[g-1] here.
+        if u is not _FINAL and g <= n:
+            u_next = eq.advance(u)
+            if u_next is None:
+                continue
+            sigma = s[g - 1]
+            next_reach = reach[g + 1]
+            for pred, r1 in op.terminal_edges[p1]:
+                if r1 not in next_reach or not pred.matches(sigma):
+                    continue
+                label = intersect_predicates(pred, char_pred(sigma))
+                if label is None:  # pragma: no cover - matches() held
+                    continue
+                dst_pair = (r1, u_next)
+                dst = state_of.get(dst_pair)
+                if dst is None:
+                    dst = product.add_state()
+                    state_of[dst_pair] = dst
+                    queue.append(dst_pair)
+                product.add_transition(src, label, dst)
+
+    final_pair = (final1, _FINAL)
+    if final_pair not in state_of:
+        return _empty_result(variables)
+    product.add_final(state_of[final_pair])
+    return VSetAutomaton(product, variables).trimmed()
+
+
+class CompiledEqualityQuery:
+    """A ship-anywhere engine for equality queries: compile once, fuse per doc.
+
+    The string-independent half of Corollary 5.5's compilation — the
+    per-disjunct static join folds, as :class:`AutomatonTables` — is
+    computed (or handed over) once; every document then pays only the
+    fused equality joins, projection, union and the Theorem 3.3 sweep.
+    The interface mirrors :class:`~repro.runtime.compiled.CompiledSpanner`
+    (``stream`` / ``evaluate`` / ``count`` / batch variants), which is
+    what :class:`~repro.runtime.parallel.ParallelSpanner` drives, and
+    the pickle contract ships the per-disjunct tables through the same
+    worker-initializer path the equality-free artifacts use.
+    """
+
+    __slots__ = ("head", "disjuncts")
+
+    def __init__(
+        self,
+        statics: Sequence[VSetAutomaton | AutomatonTables],
+        groups_per_disjunct: Sequence[Sequence[Sequence[str]]],
+        head: Sequence[str],
+    ):
+        if len(statics) != len(groups_per_disjunct):
+            raise ValueError("one group list per static disjunct required")
+        resolved: list[tuple[AutomatonTables, tuple[tuple[str, ...], ...]]] = []
+        for static, groups in zip(statics, groups_per_disjunct):
+            tables = (
+                static
+                if isinstance(static, AutomatonTables)
+                else tables_for(static)
+            )
+            resolved.append(
+                (tables, tuple(tuple(sorted(g)) for g in groups))
+            )
+        self.disjuncts = tuple(resolved)
+        self.head = tuple(head)
+
+    # -- Serialization ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"head": self.head, "disjuncts": self.disjuncts}
+
+    def __setstate__(self, state: dict) -> None:
+        self.head = state["head"]
+        self.disjuncts = state["disjuncts"]
+
+    # -- Introspection ------------------------------------------------------
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.head)
+
+    def __repr__(self) -> str:
+        groups = sum(len(groups) for _t, groups in self.disjuncts)
+        return (
+            f"CompiledEqualityQuery(head={list(self.head)}, "
+            f"disjuncts={len(self.disjuncts)}, equality_groups={groups})"
+        )
+
+    # -- Per-document compilation -------------------------------------------
+    def compile_for(self, s: str) -> VSetAutomaton:
+        """The fully-compiled automaton for ``s`` (fused equality joins)."""
+        index = SubstringIndex(s)
+        per_disjunct = []
+        for tables, groups in self.disjuncts:
+            automaton = tables.automaton
+            disjunct_tables: AutomatonTables | None = tables
+            for group in groups:
+                automaton = equality_join(
+                    automaton, group, s, tables=disjunct_tables, index=index
+                )
+                disjunct_tables = None  # later folds derive their own
+            per_disjunct.append(project(automaton, self.head))
+        if len(per_disjunct) == 1:
+            return per_disjunct[0]
+        return union(per_disjunct)
+
+    # -- Evaluation ---------------------------------------------------------
+    def evaluator(self, s: str) -> "SpannerEvaluator":
+        from ..enumeration.enumerator import SpannerEvaluator
+
+        return SpannerEvaluator(self.compile_for(s), s)
+
+    def stream(self, s: str) -> Iterator[SpanTuple]:
+        yield from self.evaluator(s)
+
+    def evaluate(self, s: str) -> SpanRelation:
+        return SpanRelation(self.head, self.stream(s))
+
+    def count(self, s: str, cap: int | None = None) -> int:
+        return self.evaluator(s).count(cap=cap)
+
+    def is_empty(self, s: str) -> bool:
+        return self.evaluator(s).is_empty()
+
+    def evaluate_many(self, docs: Iterable[str]) -> Iterator[list[SpanTuple]]:
+        for s in docs:
+            yield list(self.stream(s))
+
+    def count_many(
+        self, docs: Iterable[str], cap: int | None = None
+    ) -> Iterator[int]:
+        for s in docs:
+            yield self.count(s, cap=cap)

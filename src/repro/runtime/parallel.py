@@ -6,11 +6,16 @@ same immutable :class:`~repro.runtime.tables.AutomatonTables` — but a
 single Python process is GIL-bound to one core.  :class:`ParallelSpanner`
 shards a document iterable across a :mod:`multiprocessing` pool:
 
-* the tables are pickled **once** (the explicit serialization contract
-  of :mod:`repro.runtime.tables`) and every worker unpickles them
-  **once** in its pool initializer, rebuilding a per-process
-  ``CompiledSpanner`` around them — workers never recompile, and the
-  interned closure tuples / prebuilt burst rows arrive intact;
+* the compiled artifact is pickled **once** (the explicit serialization
+  contract of :mod:`repro.runtime.tables`) and every worker unpickles
+  it **once** in its pool initializer — for an equality-free spanner
+  that artifact is the ``AutomatonTables`` a per-process
+  ``CompiledSpanner`` is rebuilt around; for an equality workload it is
+  a whole :class:`~repro.runtime.equality.CompiledEqualityQuery`
+  (per-disjunct static tables + groups + head), and each worker runs
+  the **fused equality join** locally per document — workers never
+  recompile, and the interned closure tuples / prebuilt burst rows
+  arrive intact;
 * documents are dispatched in order as chunks of ``chunk_size``; at
   most ``max_pending`` chunks are in flight, which bounds both worker
   memory and how far ahead of the consumer the input iterable is read
@@ -50,6 +55,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
+from .equality import CompiledEqualityQuery
+from .tables import AutomatonTables
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.pool import Pool
@@ -69,12 +76,20 @@ DEFAULT_CHUNK_SIZE = 16
 # (fork and spawn) can address them, and each worker materializes the
 # spanner exactly once per pool, not once per chunk.
 
-_WORKER_SPANNER: CompiledSpanner | None = None
+_WORKER_SPANNER: "CompiledSpanner | CompiledEqualityQuery | None" = None
 
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_SPANNER
-    _WORKER_SPANNER = CompiledSpanner.from_tables(pickle.loads(payload))
+    artifact = pickle.loads(payload)
+    if isinstance(artifact, AutomatonTables):
+        # The equality-free contract: one tables object, rebuilt into a
+        # serving spanner without rerunning any preprocessing.
+        _WORKER_SPANNER = CompiledSpanner.from_tables(artifact)
+    else:
+        # A self-contained engine (e.g. CompiledEqualityQuery): its
+        # pickle contract already ships the per-disjunct tables.
+        _WORKER_SPANNER = artifact
 
 
 def _evaluate_chunk(
@@ -95,6 +110,25 @@ def _count_chunk(docs: list[str], cap: int | None = None) -> list[int]:
     return [spanner.count(doc, cap=cap) for doc in docs]
 
 
+def _read_document(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _evaluate_file_chunk(
+    paths: list[str], limit: int | None = None
+) -> list[list[SpanTuple]]:
+    """Read the documents worker-side: only paths cross the pipe in."""
+    spanner = _WORKER_SPANNER
+    assert spanner is not None, "worker used before initialization"
+    out: list[list[SpanTuple]] = []
+    for path in paths:
+        doc = _read_document(path)
+        stream = spanner.stream(doc)
+        out.append(list(stream if limit is None else islice(stream, limit)))
+    return out
+
+
 # -- Driver side --------------------------------------------------------------
 
 
@@ -102,7 +136,10 @@ class ParallelSpanner:
     """Shard document batches across worker processes (in-order results).
 
     Accepts anything ``CompiledSpanner`` accepts (an automaton, a regex
-    formula, concrete syntax) or an existing ``CompiledSpanner``.
+    formula, concrete syntax), an existing ``CompiledSpanner``, or a
+    :class:`~repro.runtime.equality.CompiledEqualityQuery` — the fused
+    equality engine shards exactly like an equality-free spanner, with
+    its static tables shipped once per worker.
 
     Args:
         workers: pool size; defaults to the machine's CPU count.
@@ -118,14 +155,17 @@ class ParallelSpanner:
 
     def __init__(
         self,
-        spanner: "CompiledSpanner | VSetAutomaton | RegexFormula | str",
+        spanner: (
+            "CompiledSpanner | CompiledEqualityQuery | VSetAutomaton "
+            "| RegexFormula | str"
+        ),
         *,
         workers: int | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_pending: int | None = None,
         mp_context: str | None = None,
     ):
-        if not isinstance(spanner, CompiledSpanner):
+        if not isinstance(spanner, (CompiledSpanner, CompiledEqualityQuery)):
             spanner = CompiledSpanner(spanner)
         self.spanner = spanner
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
@@ -156,9 +196,15 @@ class ParallelSpanner:
     # -- Pool lifetime ------------------------------------------------------
     def _make_pool(self) -> "Pool":
         ctx = multiprocessing.get_context(self.mp_context)
-        payload = pickle.dumps(
-            self.spanner.tables, protocol=pickle.HIGHEST_PROTOCOL
+        # Equality-free spanners ship their tables (the historical
+        # contract: the worker rebuilds a CompiledSpanner around them);
+        # self-contained engines ship themselves.
+        artifact: object = (
+            self.spanner.tables
+            if isinstance(self.spanner, CompiledSpanner)
+            else self.spanner
         )
+        payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
         return ctx.Pool(
             processes=self.workers,
             initializer=_init_worker,
@@ -210,6 +256,25 @@ class ParallelSpanner:
             yield from self.spanner.count_many(docs, cap=cap)
             return
         yield from self._shard(docs, partial(_count_chunk, cap=cap))
+
+    def evaluate_files(
+        self, paths: Iterable[str], *, limit: int | None = None
+    ) -> Iterator[list[SpanTuple]]:
+        """``evaluate_many`` over files, read (or not) worker-side.
+
+        Only the *paths* are pickled into the pool; each worker opens
+        and reads its chunk's files itself, so large documents never
+        ride the task pipe — the first slice of shared-memory document
+        transport.  Results stream back per file, in input order, same
+        as :meth:`evaluate_many`.  An unreadable file raises ``OSError``
+        (propagated out of the pool) rather than yielding partials.
+        """
+        if self.workers == 1:
+            for path in paths:
+                stream = self.spanner.stream(_read_document(path))
+                yield list(stream if limit is None else islice(stream, limit))
+            return
+        yield from self._shard(paths, partial(_evaluate_file_chunk, limit=limit))
 
     def _shard(
         self,

@@ -25,7 +25,9 @@ predicates are all finite :class:`~repro.alphabet.Chars` sets the full
 alphabet is statically known and :meth:`AutomatonTables.prebuild_burst`
 (called by ``CompiledSpanner``) builds every row eagerly — afterwards
 *unseen* characters resolve to a shared all-empty row with no predicate
-sweep at all.
+sweep at all.  Wildcard automata (``NotChars``/``AnyChar``) have no
+complete build, so the same method prebuilds a *probe* alphabet (ASCII
+letters/digits) and leaves the long tail to the lazy fallback.
 
 **Pickling.**  ``AutomatonTables`` is an explicit serialization
 contract (``__getstate__``/``__setstate__``) so that
@@ -74,6 +76,14 @@ EAGER_BURST_MAX_CHARS = 96
 #: sweeping their edges per character would dwarf the join that
 #: consumes them).
 EAGER_BURST_MAX_CELLS = 1 << 18
+
+#: The probe alphabet for wildcard automata (``NotChars``/``AnyChar``
+#: predicates make the readable set infinite, so no eager build can be
+#: complete): ASCII letters and digits cover the bulk of realistic
+#: document characters, and the lazy fallback still serves the tail.
+PROBE_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+)
 
 #: One burst row: successor tuples indexed by state (``()`` = none).
 BurstRow = "tuple[tuple[int, ...], ...]"
@@ -224,14 +234,22 @@ class AutomatonTables:
         *,
         max_chars: int = EAGER_BURST_MAX_CHARS,
         max_cells: int = EAGER_BURST_MAX_CELLS,
+        probe: str = PROBE_ALPHABET,
     ) -> bool:
-        """Eagerly build every burst row of a statically-known alphabet.
+        """Eagerly build burst rows ahead of the first document.
 
-        Returns True when the table is complete afterwards — then no
-        evaluation ever runs the predicate fallback: known characters
-        hit their prebuilt row, unknown characters hit the shared empty
-        row.  Returns False (leaving the lazy path untouched) when the
-        alphabet is not static or exceeds the size thresholds.
+        For a statically-known (all-``Chars``) alphabet, builds every
+        row and returns True: no evaluation ever runs the predicate
+        fallback — known characters hit their prebuilt row, unknown
+        characters hit the shared empty row.
+
+        For wildcard automata (``NotChars``/``AnyChar`` predicates,
+        where no build can be complete) it prebuilds rows for the
+        ``probe`` alphabet — ASCII letters/digits by default — and
+        returns False: the common characters are indexed before the
+        first document arrives, and genuinely unseen ones keep the lazy
+        fallback.  Either mode is skipped (returning False) when the
+        row budget ``|chars| * n_states`` exceeds ``max_cells``.
         Idempotent; called by ``CompiledSpanner`` at construction.
         """
         if self._burst_complete:
@@ -240,7 +258,14 @@ class AutomatonTables:
             self._burst_complete = True
             return True
         alphabet = self.static_alphabet()
-        if alphabet is None or len(alphabet) > max_chars:
+        if alphabet is None:
+            # Wildcard automaton: probe prebuild, lazy tail.
+            if probe and len(probe) * len(self.terminal_edges) <= max_cells:
+                for ch in probe:
+                    if ch not in self._burst:
+                        self._burst[ch] = self._build_burst(ch)
+            return False
+        if len(alphabet) > max_chars:
             return False
         if len(alphabet) * len(self.terminal_edges) > max_cells:
             return False

@@ -1,4 +1,4 @@
-"""Synthetic corpus generators for examples, tests and benchmarks."""
+"""Synthetic corpus generators and string indexing for the engine."""
 
 from .generators import (
     email_text,
@@ -7,5 +7,13 @@ from .generators import (
     sentences,
     unary_text,
 )
+from .substrings import SubstringIndex
 
-__all__ = ["sentences", "log_lines", "email_text", "repeats_text", "unary_text"]
+__all__ = [
+    "sentences",
+    "log_lines",
+    "email_text",
+    "repeats_text",
+    "unary_text",
+    "SubstringIndex",
+]

@@ -1,0 +1,157 @@
+"""Rolling-hash substring index: equal-substring bucketing in O(N) per length.
+
+The equality constructions (Theorem 5.4 / Corollary 5.3) repeatedly ask
+one combinatorial question about the input string: *which start
+positions carry equal substrings of a given length?*  The original
+``equal_span_choices`` answered it by materializing ``s[i:i+L]`` for
+every start — ``O(N)`` string copies of length ``L`` per length, i.e.
+``O(N^2)`` character work per length and ``O(N^3)`` over all lengths.
+
+:class:`SubstringIndex` precomputes two polynomial prefix-hash arrays
+(independent 61- and 89-bit Mersenne-prime moduli, fixed bases) in
+``O(N)`` and then serves
+
+* per-length *buckets* — start positions grouped by substring value,
+  built lazily per length in ``O(N)`` hash lookups and cached;
+* *class representatives* — the first occurrence of a substring value,
+  a canonical id the fused equality runtime uses to merge product
+  states across choices that share a substring;
+* *occurrence* queries — "is there an occurrence of this substring
+  value starting at or after position ``p``?" via binary search;
+* O(log N) *longest common extension* between two suffixes, the
+  pruning primitive for partially-opened equality groups.
+
+Positions are 1-based throughout, matching :class:`~repro.spans.Span`:
+the substring of length ``L`` at start ``p`` is ``s[p-1 : p-1+L]`` and
+valid starts range over ``1 .. N-L+1``.
+
+Equality of substrings is decided by the *pair* of hashes.  With
+independent 61- and 89-bit Mersenne-prime moduli (~2^150 of combined
+hash space) the collision probability over the ``O(N^2)`` substrings of
+realistic inputs is ~``N^4 / 2^150`` — vanishing for any ``N`` this
+engine can process; the bases are fixed so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["SubstringIndex"]
+
+#: Two independent Mersenne-prime moduli and fixed odd bases.  The
+#: hash *pair* is load-bearing for correctness (equal() has no
+#: verbatim-comparison fallback), hence the large second modulus.
+#: Fixed — not salted per process — so bucket layouts are reproducible
+#: and worker processes agree with the driver.
+_MOD1 = (1 << 61) - 1
+_MOD2 = (1 << 89) - 1
+_BASE1 = 1_000_003
+_BASE2 = 92_821
+
+
+class SubstringIndex:
+    """Equal-substring queries over one string via double rolling hashes.
+
+    Construction is ``O(N)``; every per-length artifact is built lazily
+    on first use and cached, so a caller that only ever asks about a few
+    lengths (the fused equality runtime) pays ``O(N)`` per distinct
+    length, while a caller sweeping all lengths (the materializing
+    choice enumeration) pays ``O(N^2)`` total — never ``O(N^3)``.
+    """
+
+    __slots__ = ("string", "n", "_h1", "_h2", "_p1", "_p2", "_by_length")
+
+    def __init__(self, s: str):
+        self.string = s
+        self.n = n = len(s)
+        h1 = [0] * (n + 1)
+        h2 = [0] * (n + 1)
+        p1 = [1] * (n + 1)
+        p2 = [1] * (n + 1)
+        for i, ch in enumerate(s):
+            code = ord(ch) + 1
+            h1[i + 1] = (h1[i] * _BASE1 + code) % _MOD1
+            h2[i + 1] = (h2[i] * _BASE2 + code) % _MOD2
+            p1[i + 1] = (p1[i] * _BASE1) % _MOD1
+            p2[i + 1] = (p2[i] * _BASE2) % _MOD2
+        self._h1 = h1
+        self._h2 = h2
+        self._p1 = p1
+        self._p2 = p2
+        # length -> {hash pair -> sorted list of 1-based starts};
+        # dict insertion order is first-occurrence order, which callers
+        # iterating buckets rely on (it reproduces the historical
+        # substring-keyed bucketing exactly).
+        self._by_length: dict[int, dict[tuple[int, int], list[int]]] = {}
+
+    # -- Hashing ------------------------------------------------------------
+    def signature(self, start: int, length: int) -> tuple[int, int]:
+        """The hash pair of the substring at 1-based ``start``."""
+        lo = start - 1
+        hi = lo + length
+        h1 = (self._h1[hi] - self._h1[lo] * self._p1[length]) % _MOD1
+        h2 = (self._h2[hi] - self._h2[lo] * self._p2[length]) % _MOD2
+        return (h1, h2)
+
+    def equal(self, p: int, q: int, length: int) -> bool:
+        """True iff the length-``length`` substrings at ``p``/``q`` agree."""
+        if p == q:
+            return True
+        return self.signature(p, length) == self.signature(q, length)
+
+    # -- Per-length bucketing -----------------------------------------------
+    def buckets(self, length: int) -> dict[tuple[int, int], list[int]]:
+        """Start positions grouped by substring value (lazily cached).
+
+        Keys are hash pairs; values are ascending start lists.  Bucket
+        iteration order is first-occurrence order — identical to the
+        order a substring-keyed dict filled by an ascending start scan
+        would produce.
+        """
+        table = self._by_length.get(length)
+        if table is None:
+            table = {}
+            for start in range(1, self.n + 2 - length):
+                table.setdefault(self.signature(start, length), []).append(
+                    start
+                )
+            self._by_length[length] = table
+        return table
+
+    def class_rep(self, start: int, length: int) -> int:
+        """The first occurrence of the substring value at ``start``.
+
+        A canonical, order-stable id for the equivalence class "spans
+        with this content": two starts share a representative iff their
+        substrings are equal.
+        """
+        return self.buckets(length)[self.signature(start, length)][0]
+
+    def occurrences(self, rep: int, length: int) -> list[int]:
+        """All starts (ascending) whose substring equals the one at ``rep``."""
+        return self.buckets(length)[self.signature(rep, length)]
+
+    def first_occurrence_at_or_after(
+        self, rep: int, length: int, min_start: int
+    ) -> int | None:
+        """Smallest occurrence start ``>= min_start``, or ``None``."""
+        starts = self.occurrences(rep, length)
+        idx = bisect_left(starts, min_start)
+        return starts[idx] if idx < len(starts) else None
+
+    # -- Longest common extension -------------------------------------------
+    def lce(self, p: int, q: int) -> int:
+        """Length of the longest common prefix of the suffixes at p and q.
+
+        Binary search over hash-pair equality: ``O(log N)``.
+        """
+        if p == q:
+            return self.n + 1 - p
+        lo, hi = 0, min(self.n + 1 - p, self.n + 1 - q)
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.signature(p, mid) == self.signature(q, mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo

@@ -13,11 +13,18 @@ every substring length ``L`` and every choice of ``k`` start positions
 whose length-``L`` substrings coincide, emit a "path" automaton that
 reads ``s`` verbatim and fires the group's markers at the chosen
 boundaries; ``A_eq`` is the union of all paths sharing one initial and
-one final state.  Choices are found by bucketing start positions per
-substring (seeded by rolling comparison, so the bucketing is
-O(N^2) amortized per length), giving ``O(N^{k+1})`` choices and
-``O(N^{k+2})`` states for one group — the binary case ``k = 2`` matches
-the paper's ``O(N^3)`` choices / ``O(N^4)`` states.
+one final state.  Choices are found by the rolling-hash bucketing of
+:class:`~repro.text.substrings.SubstringIndex` (``O(N)`` per length
+instead of the historical ``O(N^2)``-per-length substring dict), giving
+``O(N^{k+1})`` choices and ``O(N^{k+2})`` states for one group — the
+binary case ``k = 2`` matches the paper's ``O(N^3)`` choices /
+``O(N^4)`` states.
+
+This module is the *materializing* path.  The fused runtime
+(:mod:`repro.runtime.equality`) evaluates ``A ⋈ A_eq`` without ever
+building ``A_eq`` as an explicit automaton; this construction remains
+the parity reference and the fallback for callers that need the
+automaton itself.
 
 Multiple equality selections are handled by the caller (one join per
 group), which is the factoring the paper's remark about shared
@@ -34,25 +41,29 @@ from ..alphabet import EPSILON, char_pred
 from ..automata.nfa import NFA
 from ..errors import SchemaError
 from ..spans import Span
+from ..text.substrings import SubstringIndex
 from .automaton import VSetAutomaton
 
 __all__ = ["equality_automaton", "equal_span_choices", "equality_relation_rows"]
 
 
-def equal_span_choices(s: str, k: int) -> Iterator[tuple[Span, ...]]:
+def equal_span_choices(
+    s: str, k: int, index: SubstringIndex | None = None
+) -> Iterator[tuple[Span, ...]]:
     """Yield every ``k``-tuple of spans of ``s`` with equal substrings.
 
     Tuples are grouped by (length, substring); the same span may appear
     several times inside one tuple (a span trivially equals itself —
-    the selection operator compares substrings, not spans).
+    the selection operator compares substrings, not spans).  Buckets
+    come from the rolling-hash :class:`SubstringIndex` (pass one to
+    share it across groups); bucket order — and hence yield order — is
+    identical to the historical substring-keyed dict.
     """
     n = len(s)
+    if index is None:
+        index = SubstringIndex(s)
     for length in range(0, n + 1):
-        buckets: dict[str, list[int]] = {}
-        for start in range(1, n + 2 - length):
-            text = s[start - 1 : start - 1 + length]
-            buckets.setdefault(text, []).append(start)
-        for starts in buckets.values():
+        for starts in index.buckets(length).values():
             spans = [Span(p, p + length) for p in starts]
             yield from cartesian_product(spans, repeat=k)
 

@@ -53,7 +53,7 @@ from .configurations import VariableConfiguration
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.tables import AutomatonTables
 
-__all__ = ["join", "join_many"]
+__all__ = ["join", "join_many", "operand_view"]
 
 
 class _Operand:
@@ -63,7 +63,9 @@ class _Operand:
     terminal edges) come from :class:`AutomatonTables`; only the
     shared-variable bucketing is specific to this join's ``shared``
     tuple, and that too is cached on the tables object so a repeated
-    join with the same shared variables skips it.
+    join with the same shared variables skips it.  The fused equality
+    runtime (:mod:`repro.runtime.equality`) drives the same product
+    rules off this view via :func:`operand_view`.
     """
 
     __slots__ = ("automaton", "configs", "ve", "ve_by_key", "terminal_edges", "shared_key")
@@ -99,19 +101,21 @@ class _Operand:
 _VIEW_STATS = None  # lazily created HitCounter (import-cycle guard)
 
 
-def _operand(automaton: VSetAutomaton, shared: tuple[str, ...]) -> _Operand:
-    """The (cached) operand view for ``automaton`` and ``shared``.
+def operand_view(tables: "AutomatonTables", shared: tuple[str, ...]) -> _Operand:
+    """The (cached) operand view for ``tables`` and ``shared``.
 
     Views ride on ``tables.views`` — a scratch dict that is dropped on
     pickling, so worker processes rebuild their buckets lazily — and
     their hit/miss counts surface through
     :func:`repro.runtime.cache.cache_metrics` as ``"join-operand-views"``.
+    The fused equality runtime calls this directly with tables it
+    already holds (e.g. unpickled in a worker), bypassing the
+    per-automaton-object cache.
     """
     # Imported lazily: runtime.tables sits between the vset and
     # enumeration layers and importing it at module scope would close
     # an import cycle when ``repro.runtime`` is imported first.
     from ..runtime.cache import HitCounter
-    from ..runtime.tables import tables_for
 
     global _VIEW_STATS
     if _VIEW_STATS is None:
@@ -119,7 +123,6 @@ def _operand(automaton: VSetAutomaton, shared: tuple[str, ...]) -> _Operand:
         # resolve to one registered counter.
         _VIEW_STATS = HitCounter.shared("join-operand-views")
 
-    tables = tables_for(automaton)
     key = ("join-operand", shared)
     view = tables.views.get(key)
     if view is None:
@@ -129,6 +132,13 @@ def _operand(automaton: VSetAutomaton, shared: tuple[str, ...]) -> _Operand:
     else:
         _VIEW_STATS.hit()
     return view
+
+
+def _operand(automaton: VSetAutomaton, shared: tuple[str, ...]) -> _Operand:
+    """Operand view resolved through the shared :func:`tables_for` cache."""
+    from ..runtime.tables import tables_for
+
+    return operand_view(tables_for(automaton), shared)
 
 
 def _empty_result(variables: frozenset[str]) -> VSetAutomaton:

@@ -195,3 +195,81 @@ def test_parse_error_reported(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestWorkerSharding:
+    """--workers output must be byte-identical to the serial run."""
+
+    @staticmethod
+    def _write_corpus(tmp_path, texts):
+        paths = []
+        for i, text in enumerate(texts):
+            path = tmp_path / f"doc{i}.txt"
+            path.write_text(text, encoding="utf-8")
+            paths.append(str(path))
+        return [arg for p in paths for arg in ("--file", p)]
+
+    def test_extract_file_dispatch_matches_serial(self, tmp_path, capsys):
+        files = self._write_corpus(
+            tmp_path, [f"ab code={i}{i} ba" for i in range(5)]
+        )
+        assert main(["extract", ".*x{[0-9]+}.*"] + files) == 0
+        serial = capsys.readouterr().out
+        assert main(["extract", ".*x{[0-9]+}.*", "--workers", "2"] + files) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_extract_text_precedence_survives_workers(self, tmp_path, capsys):
+        # --text wins over --file in the serial path; the worker branch
+        # must not silently switch the corpus to the files.
+        files = self._write_corpus(tmp_path, ["111", "222"])
+        args = ["extract", ".*x{[0-9]+}.*", "--text", "999"] + files
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "999" in parallel and "111" not in parallel
+
+    def test_query_equality_workers_match_serial_with_limit(
+        self, tmp_path, capsys
+    ):
+        # The serial path sorts the full relation before --limit, so the
+        # sharded path must not cap enumeration inside the workers.
+        files = self._write_corpus(
+            tmp_path, ["ababab", "aabbaa", "babab", "abba"]
+        )
+        args = [
+            "query",
+            "--atom", ".*x{[ab]+}.*",
+            "--atom", ".*y{[ab]+}.*",
+            "--equal", "x,y",
+            "--head", "x", "y",
+            "--strategy", "compiled",
+            "--limit", "3",
+        ] + files
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_query_boolean_workers_match_serial(self, tmp_path, capsys):
+        files = self._write_corpus(tmp_path, ["abab", "ba", "aa"])
+        args = [
+            "query",
+            "--atom", ".*x{ab}.*",
+            "--atom", ".*y{ab}.*",
+            "--equal", "x,y",
+        ] + files
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_query_workers_reject_canonical_strategy(self, tmp_path, capsys):
+        files = self._write_corpus(tmp_path, ["ab", "ba"])
+        code = main(
+            ["query", "--atom", ".*x{a}.*", "--strategy", "canonical",
+             "--workers", "2"] + files
+        )
+        assert code == 2
+        assert "canonical" in capsys.readouterr().err

@@ -1,0 +1,259 @@
+"""Parity suite for the fused equality-join runtime.
+
+The fused path (:mod:`repro.runtime.equality`) must be *byte-level*
+indistinguishable from the materializing Theorem 5.4 pipeline — same
+tuples, same radix enumeration order, same rendered form — across group
+arities, multiple groups per disjunct, disjunctions, empty results and
+enumeration caps, serially and at any worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+from itertools import islice
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.oracle import oracle_evaluate
+from repro.queries import CanonicalEvaluator, CompiledEvaluator, RegexCQ, RegexUCQ
+from repro.runtime import CompiledEqualityQuery, ParallelSpanner, equality_join
+from repro.runtime.cache import LRUCache
+from repro.text import repeats_text
+from repro.vset import compile_regex, equality_automaton, join
+from repro.vset.join import join_many
+
+STRINGS = [
+    "",
+    "a",
+    "ab",
+    "abab",
+    "aabba",
+    "babbab",
+    repeats_text(10, seed=2),
+    repeats_text(9, seed=7, alphabet="abc", plant=None),
+]
+
+
+def fused_evaluator() -> CompiledEvaluator:
+    return CompiledEvaluator(LRUCache(64))
+
+
+def materializing_evaluator() -> CompiledEvaluator:
+    return CompiledEvaluator(LRUCache(64), materialize_equalities=True)
+
+
+def rendered(tuples) -> bytes:
+    lines = [
+        " ".join(f"{v}={t[v]}" for v in sorted(t.variables)) for t in tuples
+    ]
+    return "\n".join(lines).encode()
+
+
+class TestFusedJoinUnit:
+    """equality_join against join(static, equality_automaton(...))."""
+
+    @pytest.mark.parametrize("s", STRINGS)
+    def test_binary_group_relation_parity(self, s):
+        static = join(
+            compile_regex(".*x{[ab]+}.*"), compile_regex(".*y{[ab]+}.*")
+        )
+        fused = equality_join(static, ("x", "y"), s)
+        explicit = join(static, equality_automaton(s, ("x", "y")))
+        assert fused.evaluate(s) == explicit.evaluate(s)
+
+    @pytest.mark.parametrize("s", ["", "ab", "abab", "aabab"])
+    def test_ternary_group_relation_parity(self, s):
+        static = join_many(
+            [
+                compile_regex(".*x{[ab]+}.*"),
+                compile_regex(".*y{[ab]+}.*"),
+                compile_regex(".*z{[ab]+}.*"),
+            ]
+        )
+        group = ("x", "y", "z")
+        fused = equality_join(static, group, s)
+        explicit = join(static, equality_automaton(s, group))
+        assert fused.evaluate(s) == explicit.evaluate(s)
+
+    @pytest.mark.parametrize("s", ["", "a", "ab", "aab"])
+    def test_group_variable_outside_static_operand(self, s):
+        # The construction must match the explicit join even when the
+        # equality group introduces variables the static operand lacks
+        # (CQ validation forbids this, the automaton API does not).
+        static = compile_regex(".*x{a+}.*")
+        fused = equality_join(static, ("x", "w"), s)
+        explicit = join(static, equality_automaton(s, ("x", "w")))
+        assert fused.variables == explicit.variables == {"x", "w"}
+        assert fused.evaluate(s) == explicit.evaluate(s)
+
+    @pytest.mark.parametrize("s", ["", "ab", "abba"])
+    def test_oracle_agreement(self, s):
+        static = join(
+            compile_regex(".*x{[ab]+}.*"), compile_regex(".*y{[ab]+}.*")
+        )
+        fused = equality_join(static, ("x", "y"), s)
+        assert set(fused.evaluate(s)) == oracle_evaluate(fused, s)
+
+    def test_empty_language_static_operand(self):
+        static = compile_regex("x{a}b")  # never matches "zz"
+        fused = equality_join(static, ("x", "y"), "zz")
+        assert len(fused.evaluate("zz")) == 0
+
+    def test_rejects_degenerate_groups(self):
+        static = compile_regex(".*x{a+}.*")
+        with pytest.raises(SchemaError):
+            equality_join(static, ("x",), "aa")
+        with pytest.raises(SchemaError):
+            equality_join(static, ("x", "x"), "aa")
+
+
+class TestCompiledEvaluatorParity:
+    """Fused vs materializing vs canonical at the query level."""
+
+    QUERIES = {
+        "binary": RegexCQ(
+            ["x", "y"],
+            [".*x{[ab]+}.*", ".*y{[ab]+}.*"],
+            equalities=[("x", "y")],
+        ),
+        "merged-ternary": RegexCQ(
+            ["x", "y", "z"],
+            [".*x{[ab]+}.*", ".*y{[ab]+}.*", ".*z{[ab]+}.*"],
+            equalities=[("x", "y"), ("y", "z")],
+        ),
+        "two-groups": RegexCQ(
+            ["x", "y", "u", "v"],
+            [".*x{[ab]+}.*", ".*y{[ab]+}.*", ".*u{a+}.*", ".*v{a+}.*"],
+            equalities=[("x", "y"), ("u", "v")],
+        ),
+        "projected": RegexCQ(
+            ["x"],
+            [".*x{[ab]+}.*", ".*y{[ab]+}.*"],
+            equalities=[("x", "y")],
+        ),
+        "boolean": RegexCQ(
+            [],
+            [".*x{a+}b.*", ".*y{a+}b.*"],
+            equalities=[("x", "y")],
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    @pytest.mark.parametrize("s", STRINGS)
+    def test_stream_is_byte_identical(self, name, s):
+        query = self.QUERIES[name]
+        fused = list(fused_evaluator().stream(query, s))
+        materialized = list(materializing_evaluator().stream(query, s))
+        assert fused == materialized
+        assert rendered(fused) == rendered(materialized)
+
+    @pytest.mark.parametrize("name", ["binary", "merged-ternary", "two-groups"])
+    @pytest.mark.parametrize("s", STRINGS[:6])
+    def test_canonical_agreement(self, name, s):
+        query = self.QUERIES[name]
+        assert fused_evaluator().evaluate(query, s) == CanonicalEvaluator().evaluate(
+            query, s
+        )
+
+    @pytest.mark.parametrize("s", STRINGS)
+    def test_ucq_disjuncts(self, s):
+        query = RegexUCQ(
+            [
+                self.QUERIES["binary"],
+                RegexCQ(
+                    ["x", "y"],
+                    [".*x{a+}b.*", ".*y{a+}b.*"],
+                    equalities=[("x", "y")],
+                ),
+            ]
+        )
+        fused = list(fused_evaluator().stream(query, s))
+        materialized = list(materializing_evaluator().stream(query, s))
+        assert fused == materialized
+
+    @pytest.mark.parametrize("limit", [1, 3, 7])
+    def test_limit_caps_take_the_same_prefix(self, limit):
+        # Radix order depends only on the answer set, so capped
+        # enumeration must agree element-for-element between the paths.
+        query = self.QUERIES["binary"]
+        s = repeats_text(12, seed=4)
+        fused = list(islice(fused_evaluator().stream(query, s), limit))
+        materialized = list(
+            islice(materializing_evaluator().stream(query, s), limit)
+        )
+        assert fused == materialized
+        assert len(fused) == limit
+
+    def test_empty_result_queries(self):
+        query = RegexCQ(
+            ["x", "y"],
+            ["x{ab}.*", ".*y{ba}"],
+            equalities=[("x", "y")],
+        )
+        for s in ("", "ab", "abba", "abab"):
+            fused = fused_evaluator().evaluate(query, s)
+            materialized = materializing_evaluator().evaluate(query, s)
+            assert fused == materialized
+
+
+class TestCompiledEqualityQuery:
+    QUERY = RegexCQ(
+        ["x", "y"],
+        [".*x{[ab]+}.*", ".*y{[ab]+}.*"],
+        equalities=[("x", "y")],
+    )
+
+    def engine(self) -> CompiledEqualityQuery:
+        engine = fused_evaluator().equality_runtime(self.QUERY)
+        assert engine is not None
+        return engine
+
+    def test_equality_free_queries_have_no_engine(self):
+        query = RegexCQ(["x"], [".*x{a+}.*"])
+        assert fused_evaluator().equality_runtime(query) is None
+
+    def test_matches_per_document_compilation(self):
+        engine = self.engine()
+        evaluator = materializing_evaluator()
+        docs = [repeats_text(8, seed=i) for i in range(6)]
+        for doc in docs:
+            assert list(engine.stream(doc)) == list(
+                evaluator.stream(self.QUERY, doc)
+            )
+        batched = list(engine.evaluate_many(docs))
+        assert batched == [list(engine.stream(d)) for d in docs]
+
+    def test_count_and_emptiness(self):
+        engine = self.engine()
+        doc = repeats_text(8, seed=3)
+        tuples = list(engine.stream(doc))
+        assert engine.count(doc) == len(tuples)
+        assert engine.count(doc, cap=2) == min(2, len(tuples))
+        assert engine.is_empty(doc) == (not tuples)
+
+    def test_pickle_round_trip(self):
+        engine = self.engine()
+        doc = repeats_text(9, seed=5)
+        clone = pickle.loads(
+            pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert list(clone.stream(doc)) == list(engine.stream(doc))
+        assert clone.head == engine.head
+
+    def test_two_worker_shard_is_byte_identical(self):
+        engine = self.engine()
+        docs = [repeats_text(10, seed=20 + i) for i in range(12)]
+        serial = list(engine.evaluate_many(docs))
+        with ParallelSpanner(engine, workers=2, chunk_size=3) as pool:
+            sharded = list(pool.evaluate_many(docs))
+        assert sharded == serial
+        assert [rendered(d) for d in sharded] == [rendered(d) for d in serial]
+
+    def test_worker_limit_matches_serial_prefixes(self):
+        engine = self.engine()
+        docs = [repeats_text(10, seed=30 + i) for i in range(8)]
+        serial = list(engine.evaluate_many(docs))
+        with ParallelSpanner(engine, workers=2, chunk_size=2) as pool:
+            capped = list(pool.evaluate_many(docs, limit=4))
+        assert capped == [doc[:4] for doc in serial]

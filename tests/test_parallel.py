@@ -165,3 +165,36 @@ class TestValidation:
     def test_repr(self):
         engine = ParallelSpanner(FORMULA, workers=2)
         assert "workers=2" in repr(engine)
+
+
+class TestFileDispatch:
+    """``evaluate_files``: paths in, worker-side reads, tuples out."""
+
+    @pytest.fixture()
+    def corpus_files(self, tmp_path):
+        paths = []
+        for i, doc in enumerate(DOCS[:10]):
+            path = tmp_path / f"doc{i}.txt"
+            path.write_text(doc, encoding="utf-8")
+            paths.append(str(path))
+        return paths
+
+    def test_matches_in_memory_evaluation(self, corpus_files, serial_output):
+        with ParallelSpanner(FORMULA, workers=2, chunk_size=3) as engine:
+            from_files = list(engine.evaluate_files(corpus_files))
+        assert from_files == serial_output[:10]
+
+    def test_serial_fallback_and_limit(self, corpus_files, serial_output):
+        engine = ParallelSpanner(FORMULA, workers=1)
+        capped = list(engine.evaluate_files(corpus_files, limit=1))
+        assert capped == [doc[:1] for doc in serial_output[:10]]
+
+    def test_worker_limit(self, corpus_files, serial_output):
+        with ParallelSpanner(FORMULA, workers=2, chunk_size=2) as engine:
+            capped = list(engine.evaluate_files(corpus_files, limit=2))
+        assert capped == [doc[:2] for doc in serial_output[:10]]
+
+    def test_missing_file_raises(self, corpus_files):
+        with ParallelSpanner(FORMULA, workers=2, chunk_size=3) as engine:
+            with pytest.raises(OSError):
+                list(engine.evaluate_files(corpus_files + ["/nonexistent/x"]))

@@ -112,11 +112,12 @@ class TestAutomatonTablesRoundTrip:
 
     def test_burst_rows_survive(self):
         spanner = CompiledSpanner(".*x{[ab]+}.*")
-        list(spanner.stream("abab"))  # grow two lazy rows
-        assert spanner.tables.distinct_characters_seen == 2
+        list(spanner.stream("ab!?"))  # two lazy rows beyond the probe
+        rows = spanner.tables.distinct_characters_seen
         restored = roundtrip(spanner.tables)
-        assert restored.distinct_characters_seen == 2
+        assert restored.distinct_characters_seen == rows
         assert restored.burst_step("a") == spanner.tables.burst_step("a")
+        assert restored.burst_step("!") == spanner.tables.burst_step("!")
 
     def test_prebuilt_burst_survives(self):
         spanner = CompiledSpanner("(a|b)*x{a+}(a|b)*")

@@ -1,0 +1,123 @@
+"""Tests for the rolling-hash substring index."""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+
+import pytest
+
+from repro.spans import Span
+from repro.text import SubstringIndex, repeats_text
+from repro.vset.equality import equal_span_choices
+
+STRINGS = [
+    "",
+    "a",
+    "ab",
+    "aaaa",
+    "abab",
+    "mississippi",
+    repeats_text(16, seed=3),
+    repeats_text(14, seed=9, alphabet="abc"),
+    repeats_text(12, seed=1, alphabet="abcdefgh", plant=None),
+]
+
+
+def naive_buckets(s: str, length: int) -> list[list[int]]:
+    table: dict[str, list[int]] = {}
+    for start in range(1, len(s) + 2 - length):
+        table.setdefault(s[start - 1 : start - 1 + length], []).append(start)
+    return list(table.values())
+
+
+class TestBuckets:
+    @pytest.mark.parametrize("s", STRINGS)
+    def test_buckets_match_naive_for_every_length(self, s):
+        index = SubstringIndex(s)
+        for length in range(0, len(s) + 1):
+            assert list(index.buckets(length).values()) == naive_buckets(
+                s, length
+            )
+
+    def test_bucket_order_is_first_occurrence_order(self):
+        # "ab" first occurs at 1, "ba" at 2, "bb" at 3 — bucket order
+        # must follow, it is what keeps the materializing choice
+        # enumeration byte-stable.
+        index = SubstringIndex("abba" + "ab")
+        reps = [starts[0] for starts in index.buckets(2).values()]
+        assert reps == sorted(reps)
+
+    def test_length_zero_is_one_class(self):
+        index = SubstringIndex("abc")
+        assert list(index.buckets(0).values()) == [[1, 2, 3, 4]]
+
+
+class TestQueries:
+    @pytest.mark.parametrize("s", [s for s in STRINGS if s])
+    def test_equal_matches_direct_comparison(self, s):
+        index = SubstringIndex(s)
+        n = len(s)
+        for length in range(0, n + 1):
+            for p in range(1, n + 2 - length):
+                for q in range(1, n + 2 - length):
+                    expected = (
+                        s[p - 1 : p - 1 + length] == s[q - 1 : q - 1 + length]
+                    )
+                    assert index.equal(p, q, length) == expected
+
+    def test_class_rep_is_first_occurrence(self):
+        s = "abcabc"
+        index = SubstringIndex(s)
+        assert index.class_rep(4, 3) == 1  # "abc" at 4 reps to 1
+        assert index.class_rep(1, 3) == 1
+        assert index.occurrences(4, 3) == [1, 4]
+
+    def test_first_occurrence_at_or_after(self):
+        s = "abcabcabc"
+        index = SubstringIndex(s)
+        assert index.first_occurrence_at_or_after(1, 3, 1) == 1
+        assert index.first_occurrence_at_or_after(1, 3, 2) == 4
+        assert index.first_occurrence_at_or_after(1, 3, 5) == 7
+        assert index.first_occurrence_at_or_after(1, 3, 8) is None
+
+    @pytest.mark.parametrize("s", [s for s in STRINGS if len(s) >= 2])
+    def test_lce_matches_naive(self, s):
+        index = SubstringIndex(s)
+        n = len(s)
+        for p in range(1, n + 1):
+            for q in range(1, n + 1):
+                naive = 0
+                while (
+                    p + naive <= n
+                    and q + naive <= n
+                    and s[p - 1 + naive] == s[q - 1 + naive]
+                ):
+                    naive += 1
+                assert index.lce(p, q) == naive, (s, p, q)
+
+
+class TestChoiceEnumeration:
+    def naive_choices(self, s: str, k: int):
+        n = len(s)
+        for length in range(0, n + 1):
+            buckets: dict[str, list[int]] = {}
+            for start in range(1, n + 2 - length):
+                buckets.setdefault(
+                    s[start - 1 : start - 1 + length], []
+                ).append(start)
+            for starts in buckets.values():
+                spans = [Span(p, p + length) for p in starts]
+                yield from cartesian_product(spans, repeat=k)
+
+    @pytest.mark.parametrize("s", STRINGS[:7])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_equal_span_choices_identical_to_naive(self, s, k):
+        assert list(equal_span_choices(s, k)) == list(
+            self.naive_choices(s, k)
+        )
+
+    def test_shared_index_reused(self):
+        s = "abab"
+        index = SubstringIndex(s)
+        with_index = list(equal_span_choices(s, 2, index))
+        assert with_index == list(equal_span_choices(s, 2))
