@@ -2,21 +2,44 @@
 
 CI commits one ``benchmarks/results/BENCH_<sha>.json`` per main-branch
 push (the perf-trajectory job).  This checker turns that history into a
-gate: it extracts a throughput metric from the **newest** record,
-compares it against the median of a trailing window of earlier records,
-and exits nonzero when the newest value regresses by more than the
-threshold (default: >30% docs/sec loss in E13's compiled-runtime
-table).
+**multi-metric gate**: for each gate below it extracts a metric from
+the newest record, compares it against the median of a trailing window
+of earlier records, and exits nonzero when the newest value regresses
+by more than the threshold (default 30%) in the metric's bad direction.
 
-The metric is the median of the ``compiled docs/s`` column of the E13a
-table — median over both the corpus sizes and the baseline window, so
-one noisy row or one noisy historical run cannot flip the verdict.
-With fewer than two records the check passes trivially (no baseline
-yet): the gate only starts to bind once a trajectory exists.
+Default gates:
+
+* ``e13-docs-per-sec`` — median ``compiled docs/s`` of the E13a table
+  (higher is better): the compiled-runtime throughput gate since PR 3.
+* ``e10d-fused-seconds`` — median ``fused (s)`` of the E10d table
+  (lower is better): the fused equality join must not silently slide
+  back toward materializing ``A_eq``.
+* ``peak-rss-kib`` / ``peak-rss-children-kib`` — the run's peak
+  resident-set high-water marks (max over the recorded experiments;
+  lower is better): the memory trajectory PR 3 started stamping.
+
+Every gate takes its metric's median over both the table rows and the
+baseline window, so one noisy row or one noisy historical run cannot
+flip the verdict.  **Old records are never an error**: a record that
+predates an experiment, table, column or RSS field is simply not
+comparable — it contributes nothing to that gate's baseline.  If the
+*newest* record lacks a newer gate's metric the gate is skipped with
+a notice (the E10/RSS gates only start to bind once the trajectory
+contains data for them); the long-standing E13 gate is *required* —
+its absence from the newest record means the table/column was renamed
+or the experiment dropped, and exits 2 rather than silently disabling
+the gate.  The RSS gates additionally only compare records that ran
+the **same experiment set** (peak RSS is a process-lifetime high-water
+mark, so adding an experiment to the trajectory job legitimately
+raises it — that resets the baseline instead of tripping the gate).
+With fewer than two records everything passes trivially.
 
 Timing on shared CI runners is noisy; 30% is deliberately far above
-run-to-run jitter (single-digit percents on the E13 workload) so the
+run-to-run jitter (single-digit percents on these workloads) so the
 check only fires on real regressions.
+
+The record schema the gates read is documented in
+``benchmarks/results/README.md``.
 """
 
 from __future__ import annotations
@@ -24,29 +47,27 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 from statistics import median
+from typing import Callable
 
 DEFAULT_RESULTS_DIR = Path(__file__).resolve().parent / "results"
-DEFAULT_EXPERIMENT = "E13"
-DEFAULT_TABLE_PREFIX = "E13a"
-DEFAULT_METRIC_COLUMN = "compiled docs/s"
 DEFAULT_THRESHOLD = 0.30
 DEFAULT_WINDOW = 5
 
+#: Directions: "higher" = throughput-like (a drop is a regression),
+#: "lower" = cost-like (a rise is a regression).
+HIGHER, LOWER = "higher", "lower"
 
-def extract_metric(
-    record: dict,
-    experiment: str = DEFAULT_EXPERIMENT,
-    table_prefix: str = DEFAULT_TABLE_PREFIX,
-    column: str = DEFAULT_METRIC_COLUMN,
+
+def table_metric(
+    record: dict, experiment: str, table_prefix: str, column: str
 ) -> float | None:
-    """The throughput metric of one ``BENCH_*.json`` payload.
+    """Median of ``column`` over the rows of one experiment table.
 
-    Median of ``column`` over the rows of the first ``experiment``
-    table whose title starts with ``table_prefix``; ``None`` when the
-    record predates the experiment/table/column (old layouts must not
-    crash the gate — they are simply not comparable).
+    ``None`` when the record predates the experiment/table/column (old
+    layouts must not crash the gate — they are simply not comparable).
     """
     for exp in record.get("experiments", ()):
         if exp.get("experiment") != experiment:
@@ -65,6 +86,106 @@ def extract_metric(
             ]
             return median(values) if values else None
     return None
+
+
+def rss_metric(record: dict, field: str) -> float | None:
+    """The run's peak RSS: max of ``field`` over the experiments.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so the last
+    experiment's value dominates anyway; the max is robust to record
+    ordering.  ``None`` when no experiment carries the field (records
+    predating PR 3, or non-POSIX runners where it is recorded as
+    null).
+    """
+    values = [
+        float(exp[field])
+        for exp in record.get("experiments", ())
+        if isinstance(exp.get(field), (int, float))
+    ]
+    return max(values) if values else None
+
+
+def _experiment_ids(record: dict) -> frozenset:
+    return frozenset(
+        exp.get("experiment") for exp in record.get("experiments", ())
+    )
+
+
+def _same_experiment_set(newest: dict, baseline: dict) -> bool:
+    """Whether two records measured the same experiment set.
+
+    Process-lifetime metrics (peak RSS is an ``ru_maxrss`` high-water
+    mark over the whole harness run) are only comparable between runs
+    that executed the same experiments — adding an experiment to the
+    trajectory job legitimately raises the peak, and must reset the
+    baseline rather than read as a regression.
+    """
+    return _experiment_ids(newest) == _experiment_ids(baseline)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One metric watched across the trajectory.
+
+    ``required``: the metric must exist in the newest record — its
+    absence is a configuration error (exit 2), not a skip.  The
+    long-standing E13 gate is required so that renaming its table or
+    column cannot silently disable the throughput gate; the newer
+    gates skip instead, because trajectories genuinely predate them.
+
+    ``comparable``: optional predicate restricting which baseline
+    records the newest record may be compared against.
+    """
+
+    name: str
+    direction: str  # HIGHER: drops fail; LOWER: rises fail
+    extract: Callable[[dict], float | None]
+    unit: str = ""
+    required: bool = False
+    comparable: Callable[[dict, dict], bool] | None = None
+
+    def bound(self, baseline: float, threshold: float) -> float:
+        """The worst acceptable newest value for ``baseline``."""
+        if self.direction == HIGHER:
+            return baseline * (1.0 - threshold)
+        return baseline * (1.0 + threshold)
+
+    def regressed(self, newest: float, bound: float) -> bool:
+        if self.direction == HIGHER:
+            return newest < bound
+        return newest > bound
+
+
+def default_gates() -> list[Gate]:
+    return [
+        Gate(
+            "e13-docs-per-sec",
+            HIGHER,
+            lambda r: table_metric(r, "E13", "E13a", "compiled docs/s"),
+            unit="docs/s",
+            required=True,  # recorded since PR 1: absence = breakage
+        ),
+        Gate(
+            "e10d-fused-seconds",
+            LOWER,
+            lambda r: table_metric(r, "E10", "E10d", "fused (s)"),
+            unit="s",
+        ),
+        Gate(
+            "peak-rss-kib",
+            LOWER,
+            lambda r: rss_metric(r, "peak_rss_kb"),
+            unit="KiB",
+            comparable=_same_experiment_set,
+        ),
+        Gate(
+            "peak-rss-children-kib",
+            LOWER,
+            lambda r: rss_metric(r, "peak_rss_children_kb"),
+            unit="KiB",
+            comparable=_same_experiment_set,
+        ),
+    ]
 
 
 def load_records(results_dir: Path) -> list[tuple[str, dict]]:
@@ -88,16 +209,71 @@ def load_records(results_dir: Path) -> list[tuple[str, dict]]:
     return [(name, payload) for _stamp, name, payload in records]
 
 
+def check_gate(
+    gate: Gate,
+    records: list[tuple[str, dict]],
+    *,
+    threshold: float,
+    window: int,
+) -> str:
+    """Run one gate over the trajectory: "ok", "regression" or "error"."""
+    newest_name, newest = records[-1]
+    newest_metric = gate.extract(newest)
+    if newest_metric is None:
+        if gate.required:
+            print(
+                f"error: newest record {newest_name} does not record the "
+                f"required {gate.name} metric — the gate's table/column "
+                "was renamed or the experiment dropped"
+            )
+            return "error"
+        print(
+            f"perf-trajectory [{gate.name}]: newest record {newest_name} "
+            "does not record this metric — skipping (not comparable)"
+        )
+        return "ok"
+    baseline_values = []
+    baseline_names = []
+    for name, payload in records[-(window + 1) : -1]:
+        if gate.comparable is not None and not gate.comparable(
+            newest, payload
+        ):
+            continue
+        value = gate.extract(payload)
+        if value is not None:
+            baseline_values.append(value)
+            baseline_names.append(name)
+    if not baseline_values:
+        print(
+            f"perf-trajectory [{gate.name}]: no comparable baseline "
+            "records in the trailing window — passing trivially"
+        )
+        return "ok"
+    baseline = median(baseline_values)
+    bound = gate.bound(baseline, threshold)
+    regressed = gate.regressed(newest_metric, bound)
+    verdict = "REGRESSION" if regressed else "OK"
+    sign = "-" if gate.direction == HIGHER else "+"
+    print(
+        f"perf-trajectory [{gate.name}]: newest {newest_name} = "
+        f"{newest_metric:.1f} {gate.unit}, baseline median of "
+        f"{len(baseline_values)} record(s) = {baseline:.1f}, "
+        f"bound ({sign}{threshold:.0%}) = {bound:.1f} -> {verdict}"
+    )
+    if regressed:
+        print(f"  baseline window: {', '.join(baseline_names)}")
+    return "regression" if regressed else "ok"
+
+
 def check(
     results_dir: Path,
     *,
+    gates: list[Gate] | None = None,
     threshold: float = DEFAULT_THRESHOLD,
     window: int = DEFAULT_WINDOW,
-    experiment: str = DEFAULT_EXPERIMENT,
-    table_prefix: str = DEFAULT_TABLE_PREFIX,
-    column: str = DEFAULT_METRIC_COLUMN,
 ) -> int:
-    """Exit code 0 = pass (or no baseline), 1 = regression, 2 = usage."""
+    """Exit code 0 = all gates pass (or no baseline), 1 = any regression,
+    2 = usage error."""
     if not results_dir.is_dir():
         print(f"error: results dir {results_dir} does not exist")
         return 2
@@ -108,38 +284,19 @@ def check(
             "no baseline yet, passing trivially"
         )
         return 0
-    newest_name, newest = records[-1]
-    newest_metric = extract_metric(newest, experiment, table_prefix, column)
-    if newest_metric is None:
-        print(
-            f"error: newest record {newest_name} has no "
-            f"{experiment}/{table_prefix!r}/{column!r} metric"
+    if gates is None:
+        gates = default_gates()
+    failures = []
+    for gate in gates:
+        verdict = check_gate(
+            gate, records, threshold=threshold, window=window
         )
-        return 2
-    baseline_values = []
-    baseline_names = []
-    for name, payload in records[-(window + 1) : -1]:
-        value = extract_metric(payload, experiment, table_prefix, column)
-        if value is not None:
-            baseline_values.append(value)
-            baseline_names.append(name)
-    if not baseline_values:
-        print(
-            "perf-trajectory: no comparable baseline records in the "
-            "trailing window — passing trivially"
-        )
-        return 0
-    baseline = median(baseline_values)
-    floor = baseline * (1.0 - threshold)
-    verdict = "OK" if newest_metric >= floor else "REGRESSION"
-    print(
-        f"perf-trajectory [{experiment} {column}]: newest "
-        f"{newest_name} = {newest_metric:.1f}, baseline median of "
-        f"{len(baseline_values)} record(s) = {baseline:.1f}, floor "
-        f"(-{threshold:.0%}) = {floor:.1f} -> {verdict}"
-    )
-    if verdict == "REGRESSION":
-        print(f"  baseline window: {', '.join(baseline_names)}")
+        if verdict == "error":
+            return 2
+        if verdict == "regression":
+            failures.append(gate.name)
+    if failures:
+        print(f"perf-trajectory: FAILED gates: {', '.join(failures)}")
         return 1
     return 0
 
@@ -148,9 +305,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="benchmarks.check_regression",
         description=(
-            "Fail when the newest BENCH_<sha>.json regresses the E13 "
-            "compiled-runtime docs/sec by more than the threshold "
-            "against a trailing-window median."
+            "Fail when the newest BENCH_<sha>.json regresses E13 "
+            "docs/sec, E10d fused timings or peak RSS by more than the "
+            "threshold against a trailing-window median."
         ),
     )
     parser.add_argument(
@@ -171,21 +328,55 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_WINDOW,
         help="how many trailing records form the baseline (default 5)",
     )
-    parser.add_argument("--experiment", default=DEFAULT_EXPERIMENT)
-    parser.add_argument("--table-prefix", default=DEFAULT_TABLE_PREFIX)
-    parser.add_argument("--column", default=DEFAULT_METRIC_COLUMN)
+    parser.add_argument(
+        "--experiment",
+        help="run a single custom table gate over this experiment id "
+        "instead of the default gate set",
+    )
+    parser.add_argument(
+        "--table-prefix",
+        help="table-title prefix for the custom gate (e.g. E13a)",
+    )
+    parser.add_argument(
+        "--column", help="metric column name for the custom gate"
+    )
+    parser.add_argument(
+        "--direction",
+        choices=(HIGHER, LOWER),
+        default=HIGHER,
+        help="which way the custom gate's metric regresses "
+        "(default: higher-is-better)",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be a fraction in (0, 1)")
     if args.window < 1:
         parser.error("--window must be >= 1")
+    custom = (args.experiment, args.table_prefix, args.column)
+    gates: list[Gate] | None = None
+    if any(v is not None for v in custom):
+        if not all(v is not None for v in custom):
+            parser.error(
+                "--experiment, --table-prefix and --column must be "
+                "given together"
+            )
+        gates = [
+            Gate(
+                f"{args.experiment}/{args.table_prefix}/{args.column}",
+                args.direction,
+                lambda r: table_metric(
+                    r, args.experiment, args.table_prefix, args.column
+                ),
+                # An explicitly requested metric missing from the
+                # newest record is a usage error, as it always was.
+                required=True,
+            )
+        ]
     return check(
         args.results_dir,
+        gates=gates,
         threshold=args.threshold,
         window=args.window,
-        experiment=args.experiment,
-        table_prefix=args.table_prefix,
-        column=args.column,
     )
 
 

@@ -9,9 +9,11 @@ paper's claims.
 timings and tables, so CI runs can record ``BENCH_*.json`` performance
 trajectories across commits (checked for regressions by
 ``benchmarks.check_regression``).  Each record also stamps the
-process's peak RSS after the experiment (and the worker-children peak,
-for the multiprocess experiments), so the trajectory tracks memory
-alongside throughput.
+process's peak RSS after the experiment (``peak_rss_kb``, and
+``peak_rss_children_kb`` for the worker processes of the multiprocess
+experiments), so the trajectory tracks memory alongside throughput.
+The full record schema is documented in ``benchmarks/results/README.md``
+— the single place to look up what each field means.
 """
 
 from __future__ import annotations

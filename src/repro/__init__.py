@@ -48,6 +48,7 @@ from .runtime.cache import cache_metrics
 from .runtime.compiled import CompiledSpanner
 from .runtime.equality import CompiledEqualityQuery, equality_join
 from .runtime.parallel import ParallelSpanner
+from .runtime.service import SpannerService
 
 __version__ = "1.0.0"
 
@@ -71,6 +72,7 @@ __all__ = [
     "CompiledSpanner",
     "CompiledEqualityQuery",
     "ParallelSpanner",
+    "SpannerService",
     "equality_join",
     "cache_metrics",
     "enumerate_tuples",

@@ -2,15 +2,18 @@
 
 Subcommands:
 
-* ``extract`` — evaluate one regex formula over one or more documents
-  and print the extracted span tuples (streaming, polynomial delay);
-  the formula is compiled **once** (the compiled-spanner runtime), so
-  repeating ``--file`` streams a whole collection through the same
-  precomputed tables; ``--workers N`` shards the documents across N
-  worker processes sharing that one compiled artifact (output order
-  and content are identical to the serial run) — with ``--file``
-  inputs only the *paths* are shipped and each worker reads its own
-  documents, so document bytes never ride the task pipe;
+* ``extract`` — evaluate one or more regex formulas over one or more
+  documents and print the extracted span tuples (streaming, polynomial
+  delay); each formula is compiled **once** (the compiled-spanner
+  runtime), so repeating ``--file`` streams a whole collection through
+  the same precomputed tables; ``--workers N`` shards the work across
+  N worker processes — with several formulas all of them are
+  registered on **one** serving fleet (``SpannerService``) and
+  dispatched concurrently, each worker holding every query's compiled
+  artifact at most once; output order and content are identical to the
+  serial run, and with ``--file`` inputs only the *paths* are shipped
+  (each worker reads its own documents, so document bytes never ride
+  the task pipe);
 * ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
   an optional ``--head`` and optional ``--equal`` groups; with several
   ``--file`` arguments the per-query compilation is shared across the
@@ -103,36 +106,61 @@ def _read_file_text(path: str) -> str:
         ) from err
 
 
-def _cmd_extract(args: argparse.Namespace) -> int:
-    spanner = CompiledSpanner(args.formula)
-    total = 0
-    # --text takes precedence over --file (as _read_documents does), so
-    # the file-dispatch branch must not trigger when --text is present.
-    if args.workers > 1 and args.text is None and args.file and len(args.file) > 1:
-        # Shard the corpus across worker processes; results stream back
-        # in input order, so the printed output matches the serial run.
-        # Only the file *paths* are shipped — each worker reads its own
-        # chunk's documents, keeping document bytes off the task pipe.
-        from .runtime.parallel import ParallelSpanner
-
-        # Fail like the serial path does — before printing anything —
-        # when an input is missing/unreadable, instead of surfacing a
-        # worker error after earlier files' output already streamed.
-        for name in args.file:
-            try:
-                os.stat(name)
-            except OSError as err:
-                raise SpannerError(
-                    f"cannot read {name}: {err.strerror or err}"
-                ) from err
-        engine = ParallelSpanner(spanner, workers=args.workers)
-        # Push --limit into the workers: a capped extraction must stop
-        # enumerating at the cap there, as the serial path does here.
+def _stat_inputs(paths: Iterable[str]) -> None:
+    """Fail before printing anything when an input is missing/unreadable."""
+    for name in paths:
         try:
-            answer_streams = engine.evaluate_files(
-                args.file, limit=args.limit
-            )
-            for name, answers in zip(args.file, answer_streams):
+            os.stat(name)
+        except OSError as err:
+            raise SpannerError(
+                f"cannot read {name}: {err.strerror or err}"
+            ) from err
+
+
+def _extract_prefix(
+    query_index: int, name: str, label_queries: bool, label_docs: bool
+) -> str | None:
+    """The row prefix: query label, document label, both, or neither."""
+    parts = []
+    if label_queries:
+        parts.append(f"q{query_index}")
+    if label_docs:
+        parts.append(name)
+    return " ".join(parts) if parts else None
+
+
+def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
+    """Serve several formulas over one worker fleet (``--workers N``).
+
+    Every formula is registered on one :class:`SpannerService`, so the
+    workers hold each compiled artifact at most once, and all queries'
+    file batches are dispatched before any result is rendered — the
+    queries genuinely share the fleet concurrently.  Output is grouped
+    query-major then file-major, exactly as the serial loop prints it.
+    """
+    from .runtime.service import SpannerService
+
+    _stat_inputs(args.file)
+    label_docs = len(args.file) > 1
+    total = 0
+    with SpannerService(workers=args.workers) as service:
+        query_ids = [
+            service.register(CompiledSpanner(formula)) for formula in formulas
+        ]
+        futures = [
+            service.submit_files(qid, args.file, limit=args.limit)
+            for qid in query_ids
+        ]
+        for i, future in enumerate(futures):
+            try:
+                per_file = future.result()
+            except OSError as err:
+                failed = getattr(err, "filename", None)
+                raise SpannerError(
+                    f"worker cannot read {failed or 'input'}: "
+                    f"{err.strerror or err}"
+                ) from err
+            for name, answers in zip(args.file, per_file):
                 # The driver only needs the text to render span
                 # *contents*; the positional format skips the re-read.
                 # (The re-read assumes the file is stable between the
@@ -140,25 +168,70 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 # rendering against file-backed corpora.)
                 text = "" if args.format == "spans" else _read_file_text(name)
                 total += _print_tuples(
-                    answers, text, args.format, args.limit, prefix=name
+                    answers, text, args.format, args.limit,
+                    prefix=_extract_prefix(i, name, len(formulas) > 1,
+                                           label_docs),
                 )
-        except OSError as err:
-            failed = getattr(err, "filename", None)
-            raise SpannerError(
-                f"worker cannot read {failed or 'input'}: "
-                f"{err.strerror or err}"
-            ) from err
+    return total
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    formulas = args.formula
+    label_queries = len(formulas) > 1
+    total = 0
+    # --text takes precedence over --file (as _read_documents does), so
+    # the fleet branch must not trigger when --text is present.
+    if (
+        args.workers > 1
+        and args.text is None
+        and args.file
+        and (len(args.file) > 1 or label_queries)
+    ):
+        if label_queries:
+            total = _extract_fleet(args, formulas)
+        else:
+            # One query: keep the streaming single-query session (the
+            # fleet-backed ParallelSpanner) — results render as each
+            # file's chunk completes instead of after the whole batch.
+            from .runtime.parallel import ParallelSpanner
+
+            _stat_inputs(args.file)
+            engine = ParallelSpanner(
+                CompiledSpanner(formulas[0]), workers=args.workers
+            )
+            # Push --limit into the workers: a capped extraction must
+            # stop enumerating at the cap there, as the serial path
+            # does here.
+            try:
+                answer_streams = engine.evaluate_files(
+                    args.file, limit=args.limit
+                )
+                for name, answers in zip(args.file, answer_streams):
+                    text = (
+                        "" if args.format == "spans" else _read_file_text(name)
+                    )
+                    total += _print_tuples(
+                        answers, text, args.format, args.limit, prefix=name
+                    )
+            except OSError as err:
+                failed = getattr(err, "filename", None)
+                raise SpannerError(
+                    f"worker cannot read {failed or 'input'}: "
+                    f"{err.strerror or err}"
+                ) from err
     else:
         docs = _read_documents(args)
         label_docs = len(docs) > 1
-        for name, text in docs:
-            total += _print_tuples(
-                spanner.stream(text),
-                text,
-                args.format,
-                args.limit,
-                prefix=name if label_docs else None,
-            )
+        for i, formula in enumerate(formulas):
+            spanner = CompiledSpanner(formula)
+            for name, text in docs:
+                total += _print_tuples(
+                    spanner.stream(text),
+                    text,
+                    args.format,
+                    args.limit,
+                    prefix=_extract_prefix(i, name, label_queries, label_docs),
+                )
     if args.count:
         print(f"# {total} tuples", file=sys.stderr)
     return 0
@@ -306,8 +379,18 @@ def build_parser() -> argparse.ArgumentParser:
             "--limit", type=int, help="stop after N tuples (per document)"
         )
 
-    p_extract = sub.add_parser("extract", help="evaluate one regex formula")
-    p_extract.add_argument("formula", help="regex formula (concrete syntax)")
+    p_extract = sub.add_parser(
+        "extract", help="evaluate one or more regex formulas"
+    )
+    p_extract.add_argument(
+        "formula",
+        nargs="+",
+        help=(
+            "regex formula (concrete syntax); repeatable — several "
+            "formulas are served over one worker fleet with --workers, "
+            "output grouped per formula (q0, q1, ...)"
+        ),
+    )
     add_io(p_extract)
     p_extract.add_argument(
         "--count", action="store_true", help="print the tuple count to stderr"
@@ -317,9 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help=(
-            "shard documents across N worker processes sharing one "
-            "compiled artifact (default: 1 = serial; pays off on "
-            "many/large documents)"
+            "shard documents across N worker processes (default: 1 = "
+            "serial; pays off on many/large documents); with several "
+            "formulas, all of them are served concurrently by one "
+            "SpannerService fleet"
         ),
     )
     p_extract.set_defaults(func=_cmd_extract)

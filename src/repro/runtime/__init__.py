@@ -16,9 +16,14 @@
   (:func:`equality_join`, never materializing Theorem 5.4's per-string
   ``A_eq``) and :class:`CompiledEqualityQuery`, its ship-to-workers
   per-query artifact;
+* :mod:`.service` — :class:`SpannerService`, the long-lived queue-fed
+  worker fleet serving *multiple* registered queries (keyed by query
+  fingerprint into each worker's engine table) with worker recycling,
+  crash re-dispatch and an asyncio front-end;
 * :mod:`.parallel` — :class:`ParallelSpanner`, multiprocess corpus
   sharding over one pickled/rebuilt artifact (``AutomatonTables`` or a
-  ``CompiledEqualityQuery``).
+  ``CompiledEqualityQuery``) — since PR 4 a thin single-query session
+  over a :class:`SpannerService` fleet.
 
 ``CompiledSpanner`` / ``ParallelSpanner`` are exposed lazily (PEP 562):
 :mod:`.tables` sits *below* the enumeration layer (the evaluation-graph
@@ -37,6 +42,7 @@ __all__ = [
     "CompiledSpanner",
     "CompiledEqualityQuery",
     "ParallelSpanner",
+    "SpannerService",
     "equality_join",
     "CacheStats",
     "LRUCache",
@@ -54,6 +60,10 @@ def __getattr__(name: str):
         from .parallel import ParallelSpanner
 
         return ParallelSpanner
+    if name == "SpannerService":
+        from .service import SpannerService
+
+        return SpannerService
     if name == "CompiledEqualityQuery":
         from .equality import CompiledEqualityQuery
 

@@ -1,66 +1,76 @@
-"""Multiprocess corpus sharding over one compiled artifact.
+"""Multiprocess corpus sharding: a single-query session over the fleet.
 
 ``CompiledSpanner.evaluate_many`` is embarrassingly parallel per
 document — every document runs the same string-dependent sweep over the
 same immutable :class:`~repro.runtime.tables.AutomatonTables` — but a
 single Python process is GIL-bound to one core.  :class:`ParallelSpanner`
-shards a document iterable across a :mod:`multiprocessing` pool:
+shards a document iterable across worker processes.
+
+Since PR 4 the workers behind it are a
+:class:`~repro.runtime.service.SpannerService` fleet; ``ParallelSpanner``
+is the *single-query streaming session* over that fleet, keeping the
+API and guarantees it has had since PR 2:
 
 * the compiled artifact is pickled **once** (the explicit serialization
-  contract of :mod:`repro.runtime.tables`) and every worker unpickles
-  it **once** in its pool initializer — for an equality-free spanner
-  that artifact is the ``AutomatonTables`` a per-process
-  ``CompiledSpanner`` is rebuilt around; for an equality workload it is
-  a whole :class:`~repro.runtime.equality.CompiledEqualityQuery`
-  (per-disjunct static tables + groups + head), and each worker runs
-  the **fused equality join** locally per document — workers never
-  recompile, and the interned closure tuples / prebuilt burst rows
-  arrive intact;
+  contract of :mod:`repro.runtime.tables`) and every worker receives it
+  **once** for its lifetime — for an equality-free spanner that
+  artifact is the ``AutomatonTables`` a per-process ``CompiledSpanner``
+  is rebuilt around; for an equality workload it is a whole
+  :class:`~repro.runtime.equality.CompiledEqualityQuery` (per-disjunct
+  static tables + groups + head), and each worker runs the **fused
+  equality join** locally per document — workers never recompile, and
+  the interned closure tuples / prebuilt burst rows arrive intact;
 * documents are dispatched in order as chunks of ``chunk_size``; at
   most ``max_pending`` chunks are in flight, which bounds both worker
   memory and how far ahead of the consumer the input iterable is read
   (backpressure — an unbounded stream composes);
-* results come back as ``(doc, tuples)`` lists and are yielded strictly
-  in input order, so the output is **identical** — same tuples, same
-  radix order, same grouping — to the serial path's, whatever the
-  worker count;
+* results are yielded strictly in input order, so the output is
+  **identical** — same tuples, same radix order, same grouping — to
+  the serial path's, whatever the worker count (and whatever crashes
+  or recycles the underlying fleet absorbs along the way);
 * ``workers=1`` degrades to the serial ``CompiledSpanner`` path with no
-  pool, no pickling and no subprocesses.
+  fleet, no pickling and no subprocesses.
 
-A pool is created per batch call by default; use the spanner as a
-context manager to keep one pool (and its per-worker unpickled tables)
+A fleet is created per batch call by default; use the spanner as a
+context manager to keep one fleet (and its per-worker unpickled tables)
 alive across several ``evaluate_many`` / ``count_many`` calls::
 
     with ParallelSpanner(".*x{[0-9]+}.*", workers=4) as engine:
         for answers in engine.evaluate_many(corpus):
             ...
 
+To serve *several* queries from one resident pool of workers — the
+long-lived serving scenario — use :class:`SpannerService` directly and
+register each query; ``ParallelSpanner`` remains the right interface
+for one query over one corpus.
+
 When sharding pays off: the per-document win is (evaluation time) vs
 (IPC: one pickled document in, its pickled tuples out), and the fixed
-cost is pool startup plus one tables round-trip per worker.  Corpora of
+cost is fleet startup plus one tables shipment per worker.  Corpora of
 hundreds of non-trivial documents amortize this easily; a handful of
 tiny documents will not — stay serial (``workers=1``) there.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+# Process management lives in .service now, but multiprocessing stays
+# imported here on purpose: the workers=1 contract ("never touches
+# multiprocessing") is asserted by patching this module's reference to
+# it — and get_context is one shared module-level function, so the
+# patch guards the fleet path too.
+import multiprocessing  # noqa: F401  (contract hook, see above)
 import os
-import pickle
 from collections import deque
-from functools import partial
 from itertools import islice
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
-from .tables import AutomatonTables
+from .service import SpannerService
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from multiprocessing.pool import Pool
-
     from ..regex.ast import RegexFormula
 
 __all__ = ["ParallelSpanner"]
@@ -70,66 +80,10 @@ __all__ = ["ParallelSpanner"]
 #: round of task pickling over many documents.
 DEFAULT_CHUNK_SIZE = 16
 
-# -- Worker-process side ------------------------------------------------------
-#
-# Module-level state + module-level functions: both pool start methods
-# (fork and spawn) can address them, and each worker materializes the
-# spanner exactly once per pool, not once per chunk.
-
-_WORKER_SPANNER: "CompiledSpanner | CompiledEqualityQuery | None" = None
-
-
-def _init_worker(payload: bytes) -> None:
-    global _WORKER_SPANNER
-    artifact = pickle.loads(payload)
-    if isinstance(artifact, AutomatonTables):
-        # The equality-free contract: one tables object, rebuilt into a
-        # serving spanner without rerunning any preprocessing.
-        _WORKER_SPANNER = CompiledSpanner.from_tables(artifact)
-    else:
-        # A self-contained engine (e.g. CompiledEqualityQuery): its
-        # pickle contract already ships the per-disjunct tables.
-        _WORKER_SPANNER = artifact
-
-
-def _evaluate_chunk(
-    docs: list[str], limit: int | None = None
-) -> list[list[SpanTuple]]:
-    spanner = _WORKER_SPANNER
-    assert spanner is not None, "worker used before initialization"
-    if limit is None:
-        return [list(spanner.stream(doc)) for doc in docs]
-    # Stop enumerating (polynomial delay) at the cap instead of
-    # materializing combinatorially many tuples only to discard them.
-    return [list(islice(spanner.stream(doc), limit)) for doc in docs]
-
-
-def _count_chunk(docs: list[str], cap: int | None = None) -> list[int]:
-    spanner = _WORKER_SPANNER
-    assert spanner is not None, "worker used before initialization"
-    return [spanner.count(doc, cap=cap) for doc in docs]
-
 
 def _read_document(path: str) -> str:
     with open(path, encoding="utf-8") as handle:
         return handle.read()
-
-
-def _evaluate_file_chunk(
-    paths: list[str], limit: int | None = None
-) -> list[list[SpanTuple]]:
-    """Read the documents worker-side: only paths cross the pipe in."""
-    spanner = _WORKER_SPANNER
-    assert spanner is not None, "worker used before initialization"
-    out: list[list[SpanTuple]] = []
-    for path in paths:
-        doc = _read_document(path)
-        stream = spanner.stream(doc)
-        out.append(list(stream if limit is None else islice(stream, limit)))
-    return out
-
-
-# -- Driver side --------------------------------------------------------------
 
 
 class ParallelSpanner:
@@ -142,8 +96,8 @@ class ParallelSpanner:
     its static tables shipped once per worker.
 
     Args:
-        workers: pool size; defaults to the machine's CPU count.
-            ``workers=1`` is the serial fallback (no pool at all).
+        workers: fleet size; defaults to the machine's CPU count.
+            ``workers=1`` is the serial fallback (no fleet at all).
         chunk_size: documents per dispatched task.
         max_pending: chunks in flight before dispatch blocks; bounds
             read-ahead on the input iterable and result memory.
@@ -180,7 +134,8 @@ class ParallelSpanner:
         if self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
         self.mp_context = mp_context
-        self._pool: "Pool | None" = None
+        self._pool: "SpannerService | None" = None
+        self._query_id: str | None = None
 
     # -- Introspection ------------------------------------------------------
     @property
@@ -193,23 +148,17 @@ class ParallelSpanner:
             f"chunk_size={self.chunk_size}, spanner={self.spanner!r})"
         )
 
-    # -- Pool lifetime ------------------------------------------------------
-    def _make_pool(self) -> "Pool":
-        ctx = multiprocessing.get_context(self.mp_context)
-        # Equality-free spanners ship their tables (the historical
-        # contract: the worker rebuilds a CompiledSpanner around them);
-        # self-contained engines ship themselves.
-        artifact: object = (
-            self.spanner.tables
-            if isinstance(self.spanner, CompiledSpanner)
-            else self.spanner
+    # -- Fleet lifetime ------------------------------------------------------
+    def _make_pool(self) -> SpannerService:
+        """A started fleet with this session's one query registered."""
+        service = SpannerService(
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            mp_context=self.mp_context,
         )
-        payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
-        return ctx.Pool(
-            processes=self.workers,
-            initializer=_init_worker,
-            initargs=(payload,),
-        )
+        service.start()
+        self._query_id = service.register(self.spanner)
+        return service
 
     def __enter__(self) -> "ParallelSpanner":
         if self.workers > 1 and self._pool is None:
@@ -220,17 +169,16 @@ class ParallelSpanner:
         self.close()
 
     def close(self) -> None:
-        """Shut down a persistent pool (no-op otherwise)."""
+        """Shut down a persistent fleet (no-op otherwise)."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.close(drain=False)
             self._pool = None
 
     # -- Sharded batch evaluation -------------------------------------------
     def evaluate_many(
         self, docs: Iterable[str], *, limit: int | None = None
     ) -> Iterator[list[SpanTuple]]:
-        """``CompiledSpanner.evaluate_many`` across the worker pool.
+        """``CompiledSpanner.evaluate_many`` across the worker fleet.
 
         Yields one ``list[SpanTuple]`` per document, in input order,
         each list in the same radix order the serial path produces.
@@ -246,40 +194,38 @@ class ParallelSpanner:
                 for doc in docs:
                     yield list(islice(self.spanner.stream(doc), limit))
             return
-        yield from self._shard(docs, partial(_evaluate_chunk, limit=limit))
+        yield from self._shard(docs, "evaluate", limit)
 
     def count_many(
         self, docs: Iterable[str], cap: int | None = None
     ) -> Iterator[int]:
-        """Per-document distinct-tuple counts across the worker pool."""
+        """Per-document distinct-tuple counts across the worker fleet."""
         if self.workers == 1:
             yield from self.spanner.count_many(docs, cap=cap)
             return
-        yield from self._shard(docs, partial(_count_chunk, cap=cap))
+        yield from self._shard(docs, "count", cap)
 
     def evaluate_files(
         self, paths: Iterable[str], *, limit: int | None = None
     ) -> Iterator[list[SpanTuple]]:
         """``evaluate_many`` over files, read (or not) worker-side.
 
-        Only the *paths* are pickled into the pool; each worker opens
+        Only the *paths* are shipped to the fleet; each worker opens
         and reads its chunk's files itself, so large documents never
         ride the task pipe — the first slice of shared-memory document
         transport.  Results stream back per file, in input order, same
         as :meth:`evaluate_many`.  An unreadable file raises ``OSError``
-        (propagated out of the pool) rather than yielding partials.
+        (propagated out of the fleet) rather than yielding partials.
         """
         if self.workers == 1:
             for path in paths:
                 stream = self.spanner.stream(_read_document(path))
                 yield list(stream if limit is None else islice(stream, limit))
             return
-        yield from self._shard(paths, partial(_evaluate_file_chunk, limit=limit))
+        yield from self._shard(paths, "files", limit)
 
     def _shard(
-        self,
-        docs: Iterable[str],
-        chunk_fn: Callable[[list[str]], list],
+        self, docs: Iterable[str], op: str, extra: int | None
     ) -> Iterator:
         """Chunked, backpressured, order-preserving dispatch loop.
 
@@ -293,22 +239,29 @@ class ParallelSpanner:
         it = iter(docs)
         first = list(islice(it, self.chunk_size))
         if not first:
-            return  # empty corpus: don't spin up (or touch) any pool
+            return  # empty corpus: don't spin up (or touch) any fleet
         if self._pool is not None:
-            yield from self._drive(self._pool, first, it, chunk_fn)
+            yield from self._drive(self._pool, first, it, op, extra)
         else:
-            with self._make_pool() as pool:
-                yield from self._drive(pool, first, it, chunk_fn)
+            pool = self._make_pool()
+            try:
+                yield from self._drive(pool, first, it, op, extra)
+            finally:
+                pool.close(drain=False)
 
     def _drive(
         self,
-        pool: "Pool",
+        pool: SpannerService,
         first: list[str],
         it: Iterator[str],
-        chunk_fn: Callable[[list[str]], list],
+        op: str,
+        extra: int | None,
     ) -> Iterator:
+        assert self._query_id is not None
         pending: deque = deque()
-        pending.append(pool.apply_async(chunk_fn, (first,)))
+        pending.append(
+            pool.submit_chunk(self._query_id, first, op=op, extra=extra)
+        )
         exhausted = False
         while pending:
             while not exhausted and len(pending) < self.max_pending:
@@ -316,5 +269,7 @@ class ParallelSpanner:
                 if not chunk:
                     exhausted = True
                     break
-                pending.append(pool.apply_async(chunk_fn, (chunk,)))
-            yield from pending.popleft().get()
+                pending.append(
+                    pool.submit_chunk(self._query_id, chunk, op=op, extra=extra)
+                )
+            yield from pending.popleft().result()

@@ -1,0 +1,880 @@
+"""The long-lived serving fleet: queue-fed workers, many queries, one pool.
+
+:class:`~repro.runtime.parallel.ParallelSpanner` (PR 2/3) shards one
+compiled artifact across a pool that lives for a batch call or a
+context-manager scope and serves exactly **one** query.  The paper's
+compile-once/evaluate-many split (Theorem 3.3, Lemma 3.10) pays off in
+proportion to how long the compiled artifact outlives its compilation —
+a serving system should therefore keep the workers *resident* and let
+every registered query share them.  :class:`SpannerService` is that
+fleet:
+
+* **Queue-fed workers.**  Each worker process owns a dedicated task
+  queue and blocks on it; the driver assigns chunks to the least-loaded
+  healthy worker.  One shared result queue carries answers (and
+  failures) back, tagged by task id, so results resolve strictly to the
+  futures that requested them whatever order workers finish in.
+* **Many queries per worker.**  Queries — equality-free spanners, vset
+  extractors and fused :class:`~repro.runtime.equality.CompiledEqualityQuery`
+  workloads alike — are registered once, keyed by a *fingerprint* of
+  their pickled compiled artifact.  A worker receives a query's
+  artifact at most once for its lifetime (the driver tracks what each
+  worker has been shipped) and materializes it into its process-wide
+  engine table, so however many tasks it serves it compiles each query
+  exactly once.  Re-registering an identical query is a no-op returning
+  the same id.
+* **Graceful lifecycle.**  Workers are recycled after
+  ``max_tasks_per_worker`` tasks (finish in-flight work, stop, get
+  replaced — results stay byte-identical across a recycle); a worker
+  that *dies* has its in-flight tasks re-dispatched to a healthy worker
+  (at-most-once resolution: a straggler result for an already-resolved
+  task is dropped, so tuples are neither lost nor duplicated); and
+  :meth:`close` drains in-flight work before stopping the fleet
+  (``drain=False`` terminates immediately instead).
+* **Asyncio front-end.**  ``await service.extract(query_id, docs)``
+  evaluates a batch without blocking the event loop;
+  :meth:`submit` returns a :class:`concurrent.futures.Future` usable
+  from sync code or (via :meth:`gather`) from coroutines.  In-flight
+  work is bounded by ``max_in_flight`` chunks (submission blocks — in
+  a coroutine, parks in a thread — once the bound is hit), the
+  backpressure that keeps an unbounded caller from flooding the task
+  queues.  Cancelling an ``extract`` abandons its result but leaves
+  the fleet fully serviceable.
+
+Results are **byte-identical and in-order** versus the serial runtime:
+chunks are submitted in document order and concatenated in submission
+order, and each worker runs the exact serial per-document evaluation,
+so a batch's answer is the same list-of-``SpanTuple``-lists whatever
+the worker count, chunking, recycling or crash history.
+
+::
+
+    with SpannerService(workers=4) as service:
+        logs = service.register(".*level{ERROR|WARN}.*")
+        mail = service.register("(ε|.* )m{u{[a-z]+}@d{[a-z]+\\.[a-z]+}}( .*|ε)")
+        f1 = service.submit(logs, log_lines)      # both queries share
+        f2 = service.submit(mail, mail_bodies)    # ... the same workers
+        answers = f1.result(), f2.result()
+
+    async def serve():
+        async with_service...  # or: await service.extract(logs, docs)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import threading
+from collections import deque
+from concurrent.futures import CancelledError, Future, InvalidStateError, wait
+from itertools import count, islice
+from typing import TYPE_CHECKING, Awaitable, Iterable, Sequence
+
+from ..spans import SpanTuple
+from ..vset.automaton import VSetAutomaton
+from .compiled import CompiledSpanner
+from .equality import CompiledEqualityQuery
+from .tables import AutomatonTables
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.context import BaseContext
+    from multiprocessing.process import BaseProcess
+
+    from ..regex.ast import RegexFormula
+
+__all__ = ["SpannerService"]
+
+#: Documents per dispatched task (same granularity ParallelSpanner uses).
+DEFAULT_CHUNK_SIZE = 16
+
+#: A task is re-dispatched after a worker death at most this many times
+#: in total before its future fails — the bound that keeps one
+#: worker-killing ("poison") task from crashing replacement workers
+#: forever.
+MAX_TASK_ATTEMPTS = 3
+
+#: Tasks a worker may hold (one running + prefetch) before dispatch
+#: falls back to the service backlog.  Keeping per-worker queues this
+#: shallow is what bounds head-of-line blocking: a worker stuck on one
+#: pathological chunk can strand at most one prefetched task, while
+#: everything else drains to workers as they free up — the same
+#: behavior a shared task queue would give, without losing the
+#: per-worker queues that make artifact shipment and recycling
+#: addressable.
+MAX_WORKER_PREFETCH = 2
+
+
+# -- Worker-process side ------------------------------------------------------
+#
+# Module-level so both fork and spawn start methods can address it.  A
+# worker is a plain loop over its task queue; its ``engines`` dict is
+# the per-process compile-at-most-once guarantee (artifacts arrive
+# pickled at most once per worker, keyed by query fingerprint, and the
+# process-wide caches of :mod:`repro.runtime.cache` back any further
+# compilation the engines do internally).
+
+
+def _materialize(artifact: object) -> object:
+    """An unpickled shipped artifact, rebuilt into a serving engine."""
+    if isinstance(artifact, AutomatonTables):
+        # The equality-free contract: one tables object, rebuilt into a
+        # spanner without rerunning any preprocessing.
+        return CompiledSpanner.from_tables(artifact)
+    # A self-contained engine (CompiledEqualityQuery, CompiledSpanner):
+    # its pickle contract already ships everything it needs.
+    return artifact
+
+
+def _run_op(engine, op: str, items: list[str], extra: int | None) -> list:
+    """One task's evaluation — exactly the serial per-document path."""
+    if op == "evaluate":
+        if extra is None:
+            return [list(engine.stream(doc)) for doc in items]
+        # Stop enumerating (polynomial delay) at the cap instead of
+        # materializing combinatorially many tuples only to discard them.
+        return [list(islice(engine.stream(doc), extra)) for doc in items]
+    if op == "count":
+        return [engine.count(doc, cap=extra) for doc in items]
+    if op == "files":
+        # Only paths crossed the pipe; read the documents worker-side.
+        out: list[list[SpanTuple]] = []
+        for path in items:
+            with open(path, encoding="utf-8") as handle:
+                doc = handle.read()
+            stream = engine.stream(doc)
+            out.append(list(stream if extra is None else islice(stream, extra)))
+        return out
+    raise ValueError(f"unknown task op {op!r}")
+
+
+def _fleet_worker(worker_id: int, task_queue, result_queue) -> None:
+    """The worker loop: block on the task queue until told to stop.
+
+    Exceptions are reported per task (the worker stays alive and keeps
+    serving); only process death — crash, kill, recycle stop — ends the
+    loop.  Results and failures go back tagged with the task id, so the
+    driver resolves exactly the future that asked.
+    """
+    engines: dict[str, object] = {}
+    while True:
+        msg = task_queue.get()
+        if msg[0] == "stop":
+            break
+        _kind, task_id, query_id, payload, op, items, extra = msg
+        try:
+            engine = engines.get(query_id)
+            if engine is None:
+                if payload is None:
+                    raise RuntimeError(
+                        f"worker {worker_id} has no artifact for query "
+                        f"{query_id!r}"
+                    )
+                engine = _materialize(pickle.loads(payload))
+                engines[query_id] = engine
+            out = _run_op(engine, op, items, extra)
+        except Exception as err:
+            try:  # ship the real exception when it pickles
+                pickle.dumps(err)
+            except Exception:
+                err = RuntimeError(f"{type(err).__name__}: {err}")
+            result_queue.put(("fail", worker_id, task_id, err))
+        else:
+            result_queue.put(("done", worker_id, task_id, out))
+
+
+# -- Driver side --------------------------------------------------------------
+
+
+class _Task:
+    """One dispatched chunk: its future, where it is, how often it ran."""
+
+    __slots__ = (
+        "task_id", "query_id", "op", "items", "extra",
+        "future", "worker", "attempts", "done", "bounded",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        query_id: str,
+        op: str,
+        items: list[str],
+        extra: int | None,
+        bounded: bool,
+    ):
+        self.task_id = task_id
+        self.query_id = query_id
+        self.op = op
+        self.items = items
+        self.extra = extra
+        self.future: Future = Future()
+        self.worker: "_WorkerHandle | None" = None
+        self.attempts = 0
+        self.done = False
+        self.bounded = bounded  # holds one max_in_flight slot
+
+
+class _WorkerHandle:
+    """Driver-side record of one worker process."""
+
+    __slots__ = (
+        "worker_id", "process", "task_queue", "shipped",
+        "in_flight", "assigned", "retiring", "stopped",
+    )
+
+    def __init__(self, worker_id: int, process: "BaseProcess", task_queue):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.shipped: set[str] = set()  # query ids this worker holds
+        self.in_flight: dict[int, _Task] = {}
+        self.assigned = 0  # lifetime task count (drives recycling)
+        self.retiring = False  # no new assignments; stop when drained
+        self.stopped = False  # stop sent (or crash observed)
+
+
+class SpannerService:
+    """A resident multi-query worker fleet with an asyncio front-end.
+
+    Args:
+        workers: fleet size; defaults to the machine's CPU count.
+        chunk_size: documents per dispatched task (the granularity of
+            load balancing, re-dispatch and recycling).
+        max_tasks_per_worker: recycle a worker after it has been
+            assigned this many tasks — it finishes its in-flight work,
+            stops, and is replaced by a fresh process.  ``None`` (the
+            default) never recycles.
+        max_in_flight: chunks in flight across the whole service before
+            :meth:`submit` blocks (backpressure); ``None`` = unbounded.
+        mp_context: a :mod:`multiprocessing` start-method name
+            ("fork", "spawn", "forkserver") or ``None`` for the
+            platform default.
+
+    The service starts lazily on first use (or explicitly via
+    :meth:`start` / ``with service:``) and must be closed —
+    :meth:`close` drains and stops the fleet; the context manager does
+    so on exit.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_tasks_per_worker: int | None = None,
+        max_in_flight: int | None = None,
+        mp_context: str | None = None,
+    ):
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        if max_tasks_per_worker is not None and max_tasks_per_worker < 1:
+            raise ValueError(
+                f"max_tasks_per_worker must be >= 1, got {max_tasks_per_worker}"
+            )
+        self.max_tasks_per_worker = max_tasks_per_worker
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.max_in_flight = max_in_flight
+        self.mp_context = mp_context
+
+        self._lock = threading.RLock()
+        self._registry: dict[str, bytes] = {}  # query id -> pickled artifact
+        self._workers: list[_WorkerHandle] = []
+        self._all_processes: list["BaseProcess"] = []
+        self._tasks: dict[int, _Task] = {}  # every unresolved task
+        self._backlog: deque[_Task] = deque()  # awaiting an eligible worker
+        self._task_ids = count()
+        self._worker_ids = count()
+        self._results = None  # shared result queue (created on start)
+        self._collector: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._inflight_slots = (
+            threading.BoundedSemaphore(max_in_flight)
+            if max_in_flight is not None
+            else None
+        )
+        self._started = False
+        self._closing = False
+        self._closed = False
+        self._completed = 0
+        self._recycled = 0
+        self._crashed = 0
+
+    # -- Introspection ------------------------------------------------------
+    @property
+    def queries(self) -> tuple[str, ...]:
+        """The registered query ids, in registration order."""
+        with self._lock:
+            return tuple(self._registry)
+
+    @property
+    def tasks_completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    @property
+    def workers_recycled(self) -> int:
+        with self._lock:
+            return self._recycled
+
+    @property
+    def workers_crashed(self) -> int:
+        with self._lock:
+            return self._crashed
+
+    def __repr__(self) -> str:
+        return (
+            f"SpannerService(workers={self.workers}, "
+            f"queries={len(self._registry)}, "
+            f"completed={self._completed}, recycled={self._recycled}, "
+            f"crashed={self._crashed})"
+        )
+
+    # -- Registration -------------------------------------------------------
+    @staticmethod
+    def _artifact_for(query: object) -> object:
+        """The ship-to-workers artifact for anything register() accepts.
+
+        The pickle contract matches :class:`ParallelSpanner`'s:
+        equality-free spanners ship their
+        :class:`~repro.runtime.tables.AutomatonTables` (a worker
+        rebuilds a ``CompiledSpanner`` around them without rerunning
+        preprocessing); self-contained engines ship themselves.
+        """
+        if isinstance(query, CompiledSpanner):
+            return query.tables
+        if isinstance(query, (CompiledEqualityQuery, AutomatonTables)):
+            return query
+        return CompiledSpanner(query).tables  # automaton / formula / syntax
+
+    def register(
+        self,
+        query: (
+            "CompiledSpanner | CompiledEqualityQuery | AutomatonTables "
+            "| VSetAutomaton | RegexFormula | str"
+        ),
+        *,
+        query_id: str | None = None,
+    ) -> str:
+        """Register a query with the fleet; returns its id.
+
+        The id is a fingerprint of the pickled compiled artifact, so
+        registering the same compiled query twice dedupes to one entry
+        (and one shipment per worker).  Pass ``query_id`` to pick a
+        stable name; re-using a name for a *different* artifact raises.
+        Registration is allowed at any time — workers receive the
+        artifact lazily, with the first task that needs it.
+        """
+        payload = pickle.dumps(
+            self._artifact_for(query), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        qid = (
+            query_id
+            if query_id is not None
+            else "q" + hashlib.sha256(payload).hexdigest()[:16]
+        )
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("SpannerService is closed")
+            existing = self._registry.get(qid)
+            if existing is not None and existing != payload:
+                raise ValueError(
+                    f"query id {qid!r} already registered with a "
+                    "different artifact"
+                )
+            self._registry[qid] = payload
+        return qid
+
+    # -- Lifecycle ----------------------------------------------------------
+    def start(self) -> "SpannerService":
+        """Spawn the fleet (idempotent; called lazily by submission)."""
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("SpannerService is closed")
+            if self._started:
+                return self
+            ctx = multiprocessing.get_context(self.mp_context)
+            self._mp_ctx: "BaseContext" = ctx
+            self._results = ctx.Queue()
+            for _ in range(self.workers):
+                self._spawn_worker()
+            self._collector = threading.Thread(
+                target=self._collector_loop,
+                name="spanner-service-collector",
+                daemon=True,
+            )
+            self._collector.start()
+            self._started = True
+        return self
+
+    def __enter__(self) -> "SpannerService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the fleet.
+
+        ``drain=True`` (the default) waits for every in-flight and
+        backlogged task to resolve, then stops the workers gracefully.
+        ``drain=False`` cancels outstanding futures and terminates the
+        worker processes immediately.  Either way the service rejects
+        new work afterwards.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closing = True
+            outstanding = [t.future for t in self._tasks.values()]
+            started = self._started
+        if drain and started and outstanding:
+            wait(outstanding, timeout=timeout)
+        leftovers: list[_Task] = []
+        with self._lock:
+            for task in self._tasks.values():
+                task.done = True
+                leftovers.append(task)
+            self._tasks.clear()
+            self._backlog.clear()
+            for w in self._workers:
+                if not w.stopped:
+                    if drain:
+                        w.task_queue.put(("stop",))
+                    w.stopped = True
+            self._workers.clear()
+        for task in leftovers:
+            self._finish(task, _CANCELLED, None)
+        self._stop_event.set()
+        if self._collector is not None:
+            self._collector.join(timeout=10)
+        for proc in self._all_processes:
+            if drain:
+                proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+        if self._results is not None:
+            self._results.close()
+        with self._lock:
+            self._closed = True
+
+    # -- Submission ---------------------------------------------------------
+    def submit_chunk(
+        self,
+        query_id: str,
+        items: Sequence[str],
+        *,
+        op: str = "evaluate",
+        extra: int | None = None,
+    ) -> Future:
+        """Dispatch one chunk; returns the future of its result list.
+
+        The building block the batch APIs (and
+        :class:`~repro.runtime.parallel.ParallelSpanner`'s streaming
+        sessions) fan out over.  Blocks while ``max_in_flight`` chunks
+        are already outstanding.
+        """
+        items = list(items)
+        if not items:
+            fut: Future = Future()
+            fut.set_result([])
+            return fut
+        self.start()
+        with self._lock:
+            if query_id not in self._registry:
+                raise KeyError(f"unknown query id {query_id!r}")
+        bounded = self._inflight_slots is not None
+        if bounded:
+            self._inflight_slots.acquire()
+        with self._lock:
+            if self._closing:
+                if bounded:
+                    self._inflight_slots.release()
+                raise RuntimeError("SpannerService is closed")
+            task = _Task(
+                next(self._task_ids), query_id, op, items, extra, bounded
+            )
+            self._tasks[task.task_id] = task
+            self._dispatch_or_backlog(task)
+        return task.future
+
+    def submit(
+        self,
+        query_id: str,
+        docs: Iterable[str],
+        *,
+        limit: int | None = None,
+    ) -> Future:
+        """Evaluate a batch; the future resolves to one list per doc.
+
+        Documents are split into ``chunk_size`` tasks balanced across
+        the fleet; the combined result is concatenated in input order —
+        byte-identical to the serial ``evaluate_many``.
+        """
+        return self._submit_batch(query_id, docs, "evaluate", limit)
+
+    def submit_files(
+        self,
+        query_id: str,
+        paths: Iterable[str],
+        *,
+        limit: int | None = None,
+    ) -> Future:
+        """Like :meth:`submit`, but workers read the documents by path."""
+        return self._submit_batch(query_id, paths, "files", limit)
+
+    def submit_counts(
+        self,
+        query_id: str,
+        docs: Iterable[str],
+        *,
+        cap: int | None = None,
+    ) -> Future:
+        """Per-document distinct-tuple counts (no tuple decoding)."""
+        return self._submit_batch(query_id, docs, "count", cap)
+
+    def _submit_batch(
+        self, query_id: str, items: Iterable[str], op: str, extra: int | None
+    ) -> Future:
+        items = list(items)
+        chunk_futures = [
+            self.submit_chunk(query_id, items[i : i + self.chunk_size],
+                              op=op, extra=extra)
+            for i in range(0, len(items), self.chunk_size)
+        ]
+        return _combine(chunk_futures)
+
+    # -- Asyncio front-end --------------------------------------------------
+    async def extract(
+        self,
+        query_id: str,
+        docs: Iterable[str],
+        *,
+        limit: int | None = None,
+    ) -> list[list[SpanTuple]]:
+        """``await``-able :meth:`submit`: one ``list[SpanTuple]`` per doc.
+
+        Submission happens in a thread (it may block on the
+        ``max_in_flight`` backpressure bound), so the event loop never
+        stalls.  Cancelling the coroutine abandons the result — the
+        chunks already dispatched still complete worker-side and the
+        fleet stays fully serviceable.
+        """
+        docs = list(docs)
+        future = await asyncio.to_thread(
+            self.submit, query_id, docs, limit=limit
+        )
+        return await asyncio.wrap_future(future)
+
+    async def extract_files(
+        self,
+        query_id: str,
+        paths: Iterable[str],
+        *,
+        limit: int | None = None,
+    ) -> list[list[SpanTuple]]:
+        """``await``-able :meth:`submit_files`."""
+        paths = list(paths)
+        future = await asyncio.to_thread(
+            self.submit_files, query_id, paths, limit=limit
+        )
+        return await asyncio.wrap_future(future)
+
+    @staticmethod
+    async def gather(*items: "Future | Awaitable") -> list:
+        """Await a mix of coroutines and service futures, in order."""
+        aws = [
+            asyncio.wrap_future(item) if isinstance(item, Future) else item
+            for item in items
+        ]
+        return await asyncio.gather(*aws)
+
+    # -- Scheduling (driver internals; self._lock held throughout) ----------
+    def _spawn_worker(self) -> _WorkerHandle:
+        worker_id = next(self._worker_ids)
+        task_queue = self._mp_ctx.Queue()
+        process = self._mp_ctx.Process(
+            target=_fleet_worker,
+            args=(worker_id, task_queue, self._results),
+            name=f"spanner-service-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        handle = _WorkerHandle(worker_id, process, task_queue)
+        self._workers.append(handle)
+        self._all_processes.append(process)
+        return handle
+
+    def _pick_worker(self) -> _WorkerHandle | None:
+        eligible = [
+            w
+            for w in self._workers
+            if not w.retiring
+            and not w.stopped
+            and len(w.in_flight) < MAX_WORKER_PREFETCH
+            and w.process.is_alive()
+        ]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda w: len(w.in_flight))
+
+    def _dispatch_or_backlog(self, task: _Task) -> None:
+        worker = self._pick_worker()
+        if worker is None:
+            # Every worker is busy to its prefetch bound (or
+            # retiring/replacing); the collector hands backlogged tasks
+            # to workers as their in-flight chunks complete.
+            self._backlog.append(task)
+            return
+        self._assign(worker, task)
+
+    def _assign(self, worker: _WorkerHandle, task: _Task) -> None:
+        # Ship the artifact with the first task that needs it on this
+        # worker — at most one shipment per (worker, query) lifetime.
+        payload = None
+        if task.query_id not in worker.shipped:
+            payload = self._registry[task.query_id]
+            worker.shipped.add(task.query_id)
+        task.worker = worker
+        worker.in_flight[task.task_id] = task
+        worker.assigned += 1
+        if (
+            self.max_tasks_per_worker is not None
+            and worker.assigned >= self.max_tasks_per_worker
+        ):
+            worker.retiring = True
+        worker.task_queue.put(
+            (
+                "task", task.task_id, task.query_id, payload,
+                task.op, task.items, task.extra,
+            )
+        )
+
+    # -- The collector thread -----------------------------------------------
+    def _collector_loop(self) -> None:
+        # The collector must never die with futures outstanding — a
+        # silently dead daemon thread would strand every caller in
+        # ``future.result()``.  Anything unexpected (spawn failures are
+        # already tolerated in _ensure_fleet; this catches the rest)
+        # fails the outstanding work loudly instead of hanging it, and
+        # the loop keeps serving.
+        while not self._collector_iteration():
+            pass
+
+    def _collector_iteration(self) -> bool:
+        """One collector pass; True when the loop should stop."""
+        resolutions: list[tuple[_Task, BaseException | None, object]] = []
+        try:
+            try:
+                msg = self._results.get(timeout=0.05)
+            except queue_module.Empty:
+                msg = None
+            except (OSError, ValueError):  # queue closed mid-shutdown
+                return True
+            with self._lock:
+                if msg is not None:
+                    self._handle_result(msg, resolutions)
+                    while True:  # drain whatever else already arrived
+                        try:
+                            extra_msg = self._results.get_nowait()
+                        except queue_module.Empty:
+                            break
+                        self._handle_result(extra_msg, resolutions)
+                self._reap_crashed(resolutions)
+                self._recycle_retiring()
+                self._ensure_fleet()
+                self._drain_backlog()
+                self._prune_processes()
+                stopping = self._stop_event.is_set()
+            for task, exc, value in resolutions:
+                self._finish(task, exc, value)
+        except Exception as err:  # pragma: no cover - defensive
+            for task, _exc, _value in resolutions:
+                self._finish(
+                    task,
+                    RuntimeError(f"serving fleet scheduler failed: {err!r}"),
+                    None,
+                )
+            self._fail_all_outstanding(err)
+            return self._stop_event.is_set()
+        return stopping
+
+    def _fail_all_outstanding(self, err: Exception) -> None:
+        """Resolve every unfinished future with ``err`` (never hang)."""
+        with self._lock:
+            stranded = [t for t in self._tasks.values() if not t.done]
+            for task in stranded:
+                task.done = True
+            self._tasks.clear()
+            self._backlog.clear()
+        for task in stranded:
+            self._finish(
+                task,
+                RuntimeError(f"serving fleet scheduler failed: {err!r}"),
+                None,
+            )
+
+    def _handle_result(self, msg, resolutions) -> None:
+        kind, _worker_id, task_id, payload = msg
+        task = self._tasks.pop(task_id, None)
+        if task is None or task.done:
+            # A straggler result for a task already re-dispatched and
+            # resolved elsewhere: drop it — at-most-once resolution is
+            # what keeps re-dispatch from duplicating tuples.
+            return
+        task.done = True
+        if task.worker is not None:
+            task.worker.in_flight.pop(task_id, None)
+        self._completed += 1
+        if kind == "done":
+            resolutions.append((task, None, payload))
+        else:
+            resolutions.append((task, payload, None))
+
+    def _reap_crashed(self, resolutions) -> None:
+        for worker in list(self._workers):
+            if worker.stopped or worker.process.is_alive():
+                continue
+            # Died without being told to stop: a crash.  Replace it and
+            # re-dispatch everything it was holding.
+            worker.stopped = True
+            self._workers.remove(worker)
+            self._crashed += 1
+            orphans = list(worker.in_flight.values())
+            worker.in_flight.clear()
+            for task in orphans:
+                if task.done:
+                    continue
+                task.attempts += 1
+                task.worker = None
+                if task.attempts >= MAX_TASK_ATTEMPTS:
+                    task.done = True
+                    self._tasks.pop(task.task_id, None)
+                    resolutions.append(
+                        (
+                            task,
+                            RuntimeError(
+                                f"task for query {task.query_id!r} lost "
+                                f"{task.attempts} workers; giving up"
+                            ),
+                            None,
+                        )
+                    )
+                else:
+                    self._dispatch_or_backlog(task)
+
+    def _recycle_retiring(self) -> None:
+        for worker in list(self._workers):
+            if worker.retiring and not worker.stopped and not worker.in_flight:
+                worker.task_queue.put(("stop",))
+                worker.stopped = True
+                self._workers.remove(worker)
+                self._recycled += 1
+
+    def _ensure_fleet(self) -> None:
+        """Keep the fleet at full strength (replaces crashed/recycled
+        workers).  A failed spawn — PID/memory pressure — is tolerated:
+        the tasks stay backlogged and the next collector pass retries,
+        so transient resource exhaustion degrades instead of deadlocks.
+        """
+        if self._closing and not self._tasks:
+            return
+        while len(self._workers) < self.workers:
+            try:
+                self._spawn_worker()
+            except Exception:
+                break  # retry on the next collector pass
+
+    def _prune_processes(self) -> None:
+        """Reap exited worker processes from the lifetime list.
+
+        A recycling service replaces workers indefinitely; without
+        pruning, ``_all_processes`` (kept so ``close`` can join
+        everything) would grow without bound over the fleet's life.
+        """
+        if len(self._all_processes) <= 2 * self.workers:
+            return
+        alive = []
+        for process in self._all_processes:
+            if process.is_alive():
+                alive.append(process)
+            else:
+                process.join(timeout=0)  # reap the zombie
+        self._all_processes = alive
+
+    def _drain_backlog(self) -> None:
+        while self._backlog:
+            worker = self._pick_worker()
+            if worker is None:
+                return
+            self._assign(worker, self._backlog.popleft())
+
+    # -- Future resolution (never under self._lock) --------------------------
+    def _finish(
+        self, task: _Task, exc: BaseException | None, value: object
+    ) -> None:
+        if task.bounded and self._inflight_slots is not None:
+            self._inflight_slots.release()
+        future = task.future
+        if future.cancelled():
+            return
+        try:
+            if exc is _CANCELLED:
+                future.cancel()
+            elif exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(value)
+        except InvalidStateError:  # cancelled concurrently by a caller
+            pass
+
+
+#: Sentinel: resolve a task's future by cancellation (terminate path).
+_CANCELLED = CancelledError()
+
+
+def _combine(chunk_futures: list[Future]) -> Future:
+    """One future over many chunk futures, results concatenated in order."""
+    aggregate: Future = Future()
+    if not chunk_futures:
+        aggregate.set_result([])
+        return aggregate
+    remaining = [len(chunk_futures)]
+    remaining_lock = threading.Lock()
+
+    def on_done(_f: Future) -> None:
+        with remaining_lock:
+            remaining[0] -= 1
+            if remaining[0]:
+                return
+        out: list = []
+        try:
+            for chunk in chunk_futures:
+                out.extend(chunk.result())
+        except BaseException as err:
+            if not aggregate.cancelled():
+                try:
+                    aggregate.set_exception(err)
+                except InvalidStateError:
+                    pass
+            return
+        if not aggregate.cancelled():
+            try:
+                aggregate.set_result(out)
+            except InvalidStateError:
+                pass
+
+    for chunk in chunk_futures:
+        chunk.add_done_callback(on_done)
+    return aggregate

@@ -1,0 +1,289 @@
+"""Tests for the multi-metric perf-trajectory gate.
+
+The gate reads committed ``BENCH_*.json`` records and must (a) catch a
+>threshold regression in any watched metric — E13 docs/sec dropping,
+E10d fused timings rising, peak RSS rising — in that metric's bad
+direction, and (b) **never** crash or fail on records that predate a
+metric: old layouts are simply not comparable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import (
+    check,
+    default_gates,
+    load_records,
+    main,
+    rss_metric,
+    table_metric,
+)
+
+
+def make_record(
+    *,
+    docs_per_sec: float | None = 1000.0,
+    fused_s: float | None = 0.05,
+    rss_kb: int | None = 50_000,
+    rss_children_kb: int | None = 20_000,
+    unix_time: float = 0.0,
+) -> dict:
+    """A BENCH_*.json payload shaped like the harness writes it."""
+    experiments = []
+    if fused_s is not None:
+        experiments.append(
+            {
+                "experiment": "E10",
+                "peak_rss_kb": rss_kb,
+                "peak_rss_children_kb": rss_children_kb,
+                "tables": [
+                    {
+                        "title": "E10d  fused equality join vs materialized",
+                        "headers": ["N", "materialized (s)", "fused (s)"],
+                        "rows": [
+                            [20, 0.4, fused_s],
+                            [40, 1.1, fused_s * 1.5],
+                            [80, 4.0, fused_s * 2.0],
+                        ],
+                    }
+                ],
+            }
+        )
+    if docs_per_sec is not None:
+        experiments.append(
+            {
+                "experiment": "E13",
+                "peak_rss_kb": rss_kb,
+                "peak_rss_children_kb": rss_children_kb,
+                "tables": [
+                    {
+                        "title": "E13a  docs/sec over log lines",
+                        "headers": ["docs", "compiled docs/s"],
+                        "rows": [
+                            [50, docs_per_sec * 0.9],
+                            [100, docs_per_sec],
+                            [200, docs_per_sec * 1.1],
+                        ],
+                    }
+                ],
+            }
+        )
+    return {"unix_time": unix_time, "experiments": experiments}
+
+
+def write_history(tmp_path, records):
+    for i, record in enumerate(records):
+        record["unix_time"] = float(i)
+        path = tmp_path / f"BENCH_{i:04d}.json"
+        path.write_text(json.dumps(record), encoding="utf-8")
+    return tmp_path
+
+
+class TestMetricExtraction:
+    def test_table_metric_median_over_rows(self):
+        record = make_record(docs_per_sec=1000.0)
+        assert table_metric(record, "E13", "E13a", "compiled docs/s") == 1000.0
+
+    def test_table_metric_missing_layers_return_none(self):
+        record = make_record(docs_per_sec=None, fused_s=None)
+        assert table_metric(record, "E13", "E13a", "compiled docs/s") is None
+        record = make_record()
+        assert table_metric(record, "E13", "E13z", "compiled docs/s") is None
+        assert table_metric(record, "E13", "E13a", "no-such-column") is None
+
+    def test_rss_metric_max_over_experiments(self):
+        record = make_record(rss_kb=50_000)
+        assert rss_metric(record, "peak_rss_kb") == 50_000
+
+    def test_rss_metric_tolerates_missing_and_null(self):
+        record = make_record()
+        for exp in record["experiments"]:
+            exp.pop("peak_rss_kb")
+            exp["peak_rss_children_kb"] = None  # non-POSIX runner
+        assert rss_metric(record, "peak_rss_kb") is None
+        assert rss_metric(record, "peak_rss_children_kb") is None
+
+
+class TestGateVerdicts:
+    def test_steady_trajectory_passes(self, tmp_path):
+        write_history(tmp_path, [make_record() for _ in range(4)])
+        assert check(tmp_path) == 0
+
+    def test_docs_per_sec_drop_fails(self, tmp_path):
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(docs_per_sec=500.0)],  # -50%
+        )
+        assert check(tmp_path) == 1
+
+    def test_fused_seconds_rise_fails(self, tmp_path):
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(fused_s=0.09)],  # +80%
+        )
+        assert check(tmp_path) == 1
+
+    def test_peak_rss_rise_fails(self, tmp_path):
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(rss_kb=80_000)],  # +60%
+        )
+        assert check(tmp_path) == 1
+
+    def test_children_rss_rise_fails(self, tmp_path):
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(rss_children_kb=40_000)],  # +100%
+        )
+        assert check(tmp_path) == 1
+
+    def test_within_threshold_wobble_passes(self, tmp_path):
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [
+                make_record(
+                    docs_per_sec=850.0,  # -15%
+                    fused_s=0.06,  # +20%
+                    rss_kb=60_000,  # +20%
+                )
+            ],
+        )
+        assert check(tmp_path) == 0
+
+    def test_improvement_passes(self, tmp_path):
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(docs_per_sec=5000.0, fused_s=0.01, rss_kb=10_000)],
+        )
+        assert check(tmp_path) == 0
+
+
+class TestOldRecordTolerance:
+    """Old BENCH files must never crash (or fail) the gate."""
+
+    def test_single_record_passes_trivially(self, tmp_path):
+        write_history(tmp_path, [make_record()])
+        assert check(tmp_path) == 0
+
+    def test_baseline_predating_e10_and_rss_is_skipped(self, tmp_path):
+        # PR 2-era records: E13 only, no RSS fields at all.
+        old = make_record(fused_s=None)
+        for exp in old["experiments"]:
+            exp.pop("peak_rss_kb")
+            exp.pop("peak_rss_children_kb")
+        write_history(tmp_path, [old, old.copy(), make_record()])
+        assert check(tmp_path) == 0
+
+    def test_newest_record_missing_newer_metric_is_skipped(self, tmp_path):
+        # The newest run recorded E13 but not E10: the fused gate skips
+        # rather than erroring, and the E13 gate still binds.
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)] + [make_record(fused_s=None)],
+        )
+        assert check(tmp_path) == 0
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(fused_s=None, docs_per_sec=100.0)],
+        )
+        assert check(tmp_path) == 1  # still catches the E13 drop
+
+    def test_newest_record_missing_required_metric_errors(self, tmp_path):
+        # The E13 gate is *required*: the newest record lacking it means
+        # the table/column was renamed or the experiment dropped — a
+        # configuration error, not a silent skip.
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(docs_per_sec=None)],
+        )
+        assert check(tmp_path) == 2
+
+    def test_rss_baseline_resets_when_experiment_set_changes(self, tmp_path):
+        # Baselines that ran E13 only; the newest run added E10, which
+        # legitimately raises the process-lifetime RSS high-water mark.
+        # The RSS gates must treat the old records as not comparable
+        # (baseline reset) instead of flagging a regression.
+        old = make_record(fused_s=None)  # E13 only
+        new = make_record(rss_kb=200_000)  # E10 + E13, much higher RSS
+        write_history(tmp_path, [old, dict(old), dict(old), new])
+        assert check(tmp_path) == 0
+        # Same experiment set on both sides: the rise is a regression.
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(rss_kb=200_000)],
+        )
+        assert check(tmp_path) == 1
+
+    def test_unreadable_record_is_skipped(self, tmp_path):
+        write_history(tmp_path, [make_record() for _ in range(3)])
+        (tmp_path / "BENCH_junk.json").write_text("{not json", encoding="utf-8")
+        assert check(tmp_path) == 0
+
+    def test_records_ordered_by_unix_time(self, tmp_path):
+        # Regression written with an *early* filename but the latest
+        # timestamp: the chronological ordering must spot it as newest.
+        good = make_record()
+        bad = make_record(docs_per_sec=100.0)
+        (tmp_path / "BENCH_0zzz.json").write_text(
+            json.dumps({**good, "unix_time": 1.0}), encoding="utf-8"
+        )
+        (tmp_path / "BENCH_1zzz.json").write_text(
+            json.dumps({**good, "unix_time": 2.0}), encoding="utf-8"
+        )
+        (tmp_path / "BENCH_0aaa.json").write_text(
+            json.dumps({**bad, "unix_time": 3.0}), encoding="utf-8"
+        )
+        names = [name for name, _payload in load_records(tmp_path)]
+        assert names[-1] == "BENCH_0aaa.json"
+        assert check(tmp_path) == 1
+
+
+class TestCli:
+    def test_missing_dir_is_usage_error(self, tmp_path):
+        assert main(["--results-dir", str(tmp_path / "nope")]) == 2
+
+    def test_custom_single_gate(self, tmp_path):
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)] + [make_record(fused_s=0.09)],
+        )
+        # Custom gate watching only E13 (higher-is-better): passes even
+        # though the default E10d gate would fail this history.
+        assert (
+            main(
+                [
+                    "--results-dir", str(tmp_path),
+                    "--experiment", "E13",
+                    "--table-prefix", "E13a",
+                    "--column", "compiled docs/s",
+                ]
+            )
+            == 0
+        )
+        # The same history under the default gates fails.
+        assert main(["--results-dir", str(tmp_path)]) == 1
+
+    def test_partial_custom_gate_flags_rejected(self, tmp_path):
+        write_history(tmp_path, [make_record(), make_record()])
+        with pytest.raises(SystemExit):
+            main(["--results-dir", str(tmp_path), "--experiment", "E13"])
+
+    def test_default_gate_count(self):
+        assert [g.name for g in default_gates()] == [
+            "e13-docs-per-sec",
+            "e10d-fused-seconds",
+            "peak-rss-kib",
+            "peak-rss-children-kib",
+        ]

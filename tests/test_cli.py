@@ -265,6 +265,35 @@ class TestWorkerSharding:
         assert main(args + ["--workers", "2"]) == 0
         assert capsys.readouterr().out == serial
 
+    def test_extract_multiple_formulas_fleet_matches_serial(
+        self, tmp_path, capsys
+    ):
+        # Several formulas are served over ONE SpannerService fleet;
+        # output is grouped per formula (q0, q1, ...) and must be
+        # byte-identical to the serial loop.
+        files = self._write_corpus(
+            tmp_path, ["ab code=11 ba Hello", "x code=7 There", "plain"]
+        )
+        args = ["extract", ".*x{[0-9]+}.*", ".*w{[A-Z][a-z]+}"] + files
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert "q0" in serial and "q1" in serial
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_extract_multiple_formulas_missing_file_fails_early(
+        self, tmp_path, capsys
+    ):
+        files = self._write_corpus(tmp_path, ["code=1"])
+        code = main(
+            ["extract", ".*x{[0-9]+}.*", ".*y{[a-z]+}.*",
+             "--workers", "2", "--file", str(tmp_path / "absent.txt")]
+            + files
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+
     def test_query_workers_reject_canonical_strategy(self, tmp_path, capsys):
         files = self._write_corpus(tmp_path, ["ab", "ba"])
         code = main(

@@ -1,0 +1,356 @@
+"""Tests for the long-lived serving fleet (``SpannerService``).
+
+The contract: a fleet serving any number of registered queries —
+equality-free spanners and fused ``CompiledEqualityQuery`` workloads
+alike — returns results **byte-identical and in-order** versus the
+serial runtime, whatever the worker count, chunking, recycling
+(``max_tasks_per_worker``), crash/re-dispatch history or front-end
+(sync futures or asyncio); and the lifecycle is graceful: shutdown
+drains in-flight work, a killed worker's tasks are re-dispatched
+without dropping or duplicating tuples, and an asyncio cancellation
+leaves the fleet fully serviceable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.queries import CompiledEvaluator, RegexCQ
+from repro.runtime import CompiledSpanner, SpannerService
+
+WORD_FORMULA = "(ε|.*[^a-z])x{[a-z]+}([^a-z].*|ε)"
+DIGIT_FORMULA = ".*d{[0-9]+}.*"
+
+DOCS = [
+    "say hi ho",
+    "",
+    "a1bc2",
+    "UPPER lower",
+    "zzz",
+    "the quick brown fox",
+    "no-match-HERE-404",
+    "ab cd ab",
+] * 4  # 32 docs: several chunks at chunk_size 3
+
+
+def canonical(out: list) -> bytes:
+    """Byte rendering of per-document tuple lists (order-sensitive)."""
+    lines = [
+        ";".join(
+            " ".join(f"{v}={t[v]}" for v in sorted(t.variables))
+            for t in per_doc
+        )
+        for per_doc in out
+    ]
+    return "\n".join(lines).encode()
+
+
+@pytest.fixture(scope="module")
+def word_serial():
+    return list(CompiledSpanner(WORD_FORMULA).evaluate_many(DOCS))
+
+
+@pytest.fixture(scope="module")
+def digit_serial():
+    return list(CompiledSpanner(DIGIT_FORMULA).evaluate_many(DOCS))
+
+
+def equality_engine():
+    """A fused equality engine (``CompiledEqualityQuery``) + its corpus."""
+    query = RegexCQ(
+        ["x", "y"],
+        [".*x{[ab]+}.*", ".*y{[ab]+}.*"],
+        equalities=[["x", "y"]],
+    )
+    engine = CompiledEvaluator().equality_runtime(query)
+    assert engine is not None
+    docs = ["ababab", "aabbaa", "babab", "abba", "bb", ""] * 3
+    return engine, docs
+
+
+class TestFleetMatchesSerial:
+    def test_two_queries_one_fleet_byte_identical(
+        self, word_serial, digit_serial
+    ):
+        """Acceptance: 2 workers, >= 2 registered queries (one of them
+        an equality query), results byte-identical and in-order."""
+        eq_engine, eq_docs = equality_engine()
+        eq_serial = list(eq_engine.evaluate_many(eq_docs))
+        with SpannerService(workers=2, chunk_size=3) as service:
+            q_word = service.register(CompiledSpanner(WORD_FORMULA))
+            q_digit = service.register(CompiledSpanner(DIGIT_FORMULA))
+            q_eq = service.register(eq_engine)
+            # All three dispatched before any result is consumed: the
+            # queries genuinely share the same workers.
+            f_word = service.submit(q_word, DOCS)
+            f_digit = service.submit(q_digit, DOCS)
+            f_eq = service.submit(q_eq, eq_docs)
+            assert canonical(f_word.result()) == canonical(word_serial)
+            assert canonical(f_digit.result()) == canonical(digit_serial)
+            assert canonical(f_eq.result()) == canonical(eq_serial)
+
+    def test_forced_recycle_byte_identical(self, word_serial):
+        """max_tasks_per_worker=1: every task retires a worker; the
+        output must not notice."""
+        with SpannerService(
+            workers=2, chunk_size=2, max_tasks_per_worker=1
+        ) as service:
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            out = service.submit(qid, DOCS).result()
+            assert canonical(out) == canonical(word_serial)
+            assert service.workers_recycled > 0
+
+    def test_recycling_prunes_exited_processes(self, word_serial):
+        """A continuously recycling fleet must not accumulate process
+        handles forever (the lifetime list is pruned as workers exit)."""
+        with SpannerService(
+            workers=2, chunk_size=1, max_tasks_per_worker=1
+        ) as service:
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            for _ in range(2):
+                assert service.submit(qid, DOCS).result() == word_serial
+            assert service.workers_recycled >= 32
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if len(service._all_processes) <= 2 * service.workers:
+                    break
+                time.sleep(0.05)
+            assert len(service._all_processes) <= 2 * service.workers + 2
+
+    def test_recycle_across_queries(self, word_serial, digit_serial):
+        eq_engine, eq_docs = equality_engine()
+        eq_serial = list(eq_engine.evaluate_many(eq_docs))
+        with SpannerService(
+            workers=2, chunk_size=4, max_tasks_per_worker=2
+        ) as service:
+            ids = [
+                service.register(CompiledSpanner(WORD_FORMULA)),
+                service.register(CompiledSpanner(DIGIT_FORMULA)),
+                service.register(eq_engine),
+            ]
+            futs = [
+                service.submit(ids[0], DOCS),
+                service.submit(ids[1], DOCS),
+                service.submit(ids[2], eq_docs),
+            ]
+            assert [f.result() for f in futs] == [
+                word_serial, digit_serial, eq_serial
+            ]
+            assert service.workers_recycled > 0
+
+    def test_counts_and_limit(self, word_serial):
+        with SpannerService(workers=2, chunk_size=3) as service:
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            capped = service.submit(qid, DOCS, limit=2).result()
+            assert capped == [per_doc[:2] for per_doc in word_serial]
+            counts = service.submit_counts(qid, DOCS).result()
+            assert counts == [len(per_doc) for per_doc in word_serial]
+            capped_counts = service.submit_counts(qid, DOCS, cap=3).result()
+            assert capped_counts == [min(c, 3) for c in counts]
+
+    def test_submit_files(self, tmp_path, word_serial):
+        paths = []
+        for i, doc in enumerate(DOCS[:10]):
+            path = tmp_path / f"doc{i}.txt"
+            path.write_text(doc, encoding="utf-8")
+            paths.append(str(path))
+        with SpannerService(workers=2, chunk_size=3) as service:
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            assert service.submit_files(qid, paths).result() == word_serial[:10]
+            with pytest.raises(OSError):
+                service.submit_files(
+                    qid, paths + ["/nonexistent/x"]
+                ).result()
+            # An unreadable file fails its batch; the fleet survives.
+            assert service.submit(qid, DOCS[:4]).result() == word_serial[:4]
+
+
+class TestRegistration:
+    def test_fingerprint_dedupes_identical_artifacts(self):
+        spanner = CompiledSpanner(WORD_FORMULA)
+        with SpannerService(workers=1) as service:
+            first = service.register(spanner)
+            second = service.register(spanner)
+            assert first == second
+            assert len(service.queries) == 1
+
+    def test_explicit_id_conflict_raises(self):
+        with SpannerService(workers=1) as service:
+            service.register(CompiledSpanner(WORD_FORMULA), query_id="logs")
+            # Same name, same artifact: fine (idempotent).
+            service.register(CompiledSpanner(WORD_FORMULA), query_id="logs")
+            with pytest.raises(ValueError):
+                service.register(
+                    CompiledSpanner(DIGIT_FORMULA), query_id="logs"
+                )
+
+    def test_unknown_query_id_raises(self):
+        with SpannerService(workers=1) as service:
+            with pytest.raises(KeyError):
+                service.submit_chunk("no-such-query", ["doc"])
+
+    def test_late_registration_reaches_running_workers(self, digit_serial):
+        with SpannerService(workers=2, chunk_size=3) as service:
+            q1 = service.register(CompiledSpanner(WORD_FORMULA))
+            service.submit(q1, DOCS[:6]).result()  # fleet is warm
+            q2 = service.register(CompiledSpanner(DIGIT_FORMULA))
+            assert service.submit(q2, DOCS).result() == digit_serial
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpannerService(workers=0)
+        with pytest.raises(ValueError):
+            SpannerService(chunk_size=0)
+        with pytest.raises(ValueError):
+            SpannerService(max_tasks_per_worker=0)
+        with pytest.raises(ValueError):
+            SpannerService(max_in_flight=0)
+
+
+class TestFailurePaths:
+    def test_killed_worker_redispatches_without_loss_or_dup(
+        self, word_serial
+    ):
+        """SIGKILL one worker mid-batch: the batch still resolves to
+        exactly the serial result — nothing dropped, nothing doubled —
+        and the fleet keeps serving afterwards."""
+        service = SpannerService(workers=2, chunk_size=2)
+        try:
+            service.start()
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            future = service.submit(qid, DOCS)
+            victim = service._workers[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            assert canonical(future.result(timeout=120)) == canonical(
+                word_serial
+            )
+            assert service.workers_crashed == 1
+            # Replacement spawned: the fleet is whole and serviceable.
+            assert service.submit(qid, DOCS[:5]).result(
+                timeout=60
+            ) == word_serial[:5]
+        finally:
+            service.close()
+
+    def test_kill_during_each_phase_converges(self, word_serial):
+        """Kill a worker at a few offsets; at-most-once resolution must
+        hold at every interleaving (idle, mid-task, near-drain)."""
+        for delay in (0.0, 0.05):
+            service = SpannerService(workers=2, chunk_size=1)
+            try:
+                service.start()
+                qid = service.register(CompiledSpanner(WORD_FORMULA))
+                future = service.submit(qid, DOCS)
+                time.sleep(delay)
+                os.kill(service._workers[-1].process.pid, signal.SIGKILL)
+                assert future.result(timeout=120) == word_serial
+            finally:
+                service.close()
+
+    def test_shutdown_drains_in_flight_work(self, word_serial):
+        """close() with work in flight resolves every future first."""
+        service = SpannerService(workers=2, chunk_size=2)
+        service.start()
+        qid = service.register(CompiledSpanner(WORD_FORMULA))
+        futures = [service.submit(qid, DOCS) for _ in range(3)]
+        service.close()  # drain-then-stop
+        for future in futures:
+            assert future.result(timeout=0) == word_serial
+        with pytest.raises(RuntimeError):
+            service.submit_chunk(qid, DOCS[:2])
+
+    def test_terminate_cancels_outstanding(self):
+        service = SpannerService(workers=2, chunk_size=1)
+        service.start()
+        qid = service.register(CompiledSpanner(WORD_FORMULA))
+        futures = [service.submit_chunk(qid, ["a b c"]) for _ in range(64)]
+        service.close(drain=False)
+        # Every future is resolved one way or the other — nothing hangs.
+        done = sum(1 for f in futures if f.done())
+        assert done == len(futures)
+
+    def test_close_is_idempotent(self):
+        service = SpannerService(workers=1)
+        service.close()
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.start()
+
+
+class TestAsyncFrontend:
+    def test_extract_matches_serial(self, word_serial, digit_serial):
+        async def run():
+            with SpannerService(workers=2, chunk_size=3) as service:
+                q1 = service.register(CompiledSpanner(WORD_FORMULA))
+                q2 = service.register(CompiledSpanner(DIGIT_FORMULA))
+                one, two = await asyncio.gather(
+                    service.extract(q1, DOCS), service.extract(q2, DOCS)
+                )
+                return one, two
+
+        one, two = asyncio.run(run())
+        assert canonical(one) == canonical(word_serial)
+        assert canonical(two) == canonical(digit_serial)
+
+    def test_gather_mixes_futures_and_coroutines(self, word_serial):
+        async def run():
+            with SpannerService(workers=2, chunk_size=4) as service:
+                qid = service.register(CompiledSpanner(WORD_FORMULA))
+                return await service.gather(
+                    service.submit(qid, DOCS[:4]),
+                    service.extract(qid, DOCS[4:8]),
+                )
+
+        first, second = asyncio.run(run())
+        assert first == word_serial[:4]
+        assert second == word_serial[4:8]
+
+    def test_cancellation_leaves_fleet_serviceable(self, word_serial):
+        async def run():
+            with SpannerService(workers=2, chunk_size=1) as service:
+                qid = service.register(CompiledSpanner(WORD_FORMULA))
+                # Enough work that the cancel lands while chunks are
+                # still in flight (64 single-doc chunks on 2 workers).
+                task = asyncio.create_task(service.extract(qid, DOCS * 2))
+                await asyncio.sleep(0.01)
+                cancelled = task.cancel()
+                if cancelled:
+                    with pytest.raises(asyncio.CancelledError):
+                        await task
+                else:  # the batch won the race and already resolved
+                    assert await task == word_serial * 2
+                # The fleet absorbed the abandoned work and still serves.
+                return await service.extract(qid, DOCS[:6])
+
+        assert asyncio.run(run()) == word_serial[:6]
+
+    def test_extract_files(self, tmp_path, word_serial):
+        paths = []
+        for i, doc in enumerate(DOCS[:8]):
+            path = tmp_path / f"doc{i}.txt"
+            path.write_text(doc, encoding="utf-8")
+            paths.append(str(path))
+
+        async def run():
+            with SpannerService(workers=2, chunk_size=3) as service:
+                qid = service.register(CompiledSpanner(WORD_FORMULA))
+                return await service.extract_files(qid, paths)
+
+        assert asyncio.run(run()) == word_serial[:8]
+
+
+class TestBackpressure:
+    def test_max_in_flight_bounds_dispatch(self, word_serial):
+        """With max_in_flight, results stay correct and the semaphore
+        is recycled task by task (no leak: a second batch still runs)."""
+        with SpannerService(
+            workers=2, chunk_size=2, max_in_flight=2
+        ) as service:
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            assert service.submit(qid, DOCS).result() == word_serial
+            assert service.submit(qid, DOCS).result() == word_serial
