@@ -37,6 +37,13 @@ Series reproduced:
   while the per-call path re-pays both on every batch; a
   recycle-enabled row measures the overhead of continuously replacing
   workers (``max_tasks_per_worker``);
+* the document transport (E13f): pipe vs shared-memory docs/sec for
+  in-memory corpora across document sizes at 4 workers.  The probe
+  query is anchored and (almost) never matches, so the per-document
+  sweep exits on the first character and the measured throughput is
+  the *transport* — the pickled-task-pipe copy chain versus one
+  shared-memory pack and a lazy worker-side decode; a few planted
+  full-match documents keep the asserted outputs nonempty;
 * output equality is asserted, not sampled.
 """
 
@@ -75,6 +82,29 @@ def sentence_corpus(n_docs: int, seed: int = 13) -> list[str]:
 
 def workload_automaton():
     return compile_regex(dictionary_spanner(DICTIONARY)).compacted()
+
+
+#: E13f's probe: anchored, so on any document that is not exactly the
+#: needle the sweep's frontier dies on the first character and the
+#: evaluation graph build exits immediately — per-document cost is
+#: O(1), which is what lets the table read as a *transport* benchmark.
+TRANSPORT_NEEDLE = "ZQXJKW"
+
+
+def transport_corpus(n_docs: int, doc_bytes: int) -> list[str]:
+    """``n_docs`` ASCII documents of ~``doc_bytes`` each, every eighth
+    one a planted full match of :data:`TRANSPORT_NEEDLE` (so the
+    parity assertions compare nonempty outputs, not just empty lists).
+    """
+    docs = []
+    for i in range(n_docs):
+        if i % 8 == 7:
+            docs.append(TRANSPORT_NEEDLE)
+            continue
+        line = f"log line {i:06d} lorem ipsum dolor sit amet "
+        reps = max(1, doc_bytes // len(line))
+        docs.append(line * reps)
+    return docs
 
 
 def _cold_pass(automaton, docs: list[str]) -> list[list]:
@@ -260,7 +290,64 @@ def run() -> list[Table]:
         f"lifetime ({recycles} recycles in the recycling row)"
     )
 
-    return [throughput, long_docs, counts, scaling, fleet_table]
+    tables = [throughput, long_docs, counts, scaling, fleet_table]
+    transport_table = _run_e13f()
+    if transport_table is not None:
+        tables.append(transport_table)
+    return tables
+
+
+def _run_e13f():
+    """E13f: pipe vs shared-memory document transport at 4 workers.
+
+    ``None`` (table skipped, never recorded wrong) where POSIX shared
+    memory is unavailable.
+    """
+    from repro.runtime import shm_available
+
+    if not shm_available():  # pragma: no cover - POSIX-less runners
+        return None
+    table = Table(
+        "E13f  document transport (in-memory corpora, 4 workers): "
+        "task pipe vs shared-memory segments by document size",
+        ["doc KiB", "docs", "pipe (s)", "shm (s)",
+         "pipe docs/s", "shm docs/s", "shm speedup"],
+    )
+    probe = CompiledSpanner("x{" + TRANSPORT_NEEDLE + "}")
+    for doc_kib, n_docs in ((4, 96), (64, 48), (256, 24)):
+        docs = transport_corpus(n_docs, doc_kib * 1024)
+        serial = list(probe.evaluate_many(docs))
+        timings = {}
+        for mode in ("pipe", "shm"):
+            with ParallelSpanner(
+                probe, workers=4, chunk_size=4, transport=mode
+            ) as engine:
+                list(engine.evaluate_many(docs))  # warm: fleet started
+                elapsed, out = _timed_best(
+                    lambda: list(engine.evaluate_many(docs)), repeat=2
+                )
+            assert out == serial, f"{mode} transport output diverged"
+            timings[mode] = elapsed
+        # "auto" must negotiate per chunk and still match byte-for-byte.
+        with ParallelSpanner(
+            probe, workers=4, chunk_size=4, transport="auto"
+        ) as engine:
+            assert list(engine.evaluate_many(docs)) == serial, (
+                "auto transport output diverged"
+            )
+        table.add(
+            doc_kib, n_docs, timings["pipe"], timings["shm"],
+            n_docs / timings["pipe"], n_docs / timings["shm"],
+            timings["pipe"] / timings["shm"],
+        )
+    table.note(
+        "anchored probe query: the sweep exits on the first character, "
+        "so docs/sec measures the transport itself; outputs asserted "
+        "identical across serial/pipe/shm/auto at every size (planted "
+        "full-match documents keep them nonempty); target: shm beats "
+        "pipe from 64 KiB documents up"
+    )
+    return table
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +463,37 @@ def test_e13_fleet_recycle_identical():
         out = service.submit(qid, docs).result()
         assert _canonical(out) == _canonical(serial)
         assert service.workers_recycled > 0
+
+
+def test_e13_shm_transport_parity_two_workers():
+    """CI smoke: a 2-worker shard over forced shared-memory transport
+    must reproduce the serial output byte-for-byte — on a real
+    extraction workload, not the E13f probe — and leave no segment
+    behind in ``/dev/shm`` after the fleet closes.
+    """
+    import glob
+    import os
+
+    import pytest
+
+    from repro.runtime import shm_available
+
+    if not shm_available():
+        pytest.skip("POSIX shared memory unavailable on this platform")
+    automaton = workload_automaton()
+    # ~4 KiB documents assembled from log lines: big enough that shm
+    # genuinely carries the bytes, small enough to evaluate quickly.
+    lines = log_corpus(240)
+    docs = [" ".join(lines[i : i + 48]) for i in range(0, 240, 48)] * 4
+    serial = list(CompiledSpanner(automaton).evaluate_many(docs))
+    with ParallelSpanner(
+        automaton, workers=2, chunk_size=2, transport="shm"
+    ) as engine:
+        shard = list(engine.evaluate_many(docs))
+    assert _canonical(shard) == _canonical(serial)
+    if os.path.isdir("/dev/shm"):
+        leftovers = glob.glob("/dev/shm/sjdoc-*")
+        assert not leftovers, f"leaked shm segments: {leftovers}"
 
 
 def test_e13_parallel_speedup_when_cores_allow():

@@ -32,7 +32,9 @@ the gate.  The RSS gates additionally only compare records that ran
 the **same experiment set** (peak RSS is a process-lifetime high-water
 mark, so adding an experiment to the trajectory job legitimately
 raises it — that resets the baseline instead of tripping the gate).
-With fewer than two records everything passes trivially.
+With fewer than two records — including a missing or empty results
+directory, the state of a freshly reset trajectory's first run —
+the gate is skipped with a clear message and exit 0, never a crash.
 
 Timing on shared CI runners is noisy; 30% is deliberately far above
 run-to-run jitter (single-digit percents on these workloads) so the
@@ -275,13 +277,19 @@ def check(
     """Exit code 0 = all gates pass (or no baseline), 1 = any regression,
     2 = usage error."""
     if not results_dir.is_dir():
-        print(f"error: results dir {results_dir} does not exist")
-        return 2
+        # A freshly reset trajectory has no results directory at all;
+        # the gate's job on that first run is to skip loudly, not to
+        # crash the CI job that would produce the first record.
+        print(
+            f"perf-trajectory: no results dir at {results_dir} — "
+            "no prior records, gate skipped"
+        )
+        return 0
     records = load_records(results_dir)
     if len(records) < 2:
         print(
             f"perf-trajectory: {len(records)} record(s) in {results_dir} — "
-            "no baseline yet, passing trivially"
+            "no baseline yet, gate skipped (passing trivially)"
         )
         return 0
     if gates is None:

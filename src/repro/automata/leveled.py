@@ -111,11 +111,14 @@ class LeveledNFA:
         # Backward sweep: a node is useful if some edge reaches a useful
         # node.  Nodes are created level by level in practice, but we do
         # not rely on id order — bucket by level and walk levels top-down.
-        by_level: list[list[int]] = [[] for _ in range(self.n_slots + 1)]
+        # Bucket only levels that hold nodes: a sweep that died early
+        # (non-matching document) has O(1) nodes over O(|s|) slots, and
+        # pruning must cost the former, not the latter.
+        by_level: dict[int, list[int]] = {}
         for node, level in enumerate(self.level_of):
-            by_level[level].append(node)
-        for bucket in reversed(by_level):
-            for node in bucket:
+            by_level.setdefault(level, []).append(node)
+        for level in sorted(by_level, reverse=True):
+            for node in by_level[level]:
                 if node in useful:
                     continue
                 if any(dst in useful for _, dst in self.out_edges[node]):

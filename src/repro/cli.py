@@ -13,7 +13,10 @@ Subcommands:
   artifact at most once; output order and content are identical to the
   serial run, and with ``--file`` inputs only the *paths* are shipped
   (each worker reads its own documents, so document bytes never ride
-  the task pipe);
+  the task pipe); ``--transport {auto,shm,pipe}`` picks how in-memory
+  documents reach workers (shared-memory segments vs the task pipe),
+  and ``--encoding``/``--errors`` decode legacy corpora without
+  crashing mid-stream;
 * ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
   an optional ``--head`` and optional ``--equal`` groups; with several
   ``--file`` arguments the per-query compilation is shared across the
@@ -55,18 +58,10 @@ def _read_documents(args: argparse.Namespace) -> list[tuple[str, str]]:
     if args.text is not None:
         return [("<text>", args.text)]
     if args.file:
-        docs = []
-        for path in args.file:
-            try:
-                with open(path, encoding="utf-8") as handle:
-                    docs.append((path, handle.read()))
-            except OSError as err:
-                # Surface as a SpannerError so main()'s single error
-                # convention applies (prints "error: ...", exits 2).
-                raise SpannerError(
-                    f"cannot read {path}: {err.strerror or err}"
-                ) from err
-        return docs
+        return [
+            (path, _read_file_text(path, args.encoding, args.errors))
+            for path in args.file
+        ]
     return [("<stdin>", sys.stdin.read())]
 
 
@@ -96,13 +91,28 @@ def _print_tuples(
     return count
 
 
-def _read_file_text(path: str) -> str:
+def _read_file_text(
+    path: str, encoding: str = "utf-8", errors: str = "strict"
+) -> str:
+    """One document off disk, with the CLI's single error convention.
+
+    Both failure kinds — unreadable file and undecodable bytes —
+    surface as :class:`SpannerError` so ``main()`` prints ``error: ...``
+    and exits 2 instead of dumping a traceback mid-stream.
+    """
     try:
-        with open(path, encoding="utf-8") as handle:
-            return handle.read()
+        from .runtime.transport import read_document
+
+        return read_document(path, encoding=encoding, errors=errors)
     except OSError as err:
         raise SpannerError(
             f"cannot read {path}: {err.strerror or err}"
+        ) from err
+    except UnicodeDecodeError as err:
+        raise SpannerError(
+            f"cannot decode {path} as {encoding}: {err} "
+            "(pick a codec with --encoding, or soften with "
+            "--errors replace)"
         ) from err
 
 
@@ -143,7 +153,12 @@ def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
     _stat_inputs(args.file)
     label_docs = len(args.file) > 1
     total = 0
-    with SpannerService(workers=args.workers) as service:
+    with SpannerService(
+        workers=args.workers,
+        transport=args.transport,
+        encoding=args.encoding,
+        errors=args.errors,
+    ) as service:
         query_ids = [
             service.register(CompiledSpanner(formula)) for formula in formulas
         ]
@@ -160,13 +175,23 @@ def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
                     f"worker cannot read {failed or 'input'}: "
                     f"{err.strerror or err}"
                 ) from err
+            except UnicodeDecodeError as err:
+                raise SpannerError(
+                    f"worker cannot decode input as {args.encoding}: {err} "
+                    "(pick a codec with --encoding, or soften with "
+                    "--errors replace)"
+                ) from err
             for name, answers in zip(args.file, per_file):
                 # The driver only needs the text to render span
                 # *contents*; the positional format skips the re-read.
                 # (The re-read assumes the file is stable between the
                 # worker's read and this one — the usual cost of
                 # rendering against file-backed corpora.)
-                text = "" if args.format == "spans" else _read_file_text(name)
+                text = (
+                    ""
+                    if args.format == "spans"
+                    else _read_file_text(name, args.encoding, args.errors)
+                )
                 total += _print_tuples(
                     answers, text, args.format, args.limit,
                     prefix=_extract_prefix(i, name, len(formulas) > 1,
@@ -197,7 +222,11 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
             _stat_inputs(args.file)
             engine = ParallelSpanner(
-                CompiledSpanner(formulas[0]), workers=args.workers
+                CompiledSpanner(formulas[0]),
+                workers=args.workers,
+                transport=args.transport,
+                encoding=args.encoding,
+                errors=args.errors,
             )
             # Push --limit into the workers: a capped extraction must
             # stop enumerating at the cap there, as the serial path
@@ -208,7 +237,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 )
                 for name, answers in zip(args.file, answer_streams):
                     text = (
-                        "" if args.format == "spans" else _read_file_text(name)
+                        ""
+                        if args.format == "spans"
+                        else _read_file_text(name, args.encoding, args.errors)
                     )
                     total += _print_tuples(
                         answers, text, args.format, args.limit, prefix=name
@@ -218,6 +249,12 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 raise SpannerError(
                     f"worker cannot read {failed or 'input'}: "
                     f"{err.strerror or err}"
+                ) from err
+            except UnicodeDecodeError as err:
+                raise SpannerError(
+                    f"worker cannot decode input as {args.encoding}: {err} "
+                    "(pick a codec with --encoding, or soften with "
+                    "--errors replace)"
                 ) from err
     else:
         docs = _read_documents(args)
@@ -263,7 +300,13 @@ def _query_parallel(
     # radix order are not the first tuples in sorted order).  Boolean
     # queries only need non-emptiness: one tuple decides the verdict.
     limit = 1 if query.is_boolean else None
-    with ParallelSpanner(engine, workers=args.workers) as pool:
+    with ParallelSpanner(
+        engine,
+        workers=args.workers,
+        transport=args.transport,
+        encoding=args.encoding,
+        errors=args.errors,
+    ) as pool:
         streams = pool.evaluate_many(
             (text for _name, text in docs), limit=limit
         )
@@ -377,6 +420,33 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--limit", type=int, help="stop after N tuples (per document)"
+        )
+        p.add_argument(
+            "--encoding",
+            default="utf-8",
+            help=(
+                "text codec for --file inputs, serial and worker-side "
+                "alike (default: utf-8)"
+            ),
+        )
+        p.add_argument(
+            "--errors",
+            default="strict",
+            help=(
+                "codec error handler for --file inputs: strict, "
+                "replace, ignore, surrogateescape, ... (default: strict)"
+            ),
+        )
+        p.add_argument(
+            "--transport",
+            choices=("auto", "shm", "pipe"),
+            default="auto",
+            help=(
+                "how --workers ships in-memory documents: auto "
+                "(shared memory above a size threshold, pipe below), "
+                "shm (always shared memory), pipe (always the task "
+                "pipe); --file corpora ship paths either way"
+            ),
         )
 
     p_extract = sub.add_parser(

@@ -124,6 +124,15 @@ def build_evaluation_graph(
                 src_edges.append((configs[q], dst))
         node_of = next_nodes
         frontier = next_frontier
+        if not frontier:
+            # The frontier only ever shrinks from here: no state
+            # survived this position, so every remaining level would be
+            # empty and prune() would discard it all.  Stopping now
+            # makes a non-matching document cost O(matched prefix)
+            # instead of O(|s|) — with node_of empty, the final-state
+            # lookup below misses and the graph prunes to the same
+            # empty result the full sweep would have produced.
+            break
 
     final_node = node_of.get(tables.automaton.final)
     if final_node is not None:

@@ -16,10 +16,15 @@
   (:func:`equality_join`, never materializing Theorem 5.4's per-string
   ``A_eq``) and :class:`CompiledEqualityQuery`, its ship-to-workers
   per-query artifact;
+* :mod:`.transport` — the shared-memory document transport: chunked
+  corpora packed into ref-counted ``multiprocessing.shared_memory``
+  segments with explicit owner-unlinks (plus the ``mmap`` read path
+  for huge file-backed documents);
 * :mod:`.service` — :class:`SpannerService`, the long-lived queue-fed
   worker fleet serving *multiple* registered queries (keyed by query
   fingerprint into each worker's engine table) with worker recycling,
-  crash re-dispatch and an asyncio front-end;
+  crash re-dispatch, an asyncio front-end and transport negotiation
+  (``transport={"auto","shm","pipe"}``);
 * :mod:`.parallel` — :class:`ParallelSpanner`, multiprocess corpus
   sharding over one pickled/rebuilt artifact (``AutomatonTables`` or a
   ``CompiledEqualityQuery``) — since PR 4 a thin single-query session
@@ -48,6 +53,9 @@ __all__ = [
     "LRUCache",
     "cache_metrics",
     "compilation_cache",
+    "SharedMemoryTransport",
+    "TransportUnavailableError",
+    "shm_available",
 ]
 
 
@@ -72,4 +80,9 @@ def __getattr__(name: str):
         from .equality import equality_join
 
         return equality_join
+    if name in ("SharedMemoryTransport", "TransportUnavailableError",
+                "shm_available"):
+        from . import transport
+
+        return getattr(transport, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -45,10 +45,14 @@ register each query; ``ParallelSpanner`` remains the right interface
 for one query over one corpus.
 
 When sharding pays off: the per-document win is (evaluation time) vs
-(IPC: one pickled document in, its pickled tuples out), and the fixed
-cost is fleet startup plus one tables shipment per worker.  Corpora of
+(IPC: one document in, its pickled tuples out), and the fixed cost is
+fleet startup plus one tables shipment per worker.  Corpora of
 hundreds of non-trivial documents amortize this easily; a handful of
-tiny documents will not — stay serial (``workers=1``) there.
+tiny documents will not — stay serial (``workers=1``) there.  How the
+document bytes travel is the ``transport`` knob: large in-memory
+chunks ride ref-counted shared-memory segments instead of the task
+pipe (:mod:`repro.runtime.transport`), file paths are read
+worker-side, and small chunks stay on the pipe.
 """
 
 from __future__ import annotations
@@ -69,6 +73,7 @@ from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
 from .service import SpannerService
+from .transport import DEFAULT_SHM_THRESHOLD, create_transport, read_document
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..regex.ast import RegexFormula
@@ -81,9 +86,16 @@ __all__ = ["ParallelSpanner"]
 DEFAULT_CHUNK_SIZE = 16
 
 
-def _read_document(path: str) -> str:
-    with open(path, encoding="utf-8") as handle:
-        return handle.read()
+def _read_document(
+    path: str, encoding: str = "utf-8", errors: str = "strict"
+) -> str:
+    """One file-backed document, decoded with the session's codec.
+
+    Delegates to :func:`repro.runtime.transport.read_document`, so huge
+    files decode straight from an ``mmap`` window on the serial path
+    exactly as they do worker-side.
+    """
+    return read_document(path, encoding=encoding, errors=errors)
 
 
 class ParallelSpanner:
@@ -105,6 +117,15 @@ class ParallelSpanner:
         mp_context: a :mod:`multiprocessing` start-method name
             ("fork", "spawn", "forkserver") or ``None`` for the
             platform default.
+        transport: how in-memory documents reach the workers —
+            ``"auto"`` (shared-memory segments above ``shm_threshold``
+            encoded bytes per chunk, the task pipe below), ``"shm"``
+            (forced) or ``"pipe"`` (forced); see
+            :mod:`repro.runtime.transport`.
+        shm_threshold: the ``"auto"`` negotiation bound, in bytes.
+        encoding / errors: codec for file-backed documents
+            (:meth:`evaluate_files`, serial and worker-side alike) and
+            for shared-memory chunk packing.
     """
 
     def __init__(
@@ -118,6 +139,10 @@ class ParallelSpanner:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_pending: int | None = None,
         mp_context: str | None = None,
+        transport: str = "auto",
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        encoding: str = "utf-8",
+        errors: str = "strict",
     ):
         if not isinstance(spanner, (CompiledSpanner, CompiledEqualityQuery)):
             spanner = CompiledSpanner(spanner)
@@ -134,6 +159,18 @@ class ParallelSpanner:
         if self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
         self.mp_context = mp_context
+        # Validate the transport choice now, not at the first sharded
+        # call — the fleet itself spins up lazily.  create_transport
+        # performs exactly the checks the service will repeat (mode
+        # name, threshold, forced-shm availability); the probe owns no
+        # segments, so closing it is free.
+        probe = create_transport(transport, shm_threshold=shm_threshold)
+        if probe is not None:
+            probe.close()
+        self.transport = transport
+        self.shm_threshold = shm_threshold
+        self.encoding = encoding
+        self.errors = errors
         self._pool: "SpannerService | None" = None
         self._query_id: str | None = None
 
@@ -155,6 +192,10 @@ class ParallelSpanner:
             workers=self.workers,
             chunk_size=self.chunk_size,
             mp_context=self.mp_context,
+            transport=self.transport,
+            shm_threshold=self.shm_threshold,
+            encoding=self.encoding,
+            errors=self.errors,
         )
         service.start()
         self._query_id = service.register(self.spanner)
@@ -211,15 +252,18 @@ class ParallelSpanner:
         """``evaluate_many`` over files, read (or not) worker-side.
 
         Only the *paths* are shipped to the fleet; each worker opens
-        and reads its chunk's files itself, so large documents never
-        ride the task pipe — the first slice of shared-memory document
-        transport.  Results stream back per file, in input order, same
+        and reads its chunk's files itself — decoding huge files
+        straight from ``mmap`` — so large documents never ride the
+        task pipe.  Results stream back per file, in input order, same
         as :meth:`evaluate_many`.  An unreadable file raises ``OSError``
-        (propagated out of the fleet) rather than yielding partials.
+        (propagated out of the fleet) rather than yielding partials;
+        decode failures raise ``UnicodeDecodeError`` unless an
+        ``encoding``/``errors`` pair that accepts the bytes was set.
         """
         if self.workers == 1:
             for path in paths:
-                stream = self.spanner.stream(_read_document(path))
+                doc = _read_document(path, self.encoding, self.errors)
+                stream = self.spanner.stream(doc)
                 yield list(stream if limit is None else islice(stream, limit))
             return
         yield from self._shard(paths, "files", limit)
@@ -259,17 +303,31 @@ class ParallelSpanner:
     ) -> Iterator:
         assert self._query_id is not None
         pending: deque = deque()
-        pending.append(
-            pool.submit_chunk(self._query_id, first, op=op, extra=extra)
-        )
-        exhausted = False
-        while pending:
-            while not exhausted and len(pending) < self.max_pending:
-                chunk = list(islice(it, self.chunk_size))
-                if not chunk:
-                    exhausted = True
-                    break
-                pending.append(
-                    pool.submit_chunk(self._query_id, chunk, op=op, extra=extra)
-                )
-            yield from pending.popleft().result()
+        try:
+            pending.append(
+                pool.submit_chunk(self._query_id, first, op=op, extra=extra)
+            )
+            exhausted = False
+            while pending:
+                while not exhausted and len(pending) < self.max_pending:
+                    chunk = list(islice(it, self.chunk_size))
+                    if not chunk:
+                        exhausted = True
+                        break
+                    pending.append(
+                        pool.submit_chunk(
+                            self._query_id, chunk, op=op, extra=extra
+                        )
+                    )
+                yield from pending.popleft().result()
+        finally:
+            # Abandoned mid-iteration (the consumer broke out of the
+            # generator, or a chunk failed): cancel whatever is still
+            # in flight so a persistent session starts its next call
+            # with a quiet fleet — no stale futures holding results,
+            # in-flight slots or shared-memory segments, and nothing
+            # for a later call to deadlock against.  Results workers
+            # still produce for these tasks resolve driver-side into
+            # already-cancelled futures and are dropped.
+            while pending:
+                pending.popleft().cancel()

@@ -23,6 +23,17 @@ fleet:
   engine table, so however many tasks it serves it compiles each query
   exactly once.  Re-registering an identical query is a no-op returning
   the same id.
+* **Shared-memory document transport.**  In-memory corpora do not have
+  to ride the task pipe: with ``transport="auto"`` (the default) a
+  chunk whose encoded payload clears a size threshold is packed into a
+  ref-counted ``multiprocessing.shared_memory`` segment
+  (:mod:`repro.runtime.transport`) and the task message carries only a
+  ``(segment, index)`` reference; workers decode documents lazily out
+  of the shared buffer and the driver unlinks each segment the moment
+  its task resolves — an explicit release handshake, no GC, no leaked
+  ``/dev/shm`` entries after crashes, recycles or abandoned sessions.
+  ``transport="shm"``/``"pipe"`` force either side; platforms without
+  POSIX shm fall back to the pipe under ``"auto"``.
 * **Graceful lifecycle.**  Workers are recycled after
   ``max_tasks_per_worker`` tasks (finish in-flight work, stop, get
   replaced — results stay byte-identical across a recycle); a worker
@@ -79,6 +90,14 @@ from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
 from .tables import AutomatonTables
+from .transport import (
+    DEFAULT_SHM_THRESHOLD,
+    ShmChunk,
+    create_transport,
+    open_chunk,
+    read_document,
+    release_chunk,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.context import BaseContext
@@ -129,29 +148,56 @@ def _materialize(artifact: object) -> object:
     return artifact
 
 
-def _run_op(engine, op: str, items: list[str], extra: int | None) -> list:
-    """One task's evaluation — exactly the serial per-document path."""
-    if op == "evaluate":
-        if extra is None:
-            return [list(engine.stream(doc)) for doc in items]
-        # Stop enumerating (polynomial delay) at the cap instead of
-        # materializing combinatorially many tuples only to discard them.
-        return [list(islice(engine.stream(doc), extra)) for doc in items]
-    if op == "count":
-        return [engine.count(doc, cap=extra) for doc in items]
-    if op == "files":
-        # Only paths crossed the pipe; read the documents worker-side.
-        out: list[list[SpanTuple]] = []
-        for path in items:
-            with open(path, encoding="utf-8") as handle:
-                doc = handle.read()
-            stream = engine.stream(doc)
-            out.append(list(stream if extra is None else islice(stream, extra)))
-        return out
-    raise ValueError(f"unknown task op {op!r}")
+def _run_op(
+    engine,
+    op: str,
+    items: "list[str] | ShmChunk",
+    extra: int | None,
+    encoding: str,
+    errors: str,
+) -> list:
+    """One task's evaluation — exactly the serial per-document path.
+
+    ``items`` is either the plain document/path list the pipe carried,
+    or a :class:`ShmChunk` reference to a shared-memory segment the
+    driver packed; either way the evaluation loop sees a sequence of
+    strings (decoded lazily out of the shared buffer in the shm case),
+    and the attachment is released before the result ships back.
+    """
+    docs = open_chunk(items)
+    try:
+        if op == "evaluate":
+            if extra is None:
+                return [list(engine.stream(doc)) for doc in docs]
+            # Stop enumerating (polynomial delay) at the cap instead of
+            # materializing combinatorially many tuples only to discard
+            # them.
+            return [list(islice(engine.stream(doc), extra)) for doc in docs]
+        if op == "count":
+            return [engine.count(doc, cap=extra) for doc in docs]
+        if op == "files":
+            # Only paths crossed the pipe; read the documents
+            # worker-side (huge files decode straight from mmap).
+            out: list[list[SpanTuple]] = []
+            for path in docs:
+                doc = read_document(path, encoding=encoding, errors=errors)
+                stream = engine.stream(doc)
+                out.append(
+                    list(stream if extra is None else islice(stream, extra))
+                )
+            return out
+        raise ValueError(f"unknown task op {op!r}")
+    finally:
+        release_chunk(docs)
 
 
-def _fleet_worker(worker_id: int, task_queue, result_queue) -> None:
+def _fleet_worker(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    encoding: str = "utf-8",
+    errors: str = "strict",
+) -> None:
     """The worker loop: block on the task queue until told to stop.
 
     Exceptions are reported per task (the worker stays alive and keeps
@@ -175,7 +221,7 @@ def _fleet_worker(worker_id: int, task_queue, result_queue) -> None:
                     )
                 engine = _materialize(pickle.loads(payload))
                 engines[query_id] = engine
-            out = _run_op(engine, op, items, extra)
+            out = _run_op(engine, op, items, extra, encoding, errors)
         except Exception as err:
             try:  # ship the real exception when it pickles
                 pickle.dumps(err)
@@ -190,7 +236,13 @@ def _fleet_worker(worker_id: int, task_queue, result_queue) -> None:
 
 
 class _Task:
-    """One dispatched chunk: its future, where it is, how often it ran."""
+    """One dispatched chunk: its future, where it is, how often it ran.
+
+    ``items`` is the *wire form* of the chunk — the plain document/path
+    list for pipe transport, or the :class:`ShmChunk` reference whose
+    segment the driver holds alive until this task resolves (so a crash
+    re-dispatch re-sends the same reference without re-packing).
+    """
 
     __slots__ = (
         "task_id", "query_id", "op", "items", "extra",
@@ -202,7 +254,7 @@ class _Task:
         task_id: int,
         query_id: str,
         op: str,
-        items: list[str],
+        items: "list[str] | ShmChunk",
         extra: int | None,
         bounded: bool,
     ):
@@ -253,11 +305,28 @@ class SpannerService:
         mp_context: a :mod:`multiprocessing` start-method name
             ("fork", "spawn", "forkserver") or ``None`` for the
             platform default.
+        transport: how in-memory documents reach the workers —
+            ``"auto"`` (shared-memory segments for chunks whose encoded
+            payload reaches ``shm_threshold`` bytes, the task pipe
+            below it or where POSIX shm is missing), ``"shm"`` (always
+            shared memory; raises
+            :class:`~repro.runtime.transport.TransportUnavailableError`
+            where unsupported) or ``"pipe"`` (always the task message,
+            the pre-transport behavior).  File paths (``submit_files``)
+            always ride the pipe — workers read those themselves.
+        shm_threshold: the ``"auto"`` negotiation bound, in encoded
+            bytes per chunk.
+        encoding / errors: how workers decode file-backed documents
+            (the ``files`` op); any :func:`codecs` name / error
+            handler.  In-memory documents are never re-encoded with
+            this codec — the shm transport uses its own fixed lossless
+            wire codec.
 
     The service starts lazily on first use (or explicitly via
     :meth:`start` / ``with service:``) and must be closed —
-    :meth:`close` drains and stops the fleet; the context manager does
-    so on exit.
+    :meth:`close` drains and stops the fleet (and unlinks every
+    shared-memory segment it still owns); the context manager does so
+    on exit.
     """
 
     def __init__(
@@ -268,6 +337,10 @@ class SpannerService:
         max_tasks_per_worker: int | None = None,
         max_in_flight: int | None = None,
         mp_context: str | None = None,
+        transport: str = "auto",
+        shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+        encoding: str = "utf-8",
+        errors: str = "strict",
     ):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
@@ -286,6 +359,14 @@ class SpannerService:
             )
         self.max_in_flight = max_in_flight
         self.mp_context = mp_context
+        self.encoding = encoding
+        self.errors = errors
+        self.transport = transport
+        # None = pure pipe; otherwise the owning side of the
+        # shared-memory document transport (validates the mode string).
+        self._doc_transport = create_transport(
+            transport, shm_threshold=shm_threshold
+        )
 
         self._lock = threading.RLock()
         self._registry: dict[str, bytes] = {}  # query id -> pickled artifact
@@ -466,6 +547,11 @@ class SpannerService:
                 proc.join(timeout=10)
         if self._results is not None:
             self._results.close()
+        if self._doc_transport is not None:
+            # Belt over the per-task handshake: whatever segments are
+            # somehow still owned (e.g. a collector that died mid-
+            # resolution) are unlinked now — /dev/shm ends clean.
+            self._doc_transport.close()
         with self._lock:
             self._closed = True
 
@@ -497,17 +583,43 @@ class SpannerService:
         bounded = self._inflight_slots is not None
         if bounded:
             self._inflight_slots.acquire()
+        # Pack only after holding an in-flight slot: a submitter parked
+        # on the backpressure bound must not pin a packed segment's
+        # bytes beyond the configured max_in_flight budget.
+        wire = self._pack(items, op)
         with self._lock:
             if self._closing:
                 if bounded:
                     self._inflight_slots.release()
+                self._release_wire(wire)
                 raise RuntimeError("SpannerService is closed")
             task = _Task(
-                next(self._task_ids), query_id, op, items, extra, bounded
+                next(self._task_ids), query_id, op, wire, extra, bounded
             )
             self._tasks[task.task_id] = task
             self._dispatch_or_backlog(task)
         return task.future
+
+    def _pack(self, items: list[str], op: str) -> "list[str] | ShmChunk":
+        """The transport negotiation: the wire form of one chunk.
+
+        ``files`` chunks are path lists (the workers read the bytes
+        themselves — already off the pipe); in-memory chunks go through
+        the shared-memory transport when one is configured and the
+        chunk clears its size threshold, and ride the task message
+        otherwise.  Packing always uses the transport's fixed lossless
+        wire codec — ``self.encoding`` only governs how workers read
+        *files*.
+        """
+        if self._doc_transport is None or op == "files":
+            return items
+        ref = self._doc_transport.pack(items)
+        return items if ref is None else ref
+
+    def _release_wire(self, wire: "list[str] | ShmChunk") -> None:
+        """The owner half of the release handshake (no-op for pipe)."""
+        if self._doc_transport is not None and isinstance(wire, ShmChunk):
+            self._doc_transport.release(wire)
 
     def submit(
         self,
@@ -606,7 +718,10 @@ class SpannerService:
         task_queue = self._mp_ctx.Queue()
         process = self._mp_ctx.Process(
             target=_fleet_worker,
-            args=(worker_id, task_queue, self._results),
+            args=(
+                worker_id, task_queue, self._results,
+                self.encoding, self.errors,
+            ),
             name=f"spanner-service-worker-{worker_id}",
             daemon=True,
         )
@@ -824,6 +939,12 @@ class SpannerService:
     def _finish(
         self, task: _Task, exc: BaseException | None, value: object
     ) -> None:
+        # The resolution IS the release handshake: whatever way the
+        # task ended — result, failure, cancellation, shutdown — its
+        # shared-memory segment (if any) loses its one reference here
+        # and is unlinked by the owner.  Runs before the cancelled
+        # check below so an abandoned future can never pin a segment.
+        self._release_wire(task.items)
         if task.bounded and self._inflight_slots is not None:
             self._inflight_slots.release()
         future = task.future

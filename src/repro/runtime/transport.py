@@ -1,0 +1,518 @@
+"""Shared-memory document transport: corpus bytes off the task pipe.
+
+The fleet (:mod:`repro.runtime.service`) ships every in-memory document
+to its worker as part of the pickled task message — through a
+``multiprocessing`` queue, i.e. a pickle, a feeder thread, an OS pipe
+write, a pipe read and an unpickle per chunk.  For corpora of large
+documents that per-chunk copy chain is the dominant non-evaluation
+cost the compile-once model leaves on the table (``evaluate_files``
+already avoids it for file-backed corpora by shipping paths).
+
+:class:`SharedMemoryTransport` takes the bytes out of the pipe: a chunk
+of documents is packed **chunk-at-a-time** into one POSIX
+``multiprocessing.shared_memory`` segment with an offset/length index,
+and the task message carries only a tiny :class:`ShmChunk` reference
+``(segment name, index, encoding)``.  The worker attaches the segment,
+decodes each document **lazily** straight out of the shared buffer (one
+decode, no intermediate pickle/pipe copies), and detaches when the task
+is done.
+
+Segment lifetime is explicit — **no reliance on GC**:
+
+* the driver owns every segment it creates and holds a reference count
+  per segment (one per unresolved task that names it; crash
+  re-dispatch re-uses the same segment, so a re-run task never re-packs
+  or re-ships document bytes);
+* a worker's result message is its release handshake: when the task
+  resolves — result, failure, cancellation, or fleet shutdown — the
+  owner drops the reference; at zero the segment is *recycled* into a
+  bounded free pool for the next chunk of its size class (a
+  ``shm_open``/``mmap``/``shm_unlink`` round per chunk costs more than
+  the copy it saves — reuse is what makes the transport win), or
+  unlinked when the pool is full;
+* :meth:`SharedMemoryTransport.close` unlinks everything — pooled and
+  in-flight alike — so no ``/dev/shm`` entry survives a fleet close, a
+  worker crash/recycle, or an abandoned streaming session;
+* worker-side attachments are excluded from Python's
+  ``resource_tracker`` (``track=False`` where available, registration
+  suppressed before), so a *worker* exiting — cleanly, recycled, or
+  killed — can never unlink a segment other tasks still read
+  (the well-known spawn-mode tracker bug); workers cache a bounded
+  number of attachments, so a recycled segment name re-arrives already
+  mapped.
+
+Negotiation (:func:`create_transport` + :meth:`pack`): ``"pipe"``
+disables the layer, ``"shm"`` forces it (raising
+:class:`TransportUnavailableError` where POSIX shared memory is
+missing), and ``"auto"`` uses shared memory only for chunks whose
+encoded payload reaches ``shm_threshold`` bytes — below that the pipe's
+fixed costs win and the chunk rides the task message as before.
+
+Huge *file-backed* documents get the third path: :func:`read_document`
+decodes large files straight from an ``mmap`` window instead of
+materializing an intermediate ``bytes`` copy — the worker-side read
+``evaluate_files`` / ``submit_files`` and the serial path share.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import threading
+from itertools import count
+from typing import Iterator, NamedTuple, Sequence
+
+from ..errors import SpannerError
+
+try:  # pragma: no cover - import guard for platforms without POSIX shm
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "DEFAULT_SHM_THRESHOLD",
+    "MMAP_THRESHOLD",
+    "ShmChunk",
+    "ShmDocumentView",
+    "SharedMemoryTransport",
+    "TransportUnavailableError",
+    "create_transport",
+    "read_document",
+    "shm_available",
+]
+
+#: "auto" negotiation: chunks whose encoded payload is smaller than this
+#: ride the task pipe — the pipe's fixed per-chunk cost beats a segment
+#: create below it, and shared memory wins above it (measured by the
+#: E13f table in ``benchmarks/bench_e13_runtime.py``).
+DEFAULT_SHM_THRESHOLD = 64 * 1024
+
+#: Files at least this large are decoded straight from an ``mmap``
+#: window by :func:`read_document` instead of an intermediate
+#: ``bytes`` materialization via ``read()``.
+MMAP_THRESHOLD = 4 * 1024 * 1024
+
+#: Transport modes accepted everywhere a ``transport=`` knob exists.
+TRANSPORT_MODES = ("auto", "shm", "pipe")
+
+#: Segment-name prefix: lets tests (and operators) spot this engine's
+#: segments in ``/dev/shm`` unambiguously.
+_SEGMENT_PREFIX = "sjdoc"
+
+#: How many released segments a transport keeps mapped for reuse, and
+#: how many attachments a worker keeps cached.  Small on purpose: one
+#: fleet rarely has more than ``workers * prefetch`` chunks in any
+#: state at once, and every pooled segment pins its pages.
+_POOL_SEGMENTS = 8
+_ATTACH_CACHE_SEGMENTS = 8
+
+_segment_ids = count()
+
+
+class TransportUnavailableError(SpannerError):
+    """``transport="shm"`` was forced on a platform without POSIX shm."""
+
+
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` is usable here."""
+    return _shared_memory is not None
+
+
+def create_transport(
+    mode: str, *, shm_threshold: int = DEFAULT_SHM_THRESHOLD
+) -> "SharedMemoryTransport | None":
+    """The transport for ``mode`` — ``None`` means "everything by pipe".
+
+    ``"auto"`` degrades to the pipe silently where shared memory is
+    unavailable; ``"shm"`` raises instead, because the caller asked for
+    a guarantee the platform cannot give.
+    """
+    if mode not in TRANSPORT_MODES:
+        raise ValueError(
+            f"transport must be one of {TRANSPORT_MODES}, got {mode!r}"
+        )
+    if mode == "pipe":
+        return None
+    if not shm_available():
+        if mode == "shm":
+            raise TransportUnavailableError(
+                "transport='shm' requires multiprocessing.shared_memory, "
+                "which this platform does not provide — use 'auto' or 'pipe'"
+            )
+        return None
+    return SharedMemoryTransport(
+        threshold=shm_threshold, force=(mode == "shm")
+    )
+
+
+def _attach_untracked(name: str):
+    """Attach an existing segment without resource-tracker ownership.
+
+    A worker only *borrows* the segment; the driver owns and unlinks
+    it.  Letting the worker's ``resource_tracker`` adopt the name would
+    make a worker exit (clean, recycled or killed — notably under the
+    spawn start method, where each worker runs its own tracker) unlink
+    a segment other tasks still read.  Python >= 3.13 spells this
+    ``track=False``; earlier versions need the explicit unregister.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: suppress the tracker registration for the
+        # duration of the attach.  Unregistering *after* would be
+        # wrong under the fork start method, where children share the
+        # parent's tracker process — it would strip the owner's own
+        # registration.  Workers are single-threaded, so the swap is
+        # not racy.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+#: The *wire* codec for shared-memory chunks.  Deliberately fixed and
+#: lossless — independent of whatever ``encoding``/``errors`` the
+#: caller uses to read files: in-memory documents are already ``str``,
+#: and re-encoding them with a lossy user codec (``ascii`` +
+#: ``replace``...) would make the worker evaluate a *different*
+#: document than the serial path.  ``surrogatepass`` keeps lone
+#: surrogates (e.g. from ``surrogateescape``-decoded files) intact.
+WIRE_ENCODING = "utf-8"
+WIRE_ERRORS = "surrogatepass"
+
+
+class ShmChunk(NamedTuple):
+    """What a shared-memory task message carries instead of documents.
+
+    ``index`` holds one ``(offset, length)`` byte range per document in
+    the segment, in document order; empty documents are zero-length
+    ranges, so round-trips are exact.  ``encoding``/``errors`` name the
+    wire codec the bytes were packed with (a lossless constant, carried
+    so decoding stays correct across engine versions).
+    """
+
+    segment: str
+    index: tuple[tuple[int, int], ...]
+    encoding: str
+    errors: str
+
+    def __len__(self) -> int:  # documents, not tuple arity
+        return len(self.index)
+
+
+#: Worker-side attachment cache: segment name -> SharedMemory, in LRU
+#: order.  Segments are recycled by the owner, so the same few names
+#: arrive over and over — keeping them mapped turns the per-chunk
+#: ``shm_open``/``mmap`` pair into a dict hit.  Single-threaded worker
+#: processes only; bounded so an unlinked name can pin at most one
+#: stale mapping until it falls off the end.
+_attachments: dict[str, object] = {}
+
+
+def _attach_cached(name: str):
+    segment = _attachments.pop(name, None)
+    if segment is None:
+        segment = _attach_untracked(name)
+    _attachments[name] = segment  # (re-)insert as most recent
+    while len(_attachments) > _ATTACH_CACHE_SEGMENTS:
+        stale = _attachments.pop(next(iter(_attachments)))
+        stale.close()
+    return segment
+
+
+class ShmDocumentView(Sequence[str]):
+    """Worker-side lazy view of one packed chunk.
+
+    Attaches to the segment on first access (through the process-wide
+    attachment cache), decodes each document slice on demand — straight
+    from the shared buffer, no intermediate pickle or pipe copy — and
+    drops its handle on :meth:`release`.  Views are sequences, so the
+    worker's evaluation loop iterates them exactly like the plain
+    document lists the pipe delivers.
+    """
+
+    __slots__ = ("_ref", "_segment")
+
+    def __init__(self, ref: ShmChunk):
+        self._ref = ref
+        self._segment = None
+
+    def _buffer(self):
+        if self._segment is None:
+            self._segment = _attach_cached(self._ref.segment)
+        return self._segment.buf
+
+    def __len__(self) -> int:
+        return len(self._ref.index)
+
+    def __getitem__(self, i: int) -> str:
+        offset, length = self._ref.index[i]
+        return str(
+            self._buffer()[offset : offset + length],
+            self._ref.encoding,
+            self._ref.errors,
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        for i in range(len(self._ref.index)):
+            yield self[i]
+
+    def release(self) -> None:
+        """Drop this view's handle (the attachment cache keeps the
+        mapping warm for the segment's next reuse; the *owner* unlinks,
+        never the worker)."""
+        self._segment = None
+
+
+class SharedMemoryTransport:
+    """Driver-side owner of the fleet's document segments.
+
+    Thread-safe: packing happens on submitter threads, releases on the
+    collector thread.  Every segment this transport creates is
+    accounted for — in flight (refcounted per unresolved task) or
+    pooled for reuse — until :meth:`close` unlinks it, the explicit
+    lifetime contract that keeps ``/dev/shm`` clean across crashes,
+    recycles and abandoned sessions.
+
+    Released segments are recycled through a small free pool keyed by
+    size class (next power of two): the ``shm_open``/``ftruncate``/
+    ``mmap``/``shm_unlink`` round per segment — plus the fresh page
+    faults on first touch — costs several times the memcpy it
+    transports, so a serving fleet's steady state runs on a handful of
+    segments created once.
+    """
+
+    mode = "shm"
+
+    def __init__(
+        self, *, threshold: int = DEFAULT_SHM_THRESHOLD, force: bool = False
+    ):
+        if _shared_memory is None:  # pragma: no cover - guarded by factory
+            raise TransportUnavailableError(
+                "multiprocessing.shared_memory is unavailable"
+            )
+        if threshold < 0:
+            raise ValueError(f"shm_threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self.force = force
+        self._lock = threading.Lock()
+        #: segment name -> [SharedMemory, refcount] (in flight)
+        self._segments: dict[str, list] = {}
+        #: size class -> [SharedMemory, ...] (released, reusable)
+        self._pool: dict[int, list] = {}
+        self._pooled = 0
+        #: segment name -> the size class it was created for.  The OS
+        #: may round a segment's reported ``size`` up to its page size,
+        #: so pooling must remember the class it will be looked up by,
+        #: not re-derive it from ``segment.size``.
+        self._classes: dict[str, int] = {}
+
+    # -- Introspection (tests assert leak-freedom through this) -------------
+    def live_segments(self) -> tuple[str, ...]:
+        """Names of in-flight segments (referenced by unresolved tasks;
+        pooled segments are not live — they hold no task's data)."""
+        with self._lock:
+            return tuple(self._segments)
+
+    def pooled_segments(self) -> tuple[str, ...]:
+        """Names of released segments kept mapped for reuse."""
+        with self._lock:
+            return tuple(
+                seg.name for bucket in self._pool.values() for seg in bucket
+            )
+
+    # -- Packing -------------------------------------------------------------
+    def pack(self, items: Sequence[str]) -> ShmChunk | None:
+        """Pack one chunk into a segment; ``None`` = use the pipe.
+
+        The ``None`` outcome is the negotiation: below ``threshold``
+        bytes of encoded payload (unless ``force``), the pipe's fixed
+        costs win and the caller ships the documents as before.  The
+        size test is cheap on both ends — a chunk whose character count
+        already reaches the threshold must encode at least that many
+        bytes, and one whose UTF-8 worst case stays under it cannot.
+
+        Documents are encoded with the fixed lossless wire codec
+        (:data:`WIRE_ENCODING`/:data:`WIRE_ERRORS`), never the caller's
+        file codec — the worker must see the exact string the serial
+        path would evaluate.
+        """
+        if not self.force:
+            chars = sum(len(s) for s in items)
+            if chars * 4 < self.threshold:
+                return None  # cannot reach the threshold: pipe
+            if chars < self.threshold:
+                # Indeterminate band: only the real encoding decides.
+                if sum(
+                    len(s.encode(WIRE_ENCODING, WIRE_ERRORS)) for s in items
+                ) < self.threshold:
+                    return None
+        blobs = [s.encode(WIRE_ENCODING, WIRE_ERRORS) for s in items]
+        total = sum(len(b) for b in blobs)
+        segment = self._obtain_segment(max(total, 1))
+        index = []
+        offset = 0
+        for blob in blobs:
+            end = offset + len(blob)
+            segment.buf[offset:end] = blob
+            index.append((offset, len(blob)))
+            offset = end
+        with self._lock:
+            self._segments[segment.name] = [segment, 1]
+        return ShmChunk(
+            segment.name, tuple(index), WIRE_ENCODING, WIRE_ERRORS
+        )
+
+    @staticmethod
+    def _size_class(size: int) -> int:
+        # Power-of-two classes (>= one page) so chunks of similar size
+        # recycle each other's segments instead of near-missing.
+        return max(4096, 1 << (size - 1).bit_length())
+
+    def _obtain_segment(self, size: int):
+        wanted = self._size_class(size)
+        with self._lock:
+            bucket = self._pool.get(wanted)
+            if bucket:
+                self._pooled -= 1
+                return bucket.pop()
+        segment = self._create_segment(wanted)
+        with self._lock:
+            self._classes[segment.name] = wanted
+        return segment
+
+    def _create_segment(self, size: int):
+        # Explicit names (prefix + pid + counter) so operators and the
+        # cleanup tests can attribute /dev/shm entries; retry on the
+        # (unlikely) collision with a leftover from a previous pid.
+        while True:
+            name = f"{_SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_ids)}"
+            try:
+                return _shared_memory.SharedMemory(
+                    create=True, size=size, name=name
+                )
+            except FileExistsError:  # pragma: no cover - pid reuse
+                continue
+
+    # -- The release handshake ----------------------------------------------
+    def acquire(self, ref: ShmChunk) -> None:
+        """One more consumer for a packed chunk (rarely needed: a task
+        holds exactly one reference for its whole lifetime, crash
+        re-dispatch included)."""
+        with self._lock:
+            entry = self._segments.get(ref.segment)
+            if entry is not None:
+                entry[1] += 1
+
+    def release(self, ref: ShmChunk) -> None:
+        """Drop one reference; recycle (or unlink) the segment at zero.
+
+        At zero the segment goes back to the free pool for the next
+        chunk of its size class; a full pool unlinks instead.
+        Idempotent past zero (a shutdown sweep may race a late
+        collector release) — releasing an unknown name is a no-op.
+        """
+        with self._lock:
+            entry = self._segments.get(ref.segment)
+            if entry is None:
+                return
+            entry[1] -= 1
+            if entry[1] > 0:
+                return
+            del self._segments[ref.segment]
+            segment = entry[0]
+            if self._pooled < _POOL_SEGMENTS:
+                size_class = self._classes[segment.name]
+                self._pool.setdefault(size_class, []).append(segment)
+                self._pooled += 1
+                return
+            self._classes.pop(segment.name, None)
+        self._destroy(segment)
+
+    def close(self) -> None:
+        """Unlink everything still owned — in flight and pooled alike
+        (fleet shutdown sweep; ``/dev/shm`` ends clean)."""
+        with self._lock:
+            leftovers = [entry[0] for entry in self._segments.values()]
+            self._segments.clear()
+            for bucket in self._pool.values():
+                leftovers.extend(bucket)
+            self._pool.clear()
+            self._pooled = 0
+            self._classes.clear()
+        for segment in leftovers:
+            self._destroy(segment)
+
+    @staticmethod
+    def _destroy(segment) -> None:
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - last-resort, not the contract
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- Worker side --------------------------------------------------------------
+
+
+def open_chunk(items: "ShmChunk | Sequence[str]") -> Sequence[str]:
+    """Materialize a task's document payload, whatever transport carried it.
+
+    A :class:`ShmChunk` becomes a lazy :class:`ShmDocumentView`; plain
+    lists (the pipe transport) pass through untouched.  Callers that
+    received a view must :func:`release_chunk` it when the task is done.
+    """
+    if isinstance(items, ShmChunk):
+        return ShmDocumentView(items)
+    return items
+
+
+def release_chunk(items: Sequence[str]) -> None:
+    """Detach a view produced by :func:`open_chunk` (no-op otherwise)."""
+    if isinstance(items, ShmDocumentView):
+        items.release()
+
+
+# -- File-backed documents: the mmap path -------------------------------------
+
+
+def read_document(
+    path: str,
+    *,
+    encoding: str = "utf-8",
+    errors: str = "strict",
+    mmap_threshold: int = MMAP_THRESHOLD,
+) -> str:
+    """Read one document, decoding huge files straight from ``mmap``.
+
+    Files of at least ``mmap_threshold`` bytes are mapped and decoded
+    from the mapping in one step (``str`` accepts any buffer), skipping
+    the intermediate ``bytes`` copy a plain ``read()`` materializes —
+    the worker-side path ``evaluate_files`` extends to huge single
+    files.  Smaller files take the ordinary read.
+    """
+    if mmap_threshold is not None and mmap_threshold >= 0:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0  # let open() raise the canonical error below
+        if size >= mmap_threshold and size > 0:
+            with open(path, "rb") as handle:
+                with mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                ) as window:
+                    return str(window, encoding, errors)
+    with open(path, encoding=encoding, errors=errors) as handle:
+        return handle.read()

@@ -251,8 +251,16 @@ class TestOldRecordTolerance:
 
 
 class TestCli:
-    def test_missing_dir_is_usage_error(self, tmp_path):
-        assert main(["--results-dir", str(tmp_path / "nope")]) == 2
+    def test_missing_dir_skips_cleanly(self, tmp_path, capsys):
+        # A freshly reset trajectory has no results dir (or an empty
+        # one) on its first post-reset run: the gate must skip with a
+        # clear message, not crash the perf-trajectory job.
+        assert main(["--results-dir", str(tmp_path / "nope")]) == 0
+        assert "gate skipped" in capsys.readouterr().out
+
+    def test_empty_dir_skips_cleanly(self, tmp_path, capsys):
+        assert main(["--results-dir", str(tmp_path)]) == 0
+        assert "gate skipped" in capsys.readouterr().out
 
     def test_custom_single_gate(self, tmp_path):
         write_history(

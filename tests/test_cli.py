@@ -302,3 +302,64 @@ class TestWorkerSharding:
         )
         assert code == 2
         assert "canonical" in capsys.readouterr().err
+
+    def test_query_transport_modes_match_serial(self, tmp_path, capsys):
+        from repro.runtime import shm_available
+
+        files = self._write_corpus(
+            tmp_path, [f"ab code={i}{i} ba" for i in range(4)]
+        )
+        args = ["query", "--atom", ".*x{[0-9]+}.*", "--head", "x"] + files
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        modes = ["pipe", "auto"] + (["shm"] if shm_available() else [])
+        for mode in modes:
+            assert main(args + ["--workers", "2", "--transport", mode]) == 0
+            assert capsys.readouterr().out == serial, mode
+
+
+class TestEncodingFlags:
+    """--encoding/--errors reach the serial and worker read paths."""
+
+    def test_latin1_file_serial_and_workers(self, tmp_path, capsys):
+        first = tmp_path / "a.txt"
+        second = tmp_path / "b.txt"
+        first.write_bytes(b"ab caf\xe9 code=7 zz")
+        second.write_bytes(b"no match here\xe9")
+        args = [
+            "extract", ".*x{[0-9]+}.*",
+            "--file", str(first), "--file", str(second),
+            "--encoding", "latin-1",
+        ]
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert "7" in serial
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_stray_byte_is_a_clean_error_not_a_crash(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_bytes(b"code=1 caf\xe9")
+        # Serial: the decode error surfaces through the CLI's single
+        # error convention (exit 2, "error: ..."), not a traceback.
+        assert main(["extract", ".*x{[0-9]+}.*", "--file", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--encoding" in err
+        # Worker path: same contract.
+        other = tmp_path / "ok.txt"
+        other.write_text("code=2", encoding="utf-8")
+        code = main(
+            ["extract", ".*x{[0-9]+}.*", "--workers", "2",
+             "--file", str(bad), "--file", str(other)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_errors_replace_flag(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_bytes(b"code=3 \xff")
+        assert main(
+            ["extract", ".*x{[0-9]+}.*", "--file", str(bad),
+             "--errors", "replace"]
+        ) == 0
+        assert "3" in capsys.readouterr().out

@@ -112,6 +112,142 @@ class TestSerialFallback:
         assert list(engine.evaluate_many(iter(()))) == []
 
 
+class TestTransportModes:
+    """pipe / shm / auto must be byte-interchangeable."""
+
+    @pytest.mark.parametrize("mode", ["pipe", "shm", "auto"])
+    def test_transport_matches_serial(self, serial_output, mode):
+        from repro.runtime.transport import shm_available
+
+        if mode == "shm" and not shm_available():
+            pytest.skip("POSIX shared memory unavailable")
+        engine = ParallelSpanner(
+            FORMULA, workers=2, chunk_size=3, transport=mode
+        )
+        assert list(engine.evaluate_many(DOCS)) == serial_output
+
+    def test_auto_negotiates_per_chunk(self, serial_output):
+        from repro.runtime.transport import shm_available
+
+        if not shm_available():
+            pytest.skip("POSIX shared memory unavailable")
+        # A tiny threshold forces every chunk through shared memory; a
+        # huge one forces every chunk onto the pipe — identical output
+        # either way.
+        for threshold in (1, 10**9):
+            engine = ParallelSpanner(
+                FORMULA, workers=2, chunk_size=3,
+                transport="auto", shm_threshold=threshold,
+            )
+            assert list(engine.evaluate_many(DOCS)) == serial_output
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSpanner(FORMULA, workers=2, transport="carrier-pigeon")
+
+    def test_forced_shm_raises_where_unavailable(self, monkeypatch):
+        from repro.runtime import transport as transport_module
+        from repro.runtime.transport import TransportUnavailableError
+
+        monkeypatch.setattr(transport_module, "shm_available", lambda: False)
+        with pytest.raises(TransportUnavailableError):
+            ParallelSpanner(FORMULA, workers=2, transport="shm")
+
+    def test_auto_falls_back_where_unavailable(self, serial_output,
+                                               monkeypatch):
+        # Simulate a platform without POSIX shm: auto must silently
+        # ride the pipe and still match serial output exactly.
+        from repro.runtime import transport as transport_module
+
+        monkeypatch.setattr(transport_module, "shm_available", lambda: False)
+        engine = ParallelSpanner(
+            FORMULA, workers=2, chunk_size=3, transport="auto"
+        )
+        with engine:
+            assert engine._pool._doc_transport is None
+            assert list(engine.evaluate_many(DOCS)) == serial_output
+
+
+class TestAbandonedStream:
+    """Breaking out of a streaming generator must not poison the session."""
+
+    def test_break_then_reuse_persistent_session(self, serial_output):
+        # Regression: an abandoned evaluate_many on a persistent fleet
+        # used to leave its pending chunk futures in flight; the next
+        # call could then observe stale interleavings or exhaust
+        # max_pending.  The generator's finally now cancels them.
+        with ParallelSpanner(
+            FORMULA, workers=2, chunk_size=1, max_pending=2
+        ) as engine:
+            for _ in range(3):  # break repeatedly: leaks would pile up
+                stream = engine.evaluate_many(iter(DOCS))
+                assert next(stream) == serial_output[0]
+                stream.close()  # consumer breaks out mid-iteration
+            # The session keeps serving, full batch, correct and
+            # in-order, without deadlocking against max_pending.
+            assert list(engine.evaluate_many(DOCS)) == serial_output
+            # And the fleet drains to quiet: no unresolved tasks linger.
+            import time as _time
+
+            deadline = _time.time() + 10
+            while _time.time() < deadline and engine._pool._tasks:
+                _time.sleep(0.02)
+            assert not engine._pool._tasks
+
+    def test_break_with_shm_transport_leaves_no_segments(self):
+        from repro.runtime.transport import shm_available
+
+        if not shm_available():
+            pytest.skip("POSIX shared memory unavailable")
+        # Big documents (real segments) with exactly one match each,
+        # so evaluation stays cheap and the test exercises transport.
+        big_docs = [f"{'QQ ' * 1300}hi{i % 7}" for i in range(8)]
+        serial = list(CompiledSpanner(FORMULA).evaluate_many(big_docs))
+        with ParallelSpanner(
+            FORMULA, workers=2, chunk_size=2, transport="shm"
+        ) as engine:
+            stream = engine.evaluate_many(iter(big_docs))
+            next(stream)
+            stream.close()
+            assert list(engine.evaluate_many(big_docs)) == serial
+        import glob
+        import os
+
+        if os.path.isdir("/dev/shm"):
+            assert not glob.glob("/dev/shm/sjdoc-*")
+
+
+class TestEncoding:
+    """The encoding knob must reach every read site (satellite bugfix)."""
+
+    def test_latin1_corpus_file_parallel_and_serial(self, tmp_path):
+        path = tmp_path / "legacy.txt"
+        path.write_bytes(b"ab caf\xe9 code=77 zz")
+        expected_doc = "ab café code=77 zz"
+        serial = list(CompiledSpanner(FORMULA).stream(expected_doc))
+        for workers in (1, 2):
+            engine = ParallelSpanner(
+                FORMULA, workers=workers, encoding="latin-1"
+            )
+            [answers] = list(engine.evaluate_files([str(path)]))
+            assert answers == serial
+
+    def test_strict_default_still_raises(self, tmp_path):
+        path = tmp_path / "legacy.txt"
+        path.write_bytes(b"caf\xe9")
+        engine = ParallelSpanner(FORMULA, workers=2, chunk_size=1)
+        with pytest.raises(UnicodeDecodeError):
+            list(engine.evaluate_files([str(path)]))
+
+    def test_errors_replace_softens(self, tmp_path):
+        path = tmp_path / "legacy.txt"
+        path.write_bytes(b"hi \xff ho")
+        engine = ParallelSpanner(FORMULA, workers=2, errors="replace")
+        [answers] = list(engine.evaluate_files([str(path)]))
+        serial = list(CompiledSpanner(FORMULA).stream("hi � ho"))
+        assert answers == serial
+
+
 class TestBackpressure:
     def test_input_read_ahead_is_bounded(self):
         # The dispatch loop must not slurp the whole (possibly

@@ -1,0 +1,223 @@
+"""Tests for the shared-memory document transport (`repro.runtime.transport`).
+
+The contract: a packed chunk round-trips byte-identically through a
+shared-memory segment (any codec, empty documents included); segment
+lifetime is explicit — refcounted in flight, recycled through the free
+pool on release, unlinked by the owner on close, never left in
+``/dev/shm``; the ``auto`` negotiation falls back to the pipe below the
+size threshold and on platforms without POSIX shm; and the ``mmap``
+read path decodes files identically to a plain read.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.runtime import transport as transport_module
+from repro.runtime.transport import (
+    ShmChunk,
+    SharedMemoryTransport,
+    TransportUnavailableError,
+    create_transport,
+    open_chunk,
+    read_document,
+    release_chunk,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+DOCS = ["say hi ho", "", "a1bc2", "ümläut ẞtreet", "x" * 10_000]
+
+
+def dev_shm_segments() -> set[str]:
+    """This engine's segments currently present in /dev/shm."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return set()
+    return {os.path.basename(p) for p in glob.glob("/dev/shm/sjdoc-*")}
+
+
+class TestPackRoundTrip:
+    def test_documents_round_trip_byte_identically(self):
+        t = SharedMemoryTransport(force=True)
+        try:
+            ref = t.pack(DOCS)
+            assert isinstance(ref, ShmChunk)
+            view = open_chunk(ref)
+            assert list(view) == DOCS
+            assert [view[i] for i in range(len(view))] == DOCS
+            release_chunk(view)
+        finally:
+            t.close()
+
+    def test_empty_documents_keep_their_slots(self):
+        t = SharedMemoryTransport(force=True)
+        try:
+            docs = ["", "", "a", ""]
+            view = open_chunk(t.pack(docs))
+            assert list(view) == docs
+            release_chunk(view)
+        finally:
+            t.close()
+
+    def test_wire_codec_is_lossless_whatever_the_file_codec(self):
+        # The wire codec is a fixed lossless constant: non-ASCII text
+        # and even lone surrogates (surrogateescape-decoded files)
+        # round-trip exactly — the worker must evaluate the exact
+        # string the serial path would, never a re-encoded lossy copy.
+        from repro.runtime.transport import WIRE_ENCODING
+
+        t = SharedMemoryTransport(force=True)
+        try:
+            docs = ["café", "naïve £5", "stray\udce9byte", "汉字"]
+            ref = t.pack(docs)
+            assert ref.encoding == WIRE_ENCODING
+            view = open_chunk(ref)
+            assert list(view) == docs
+            release_chunk(view)
+        finally:
+            t.close()
+
+    def test_pipe_payload_passes_through(self):
+        items = ["a", "b"]
+        assert open_chunk(items) is items
+        release_chunk(items)  # no-op, must not raise
+
+
+class TestNegotiation:
+    def test_below_threshold_stays_on_the_pipe(self):
+        t = SharedMemoryTransport(threshold=1024)
+        try:
+            assert t.pack(["tiny", "docs"]) is None
+            assert t.live_segments() == ()
+        finally:
+            t.close()
+
+    def test_above_threshold_packs(self):
+        t = SharedMemoryTransport(threshold=1024)
+        try:
+            ref = t.pack(["x" * 2048])
+            assert isinstance(ref, ShmChunk)
+            assert len(t.live_segments()) == 1
+            t.release(ref)
+        finally:
+            t.close()
+
+    def test_multibyte_indeterminate_band_measures_real_bytes(self):
+        # 600 chars of a 2-byte character: the char count (600) is
+        # under a 1000-byte threshold but the encoded payload (1200)
+        # is over it — the negotiation must encode to find out.
+        t = SharedMemoryTransport(threshold=1000)
+        try:
+            ref = t.pack(["é" * 600])
+            assert isinstance(ref, ShmChunk)
+            t.release(ref)
+            assert t.pack(["é" * 400]) is None  # 800 bytes: pipe
+        finally:
+            t.close()
+
+    def test_create_transport_modes(self):
+        assert create_transport("pipe") is None
+        t = create_transport("shm")
+        assert t is not None and t.force
+        t.close()
+        t = create_transport("auto", shm_threshold=123)
+        assert t is not None and not t.force and t.threshold == 123
+        t.close()
+        with pytest.raises(ValueError):
+            create_transport("carrier-pigeon")
+
+    def test_unavailable_platform_falls_back_or_raises(self, monkeypatch):
+        monkeypatch.setattr(transport_module, "shm_available", lambda: False)
+        assert transport_module.create_transport("auto") is None
+        with pytest.raises(TransportUnavailableError):
+            transport_module.create_transport("shm")
+
+
+class TestSegmentLifetime:
+    def test_refcount_release_recycles_then_close_unlinks(self):
+        t = SharedMemoryTransport(force=True)
+        try:
+            ref = t.pack(["payload"] * 4)
+            assert ref.segment in dev_shm_segments()
+            t.acquire(ref)
+            t.release(ref)
+            assert t.live_segments() == (ref.segment,)  # still one ref
+            t.release(ref)
+            assert t.live_segments() == ()
+            # Released, not destroyed: pooled for the next chunk.
+            assert ref.segment in t.pooled_segments()
+            assert ref.segment in dev_shm_segments()
+        finally:
+            t.close()
+        assert ref.segment not in dev_shm_segments()
+
+    def test_pool_reuses_segments_of_the_same_size_class(self):
+        t = SharedMemoryTransport(force=True)
+        try:
+            first = t.pack(["a" * 5000])
+            t.release(first)
+            second = t.pack(["b" * 5000])
+            assert second.segment == first.segment  # recycled, not new
+            view = open_chunk(second)
+            assert list(view) == ["b" * 5000]
+            release_chunk(view)
+            t.release(second)
+        finally:
+            t.close()
+        assert not dev_shm_segments() & {first.segment}
+
+    def test_release_is_idempotent_past_zero(self):
+        t = SharedMemoryTransport(force=True)
+        try:
+            ref = t.pack(["doc"])
+            t.release(ref)
+            t.release(ref)  # no-op, must not raise or double-free
+        finally:
+            t.close()
+
+    def test_close_sweeps_in_flight_segments(self):
+        t = SharedMemoryTransport(force=True)
+        ref = t.pack(["doc"] * 3)
+        assert ref.segment in dev_shm_segments()
+        t.close()  # task never resolved — the sweep must still unlink
+        assert ref.segment not in dev_shm_segments()
+
+
+class TestReadDocument:
+    def test_mmap_and_plain_reads_agree(self, tmp_path):
+        path = tmp_path / "doc.txt"
+        text = "läne one\nline two\n" * 500
+        path.write_text(text, encoding="utf-8")
+        plain = read_document(str(path), mmap_threshold=10**9)
+        mapped = read_document(str(path), mmap_threshold=1)
+        assert plain == mapped == text
+
+    def test_latin1_and_error_handlers(self, tmp_path):
+        path = tmp_path / "legacy.txt"
+        path.write_bytes(b"caf\xe9 society")
+        with pytest.raises(UnicodeDecodeError):
+            read_document(str(path))
+        assert read_document(str(path), encoding="latin-1") == "café society"
+        assert (
+            read_document(str(path), errors="replace") == "caf� society"
+        )
+        # The mmap path honors the same codec knobs.
+        assert (
+            read_document(str(path), encoding="latin-1", mmap_threshold=1)
+            == "café society"
+        )
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_document(str(tmp_path / "absent.txt"))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert read_document(str(path), mmap_threshold=0) == ""
