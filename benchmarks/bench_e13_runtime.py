@@ -44,6 +44,10 @@ Series reproduced:
   the *transport* — the pickled-task-pipe copy chain versus one
   shared-memory pack and a lazy worker-side decode; a few planted
   full-match documents keep the asserted outputs nonempty;
+* the fault-tolerance tax (E13g): the E13a workload on a fleet with
+  per-task deadlines and heartbeats enabled (``task_timeout=30``)
+  versus disabled — no fault fires, so the delta is the bookkeeping
+  overhead of the healthy path (target <= 3%);
 * output equality is asserted, not sampled.
 """
 
@@ -294,7 +298,62 @@ def run() -> list[Table]:
     transport_table = _run_e13f()
     if transport_table is not None:
         tables.append(transport_table)
+    tables.append(_run_e13g())
     return tables
+
+
+def _run_e13g():
+    """E13g: the price of fault tolerance on the healthy path.
+
+    The E13a workload (dictionary automaton over log lines) served by a
+    2-worker fleet, deadlines disabled (``task_timeout=None`` — the
+    collector never reads heartbeats) versus enabled (``task_timeout=30``
+    — workers stamp per-task heartbeats and the collector checks every
+    outstanding task each poll).  No fault fires, so the delta is pure
+    bookkeeping overhead; the timeouts/quarantines columns must read 0.
+    """
+    automaton = workload_automaton()
+    table = Table(
+        "E13g  deadline + heartbeat overhead (2-worker fleet, E13a "
+        "workload): task_timeout off vs 30s",
+        ["docs", "off (s)", "on (s)", "off docs/s", "on docs/s",
+         "overhead %", "timeouts", "quarantines"],
+    )
+    for n_docs in (800, 1600):
+        docs = log_corpus(n_docs)
+        serial = list(CompiledSpanner(automaton).evaluate_many(docs))
+        timings = {}
+        counters = {}
+        for label, timeout in (("off", None), ("on", 30.0)):
+            with SpannerService(
+                workers=2, chunk_size=16, task_timeout=timeout
+            ) as service:
+                qid = service.register(CompiledSpanner(automaton))
+                service.submit(qid, docs).result()  # warm: artifact shipped
+                elapsed, out = _timed_best(
+                    lambda: service.submit(qid, docs).result(), repeat=5
+                )
+                counters[label] = (
+                    service.tasks_timed_out,
+                    len(service.quarantined_queries),
+                )
+            assert out == serial, f"deadline={label} output diverged"
+            timings[label] = elapsed
+        assert counters["on"] == (0, 0), "healthy path tripped a deadline"
+        overhead = (timings["on"] / timings["off"] - 1.0) * 100.0
+        table.add(
+            n_docs, timings["off"], timings["on"],
+            n_docs / timings["off"], n_docs / timings["on"],
+            overhead, counters["on"][0], counters["on"][1],
+        )
+    table.note(
+        "identical tuple sequences asserted with deadlines on and off; "
+        "no injected faults, so timeouts/quarantines must be 0 — "
+        "target: <= 3% overhead with deadlines enabled (best-of-5 "
+        "passes per cell; single-pass noise on shared runners is wider "
+        "than the effect, so read the sign across corpus sizes)"
+    )
+    return table
 
 
 def _run_e13f():

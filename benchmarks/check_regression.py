@@ -36,6 +36,13 @@ With fewer than two records — including a missing or empty results
 directory, the state of a freshly reset trajectory's first run —
 the gate is skipped with a clear message and exit 0, never a crash.
 
+Besides the gates, the checker reports (informationally, never as an
+exit-code failure) the newest record's fleet fault counters — the
+``timeouts`` / ``quarantines`` columns of the E13g table.  The E13g
+run is the healthy path, so both must read 0; a nonzero total flags
+the record's timings as contaminated by deadline retries.  Records
+predating E13g simply skip the report.
+
 Timing on shared CI runners is noisy; 30% is deliberately far above
 run-to-run jitter (single-digit percents on these workloads) so the
 check only fires on real regressions.
@@ -88,6 +95,66 @@ def table_metric(
             ]
             return median(values) if values else None
     return None
+
+
+def table_total(
+    record: dict, experiment: str, table_prefix: str, column: str
+) -> float | None:
+    """Sum of ``column`` over the rows of one experiment table.
+
+    Counter columns (timeouts fired, queries quarantined) aggregate by
+    total, not median — one bad row must not be voted away.  ``None``
+    when the record predates the experiment/table/column.
+    """
+    for exp in record.get("experiments", ()):
+        if exp.get("experiment") != experiment:
+            continue
+        for table in exp.get("tables", ()):
+            if not str(table.get("title", "")).startswith(table_prefix):
+                continue
+            headers = list(table.get("headers", ()))
+            if column not in headers:
+                return None
+            idx = headers.index(column)
+            values = [
+                float(row[idx])
+                for row in table.get("rows", ())
+                if isinstance(row[idx], (int, float))
+            ]
+            return sum(values) if values else None
+    return None
+
+
+#: Fault-tolerance counters stamped into the E13g table since PR 6.
+FLEET_COUNTER_COLUMNS = ("timeouts", "quarantines")
+
+
+def report_fleet_counters(records: list[tuple[str, dict]]) -> None:
+    """Informational: the newest record's fleet fault counters.
+
+    The E13g table runs the healthy path with deadlines enabled, so
+    both counters must read 0; a nonzero value means deadlines tripped
+    *during the benchmark run* and its timings include retries.  That
+    is a data-quality notice for whoever reads the trajectory — never
+    an exit-code failure, and records predating E13g stay silent.
+    """
+    newest_name, newest = records[-1]
+    totals = {
+        column: table_total(newest, "E13", "E13g", column)
+        for column in FLEET_COUNTER_COLUMNS
+    }
+    if all(value is None for value in totals.values()):
+        return  # record predates the E13g table
+    rendered = ", ".join(
+        f"{column}={int(value or 0)}" for column, value in totals.items()
+    )
+    print(f"perf-trajectory [fleet-counters]: newest {newest_name}: {rendered}")
+    if any(value for value in totals.values()):
+        print(
+            "  notice: nonzero fault counters — deadlines tripped during "
+            "the benchmark run, so its fleet timings include retries; "
+            "treat this record's throughput numbers with suspicion"
+        )
 
 
 def rss_metric(record: dict, field: str) -> float | None:
@@ -286,6 +353,8 @@ def check(
         )
         return 0
     records = load_records(results_dir)
+    if records:
+        report_fleet_counters(records)
     if len(records) < 2:
         print(
             f"perf-trajectory: {len(records)} record(s) in {results_dir} — "

@@ -14,8 +14,9 @@ blocking the event loop.
 The tour below registers three queries — an ERROR-component extractor,
 an error-code extractor and a *string-equality* (dedup) query running
 the fused equality runtime — and serves them all from one 2-worker
-fleet, first through sync futures, then through asyncio, then across a
-forced worker recycle.
+fleet, first through sync futures, then through asyncio — prints the
+``health()`` snapshot a liveness endpoint would poll — then serves a
+final batch across a forced worker recycle.
 """
 
 import asyncio
@@ -107,6 +108,25 @@ def main() -> None:
 
         asyncio.run(serve())
         print(f"fleet stats: {service!r}")
+
+        # -- health snapshot: what a liveness endpoint would poll ----------
+        health = service.health()
+        print("\nhealth snapshot:")
+        for worker in health["workers"]:
+            beat = worker["heartbeat_age"]
+            print(
+                f"  worker {worker['worker_id']} pid={worker['pid']} "
+                f"alive={worker['alive']} "
+                f"in_flight={worker['tasks_in_flight']} "
+                f"served={worker['tasks_assigned']} "
+                f"heartbeat={'idle' if beat is None else f'{beat:.2f}s ago'}"
+            )
+        print(
+            f"  backlog={health['backlog_depth']} "
+            f"outstanding={health['tasks_outstanding']} "
+            f"quarantined={list(health['quarantined_queries']) or 'none'}"
+        )
+        print(f"  counters: {health['counters']}")
 
     # -- worker recycling: results are identical across worker churn -------
     with SpannerService(

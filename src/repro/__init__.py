@@ -25,10 +25,15 @@ from .errors import (
     EvaluationError,
     InvalidSpanError,
     NotFunctionalError,
+    OverloadedError,
     QueryError,
+    QueryQuarantinedError,
     RegexParseError,
     SchemaError,
+    ServiceClosedError,
     SpannerError,
+    TaskTimeoutError,
+    TransientTaskError,
 )
 from .spans import Span, SpanRelation, SpanTuple
 from .regex import parse, is_functional, check_functional
@@ -85,6 +90,11 @@ __all__ = [
     "SchemaError",
     "QueryError",
     "EvaluationError",
+    "TaskTimeoutError",
+    "QueryQuarantinedError",
+    "OverloadedError",
+    "ServiceClosedError",
+    "TransientTaskError",
 ]
 
 

@@ -16,7 +16,9 @@ Subcommands:
   the task pipe); ``--transport {auto,shm,pipe}`` picks how in-memory
   documents reach workers (shared-memory segments vs the task pipe),
   and ``--encoding``/``--errors`` decode legacy corpora without
-  crashing mid-stream;
+  crashing mid-stream; ``--task-timeout`` bounds every dispatched
+  chunk (a hung worker is killed and replaced instead of stalling the
+  run) and ``--on-overload`` picks the load-shedding policy;
 * ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
   an optional ``--head`` and optional ``--equal`` groups; with several
   ``--file`` arguments the per-query compilation is shared across the
@@ -139,6 +141,25 @@ def _extract_prefix(
     return " ".join(parts) if parts else None
 
 
+def _fleet_opts(args: argparse.Namespace) -> dict:
+    """The fault-tolerance knobs every fleet construction site shares.
+
+    Validated here so a bad value prints ``error: ...`` (exit 2) like
+    every other CLI mistake instead of a constructor traceback.  A task
+    that then exceeds the deadline surfaces as
+    :class:`~repro.errors.TaskTimeoutError` — a ``SpannerError``, so
+    ``main()`` renders it the same way.
+    """
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        raise SpannerError(
+            f"--task-timeout must be > 0, got {args.task_timeout}"
+        )
+    return {
+        "task_timeout": args.task_timeout,
+        "on_overload": args.on_overload,
+    }
+
+
 def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
     """Serve several formulas over one worker fleet (``--workers N``).
 
@@ -158,6 +179,7 @@ def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
         transport=args.transport,
         encoding=args.encoding,
         errors=args.errors,
+        **_fleet_opts(args),
     ) as service:
         query_ids = [
             service.register(CompiledSpanner(formula)) for formula in formulas
@@ -227,6 +249,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 transport=args.transport,
                 encoding=args.encoding,
                 errors=args.errors,
+                **_fleet_opts(args),
             )
             # Push --limit into the workers: a capped extraction must
             # stop enumerating at the cap there, as the serial path
@@ -306,6 +329,7 @@ def _query_parallel(
         transport=args.transport,
         encoding=args.encoding,
         errors=args.errors,
+        **_fleet_opts(args),
     ) as pool:
         streams = pool.evaluate_many(
             (text for _name, text in docs), limit=limit
@@ -446,6 +470,27 @@ def build_parser() -> argparse.ArgumentParser:
                 "(shared memory above a size threshold, pipe below), "
                 "shm (always shared memory), pipe (always the task "
                 "pipe); --file corpora ship paths either way"
+            ),
+        )
+        p.add_argument(
+            "--task-timeout",
+            type=float,
+            metavar="SECONDS",
+            help=(
+                "per-task deadline for --workers fleets: a chunk "
+                "running longer has its worker killed and replaced and "
+                "the run fails with a timeout error instead of hanging "
+                "forever (default: no deadline)"
+            ),
+        )
+        p.add_argument(
+            "--on-overload",
+            choices=("block", "shed_oldest", "reject"),
+            default="block",
+            help=(
+                "what a --workers fleet does when its in-flight bound "
+                "is hit: block submission (default), shed the oldest "
+                "queued chunk, or reject the new one"
             ),
         )
 

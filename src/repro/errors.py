@@ -4,7 +4,12 @@ Every error raised by this package derives from :class:`SpannerError`, so
 downstream code can catch a single base class.  The subclasses mirror the
 stages of the pipeline: parsing regex formulas, checking functionality
 (Theorem 2.4 / Theorem 2.7 of the paper), constructing queries, and
-evaluating them.
+evaluating them — plus the serving-fleet fault-tolerance errors
+(:class:`TaskTimeoutError`, :class:`QueryQuarantinedError`,
+:class:`OverloadedError`, :class:`ServiceClosedError`,
+:class:`TransientTaskError`), which exist because combined-complexity
+intractability (Theorems 4.5/4.9) means a fleet serving arbitrary
+queries must assume some tasks legitimately never finish.
 """
 
 from __future__ import annotations
@@ -67,3 +72,87 @@ class QueryError(SpannerError):
 
 class EvaluationError(SpannerError):
     """Raised when evaluation cannot proceed (e.g. exceeded a budget)."""
+
+
+class TaskTimeoutError(EvaluationError, TimeoutError):
+    """A fleet task ran past its deadline and its worker was killed.
+
+    Raised through the task's future by
+    :class:`~repro.runtime.service.SpannerService` when a worker's
+    heartbeat shows the task executing for longer than its effective
+    deadline (per-call override, else per-query override, else the
+    service's ``task_timeout``).  The hung worker is killed and
+    replaced; the task is **not** re-dispatched — a deadline that fired
+    once would almost certainly fire again, and blind re-dispatch
+    would hang the replacement worker too.  Also a
+    :class:`TimeoutError`, so generic timeout handling catches it.
+    """
+
+
+class QueryQuarantinedError(SpannerError):
+    """A query's circuit breaker is open: submissions fail fast.
+
+    A query whose tasks keep failing at the fleet level (deadline
+    timeouts, workers lost to crashes, exhausted transient retries)
+    trips a per-query breaker after ``quarantine_after`` consecutive
+    failures.  While open, new submissions raise this error immediately
+    — no worker time is spent on a query that has proven pathological.
+    After ``quarantine_cooldown`` seconds one *probe* submission is
+    admitted (half-open): success closes the breaker, failure re-arms
+    it.  :meth:`~repro.runtime.service.SpannerService.reinstate` is the
+    manual escape hatch.
+
+    Attributes:
+        query_id: the quarantined query's registered id.
+        failures: consecutive fleet-level failures recorded.
+        retry_after: seconds until the next half-open probe is admitted
+            (0.0 when a probe is already admissible).
+    """
+
+    def __init__(self, query_id: str, failures: int, retry_after: float):
+        super().__init__(
+            f"query {query_id!r} is quarantined after {failures} "
+            f"consecutive failures (next probe in {retry_after:.1f}s; "
+            "reinstate() to restore immediately)"
+        )
+        self.query_id = query_id
+        self.failures = failures
+        self.retry_after = retry_after
+
+
+class OverloadedError(SpannerError):
+    """The fleet shed this task under its load-shedding policy.
+
+    Raised when ``max_in_flight`` chunks are already outstanding and
+    the service's ``on_overload`` policy is ``"reject"`` (the submitter
+    gets the error synchronously) or ``"shed_oldest"`` (the *oldest
+    backlogged* task's future fails with it to make room for the new
+    submission).  With the default ``"block"`` policy this error is
+    never raised — submission blocks instead.
+    """
+
+
+class ServiceClosedError(SpannerError, RuntimeError):
+    """The serving fleet is closed (or closing) and cannot take work.
+
+    Raised on submission/registration after
+    :meth:`~repro.runtime.service.SpannerService.close`, and through
+    any future still unresolved when ``close(drain=True, timeout=...)``
+    gives up waiting — those futures are *failed*, never left pending.
+    Subclasses :class:`RuntimeError` for compatibility with callers
+    that caught the pre-fault-tolerance closed-service error.
+    """
+
+
+class TransientTaskError(SpannerError):
+    """A worker-side failure that is safe to re-dispatch.
+
+    Shipped back by workers for failures that say nothing about the
+    query or the document — e.g. a shared-memory attach race where the
+    segment was not yet (or no longer) visible to the worker, or an
+    injected transient fault from the chaos harness
+    (:mod:`repro.runtime.faults`).  The driver re-dispatches the task
+    with capped exponential backoff instead of failing its future;
+    only after ``MAX_TASK_ATTEMPTS`` total attempts does the error
+    surface to the caller (and count toward the query's breaker).
+    """

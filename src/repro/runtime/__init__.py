@@ -23,8 +23,14 @@
 * :mod:`.service` — :class:`SpannerService`, the long-lived queue-fed
   worker fleet serving *multiple* registered queries (keyed by query
   fingerprint into each worker's engine table) with worker recycling,
-  crash re-dispatch, an asyncio front-end and transport negotiation
+  crash re-dispatch with backoff, per-task deadlines over a heartbeat
+  channel, per-query quarantine breakers, overload shedding policies,
+  an asyncio front-end and transport negotiation
   (``transport={"auto","shm","pipe"}``);
+* :mod:`.faults` — :class:`FaultPlan` / :class:`FaultSpec`, the
+  deterministic fault-injection harness the chaos suite threads into
+  fleet workers (hangs, crashes, slow decodes, shm attach failures at
+  chosen task indices);
 * :mod:`.parallel` — :class:`ParallelSpanner`, multiprocess corpus
   sharding over one pickled/rebuilt artifact (``AutomatonTables`` or a
   ``CompiledEqualityQuery``) — since PR 4 a thin single-query session
@@ -56,6 +62,8 @@ __all__ = [
     "SharedMemoryTransport",
     "TransportUnavailableError",
     "shm_available",
+    "FaultPlan",
+    "FaultSpec",
 ]
 
 
@@ -85,4 +93,8 @@ def __getattr__(name: str):
         from . import transport
 
         return getattr(transport, name)
+    if name in ("FaultPlan", "FaultSpec"):
+        from . import faults
+
+        return getattr(faults, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

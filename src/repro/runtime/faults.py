@@ -1,0 +1,169 @@
+"""Deterministic fault injection for the serving fleet.
+
+The chaos suite in ``tests/test_faults.py`` needs to reproduce the
+failure modes the fleet defends against — hangs, crashes, slow decodes,
+shared-memory attach races — at *exactly* chosen points, every run.
+Randomised chaos finds bugs once; deterministic chaos keeps them fixed.
+
+A :class:`FaultPlan` is a picklable map from **global task index** to a
+:class:`FaultSpec`.  Task indices are assigned by the driver in
+submission order (``SpannerService`` numbers tasks with a process-wide
+counter), so a plan like "crash on task 3, hang on task 7" means the
+same thing regardless of which worker the tasks land on.  The plan is
+shipped to every worker at spawn time and consulted once per attempt,
+*before* the task body runs:
+
+``crash``
+    the worker calls ``os._exit`` — simulates a segfault / OOM kill.
+``hang``
+    the worker sleeps far past any reasonable deadline — simulates an
+    intractable document (Theorems 4.5/4.9 say these exist for any
+    budget) or a stuck syscall.  The heartbeat keeps the *old* stamp,
+    so the collector sees the task age past its deadline.
+``slow``
+    the worker sleeps briefly, then completes normally — simulates a
+    slow decode; results must still be byte-identical.
+``shm_attach``
+    the worker raises :class:`~repro.errors.TransientTaskError` —
+    simulates the shared-memory attach race where a segment is not yet
+    visible in the worker's namespace; the driver must re-dispatch.
+
+Each spec may be limited to specific *attempts* (1-based), so a plan
+can express "fail transiently on the first two attempts, succeed on
+the third" and the retry/backoff path is exercised end to end.
+
+Plans are inert by default: a worker with no plan (the production
+configuration) pays a single ``None`` check per task.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..errors import TransientTaskError
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+#: Recognised fault kinds, in the order the docstring introduces them.
+FAULT_KINDS = ("crash", "hang", "slow", "shm_attach")
+
+#: How long a "hang" sleeps.  Long enough that any test deadline fires
+#: first; short enough that a kill-path bug fails the suite instead of
+#: wedging CI forever.
+HANG_SECONDS = 600.0
+
+#: Exit code used by injected crashes, distinguishable from a Python
+#: traceback (1) and a signal death (negative) in worker post-mortems.
+CRASH_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what happens, for how long, on which attempts.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        seconds: sleep duration for ``hang``/``slow`` (defaults: a
+            very long time for ``hang``, 0.05s for ``slow``).
+        attempts: 1-based attempt numbers the fault applies to, or
+            ``None`` for every attempt.  ``attempts=(1,)`` means "fail
+            once, then succeed" — the canonical transient fault.
+    """
+
+    kind: str
+    seconds: float | None = None
+    attempts: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+    def applies_to(self, attempt: int) -> bool:
+        return self.attempts is None or attempt in self.attempts
+
+    def trigger(self) -> None:
+        """Execute the fault in the worker process.  May not return."""
+        if self.kind == "crash":
+            # A real segfault gives the interpreter no chance to flush,
+            # run atexit hooks, or release shm handles; _exit matches.
+            os._exit(CRASH_EXIT_CODE)
+        elif self.kind == "hang":
+            time.sleep(HANG_SECONDS if self.seconds is None else self.seconds)
+        elif self.kind == "slow":
+            time.sleep(0.05 if self.seconds is None else self.seconds)
+        elif self.kind == "shm_attach":
+            raise TransientTaskError(
+                "injected fault: shared-memory segment not attachable"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of faults, keyed by global task index.
+
+    Build one with the fluent helpers and pass it to
+    ``SpannerService(fault_plan=...)``::
+
+        plan = (FaultPlan()
+                .crash(task=3)
+                .hang(task=7)
+                .shm_fault(task=9, attempts=(1, 2)))
+
+    The plan is pickled into each worker at spawn; mutating it after
+    the service starts has no effect on already-running workers.
+    """
+
+    specs: dict[int, FaultSpec] = field(default_factory=dict)
+
+    # -- builders ------------------------------------------------------
+
+    def add(self, task: int, spec: FaultSpec) -> "FaultPlan":
+        if task < 0:
+            raise ValueError(f"task index must be >= 0, got {task}")
+        self.specs[task] = spec
+        return self
+
+    def crash(self, task: int, attempts: tuple[int, ...] | None = None) -> "FaultPlan":
+        return self.add(task, FaultSpec("crash", attempts=attempts))
+
+    def hang(
+        self,
+        task: int,
+        seconds: float | None = None,
+        attempts: tuple[int, ...] | None = None,
+    ) -> "FaultPlan":
+        return self.add(task, FaultSpec("hang", seconds=seconds, attempts=attempts))
+
+    def slow(
+        self,
+        task: int,
+        seconds: float | None = None,
+        attempts: tuple[int, ...] | None = None,
+    ) -> "FaultPlan":
+        return self.add(task, FaultSpec("slow", seconds=seconds, attempts=attempts))
+
+    def shm_fault(
+        self, task: int, attempts: tuple[int, ...] | None = None
+    ) -> "FaultPlan":
+        return self.add(task, FaultSpec("shm_attach", attempts=attempts))
+
+    # -- worker side ---------------------------------------------------
+
+    def apply(self, task_id: int, attempt: int) -> None:
+        """Trigger the fault for (task_id, attempt), if any is planned.
+
+        Called by the worker loop just after stamping the heartbeat and
+        before touching the payload, so injected faults model failures
+        *during* task execution.  May crash the process, sleep, or
+        raise :class:`~repro.errors.TransientTaskError`.
+        """
+        spec = self.specs.get(task_id)
+        if spec is not None and spec.applies_to(attempt):
+            spec.trigger()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

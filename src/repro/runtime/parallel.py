@@ -72,7 +72,7 @@ from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
-from .service import SpannerService
+from .service import OVERLOAD_POLICIES, SpannerService
 from .transport import DEFAULT_SHM_THRESHOLD, create_transport, read_document
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -126,6 +126,16 @@ class ParallelSpanner:
         encoding / errors: codec for file-backed documents
             (:meth:`evaluate_files`, serial and worker-side alike) and
             for shared-memory chunk packing.
+        task_timeout: per-task execution deadline in seconds for the
+            underlying fleet (``None`` = no deadline).  A chunk past it
+            raises :class:`~repro.errors.TaskTimeoutError` out of the
+            consuming iterator; the hung worker is killed and replaced
+            underneath, so the session stays usable.  Not enforced on
+            the ``workers=1`` serial path — there is no worker to kill.
+        on_overload: the fleet's load-shedding policy past its
+            in-flight bound (``"block"``, ``"shed_oldest"``,
+            ``"reject"``); see :class:`SpannerService`.  The session's
+            own ``max_pending`` backpressure usually fills first.
     """
 
     def __init__(
@@ -143,6 +153,8 @@ class ParallelSpanner:
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
         encoding: str = "utf-8",
         errors: str = "strict",
+        task_timeout: float | None = None,
+        on_overload: str = "block",
     ):
         if not isinstance(spanner, (CompiledSpanner, CompiledEqualityQuery)):
             spanner = CompiledSpanner(spanner)
@@ -171,6 +183,18 @@ class ParallelSpanner:
         self.shm_threshold = shm_threshold
         self.encoding = encoding
         self.errors = errors
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        self.task_timeout = task_timeout
+        # Validate now, like the transport probe above — the fleet
+        # itself spins up lazily, and a typo'd policy should not wait
+        # for the first sharded call to surface.
+        if on_overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"on_overload must be one of {OVERLOAD_POLICIES}, "
+                f"got {on_overload!r}"
+            )
+        self.on_overload = on_overload
         self._pool: "SpannerService | None" = None
         self._query_id: str | None = None
 
@@ -196,6 +220,8 @@ class ParallelSpanner:
             shm_threshold=self.shm_threshold,
             encoding=self.encoding,
             errors=self.errors,
+            task_timeout=self.task_timeout,
+            on_overload=self.on_overload,
         )
         service.start()
         self._query_id = service.register(self.spanner)

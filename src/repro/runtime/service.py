@@ -42,6 +42,23 @@ fleet:
   task is dropped, so tuples are neither lost nor duplicated); and
   :meth:`close` drains in-flight work before stopping the fleet
   (``drain=False`` terminates immediately instead).
+* **Fault tolerance.**  Worker *death* is survived by re-dispatch (with
+  capped exponential backoff), worker *hangs* by per-task deadlines: a
+  heartbeat channel (each worker stamps a shared value at task start)
+  lets the collector spot a task running past its deadline, kill and
+  replace the worker, and fail exactly that task's future with
+  :class:`~repro.errors.TaskTimeoutError` — deliberately *not*
+  re-dispatching it, since Theorems 4.5/4.9 mean some query/document
+  pairs legitimately never finish and would hang the replacement too.
+  A per-query circuit breaker quarantines repeat offenders
+  (:class:`~repro.errors.QueryQuarantinedError` fail-fast, half-open
+  probes after a cool-down, :meth:`reinstate` to restore manually),
+  and the ``on_overload`` policy picks what happens past the
+  ``max_in_flight`` high-water mark: ``"block"`` (backpressure),
+  ``"reject"`` (:class:`~repro.errors.OverloadedError` to the
+  submitter) or ``"shed_oldest"`` (the oldest backlogged task is
+  failed to make room).  :mod:`repro.runtime.faults` injects all of
+  these failure modes deterministically for the chaos suite.
 * **Asyncio front-end.**  ``await service.extract(query_id, docs)``
   evaluates a batch without blocking the event loop;
   :meth:`submit` returns a :class:`concurrent.futures.Future` usable
@@ -80,15 +97,24 @@ import os
 import pickle
 import queue as queue_module
 import threading
+import time
 from collections import deque
 from concurrent.futures import CancelledError, Future, InvalidStateError, wait
 from itertools import count, islice
 from typing import TYPE_CHECKING, Awaitable, Iterable, Sequence
 
+from ..errors import (
+    OverloadedError,
+    QueryQuarantinedError,
+    ServiceClosedError,
+    TaskTimeoutError,
+    TransientTaskError,
+)
 from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
+from .faults import FaultPlan
 from .tables import AutomatonTables
 from .transport import (
     DEFAULT_SHM_THRESHOLD,
@@ -115,6 +141,28 @@ DEFAULT_CHUNK_SIZE = 16
 #: worker-killing ("poison") task from crashing replacement workers
 #: forever.
 MAX_TASK_ATTEMPTS = 3
+
+#: Re-dispatch backoff: attempt ``n`` (1-based) waits
+#: ``RETRY_BACKOFF_BASE * 2**(n-1)`` seconds, capped.  The base sits
+#: just above the collector's poll interval so the first retry is
+#: nearly immediate while repeat offenders stop monopolising workers.
+RETRY_BACKOFF_BASE = 0.05
+RETRY_BACKOFF_CAP = 1.0
+
+#: What ``submit`` does once ``max_in_flight`` chunks are outstanding.
+OVERLOAD_POLICIES = ("block", "shed_oldest", "reject")
+
+#: Fleet-level failures (timeouts, lost workers, exhausted transient
+#: retries) before a query's circuit breaker opens.
+DEFAULT_QUARANTINE_AFTER = 3
+
+#: Seconds a quarantined query waits before a half-open probe is let
+#: through.
+DEFAULT_QUARANTINE_COOLDOWN = 30.0
+
+#: Distinguishes "caller passed None" (disable the deadline) from
+#: "caller passed nothing" (inherit the query/service default).
+_UNSET = object()
 
 #: Tasks a worker may hold (one running + prefetch) before dispatch
 #: falls back to the service backlog.  Keeping per-worker queues this
@@ -195,8 +243,10 @@ def _fleet_worker(
     worker_id: int,
     task_queue,
     result_queue,
+    heartbeat=None,
     encoding: str = "utf-8",
     errors: str = "strict",
+    fault_plan: "FaultPlan | None" = None,
 ) -> None:
     """The worker loop: block on the task queue until told to stop.
 
@@ -204,14 +254,37 @@ def _fleet_worker(
     serving); only process death — crash, kill, recycle stop — ends the
     loop.  Results and failures go back tagged with the task id, so the
     driver resolves exactly the future that asked.
+
+    ``heartbeat`` is a shared ``Array('d', 2)`` the worker stamps with
+    ``(task_id, monotonic start time)`` when a task begins and
+    ``(-1, now)`` when it ends — the driver's only window into a worker
+    that has stopped answering.  ``time.monotonic`` is system-wide on
+    the platforms we support, so driver-side age arithmetic is valid.
+    The idle stamp lands *before* the result is enqueued: once a result
+    is visible, the heartbeat can no longer name its task, so the
+    deadline scan cannot kill a worker for work it already finished
+    (the reverse race — kill just after the stamp, result in flight —
+    is handled driver-side by at-most-once straggler dropping).
+
+    ``fault_plan`` is the deterministic chaos hook (tests only); it
+    runs after the heartbeat stamp so injected hangs age exactly like
+    real ones.
     """
     engines: dict[str, object] = {}
     while True:
         msg = task_queue.get()
         if msg[0] == "stop":
             break
-        _kind, task_id, query_id, payload, op, items, extra = msg
+        _kind, task_id, attempt, query_id, payload, op, items, extra = msg
+        if heartbeat is not None:
+            with heartbeat.get_lock():
+                heartbeat[0] = float(task_id)
+                heartbeat[1] = time.monotonic()
         try:
+            # Materialize a shipped artifact *before* any injected
+            # fault: the driver marks the query shipped the moment the
+            # message is enqueued, so a retry of this task may arrive
+            # with ``payload=None`` — the engine must already be here.
             engine = engines.get(query_id)
             if engine is None:
                 if payload is None:
@@ -221,15 +294,22 @@ def _fleet_worker(
                     )
                 engine = _materialize(pickle.loads(payload))
                 engines[query_id] = engine
+            if fault_plan is not None:
+                fault_plan.apply(task_id, attempt)
             out = _run_op(engine, op, items, extra, encoding, errors)
         except Exception as err:
             try:  # ship the real exception when it pickles
                 pickle.dumps(err)
             except Exception:
                 err = RuntimeError(f"{type(err).__name__}: {err}")
-            result_queue.put(("fail", worker_id, task_id, err))
+            result = ("fail", worker_id, task_id, err)
         else:
-            result_queue.put(("done", worker_id, task_id, out))
+            result = ("done", worker_id, task_id, out)
+        if heartbeat is not None:
+            with heartbeat.get_lock():
+                heartbeat[0] = -1.0
+                heartbeat[1] = time.monotonic()
+        result_queue.put(result)
 
 
 # -- Driver side --------------------------------------------------------------
@@ -247,6 +327,7 @@ class _Task:
     __slots__ = (
         "task_id", "query_id", "op", "items", "extra",
         "future", "worker", "attempts", "done", "bounded",
+        "deadline", "not_before",
     )
 
     def __init__(
@@ -257,6 +338,7 @@ class _Task:
         items: "list[str] | ShmChunk",
         extra: int | None,
         bounded: bool,
+        deadline: float | None = None,
     ):
         self.task_id = task_id
         self.query_id = query_id
@@ -268,25 +350,56 @@ class _Task:
         self.attempts = 0
         self.done = False
         self.bounded = bounded  # holds one max_in_flight slot
+        self.deadline = deadline  # seconds of *execution* per attempt
+        self.not_before = 0.0  # monotonic re-dispatch eligibility (backoff)
 
 
 class _WorkerHandle:
     """Driver-side record of one worker process."""
 
     __slots__ = (
-        "worker_id", "process", "task_queue", "shipped",
+        "worker_id", "process", "task_queue", "heartbeat", "shipped",
         "in_flight", "assigned", "retiring", "stopped",
     )
 
-    def __init__(self, worker_id: int, process: "BaseProcess", task_queue):
+    def __init__(
+        self, worker_id: int, process: "BaseProcess", task_queue, heartbeat
+    ):
         self.worker_id = worker_id
         self.process = process
         self.task_queue = task_queue
+        self.heartbeat = heartbeat  # shared (running task_id, stamp)
         self.shipped: set[str] = set()  # query ids this worker holds
         self.in_flight: dict[int, _Task] = {}
         self.assigned = 0  # lifetime task count (drives recycling)
         self.retiring = False  # no new assignments; stop when drained
-        self.stopped = False  # stop sent (or crash observed)
+        self.stopped = False  # stop sent (or crash/kill observed)
+
+    def read_heartbeat(self) -> tuple[int, float]:
+        """The (running task id, stamp) pair; task id is -1 when idle."""
+        with self.heartbeat.get_lock():
+            return int(self.heartbeat[0]), self.heartbeat[1]
+
+
+class _Breaker:
+    """Per-query circuit-breaker state (guarded by the service lock).
+
+    closed (``opened_at is None``): counting consecutive fleet-level
+    failures.  open: submissions fail fast until the cool-down elapses,
+    then exactly one probe is admitted (``probe_at`` stamps it); the
+    probe's success closes the breaker, its failure re-arms the
+    cool-down.  ``probe_at`` is a timestamp rather than a flag so a
+    probe that never resolves (shed, cancelled, lost in a close) merely
+    delays the next probe by one cool-down instead of wedging the
+    breaker half-open forever.
+    """
+
+    __slots__ = ("failures", "opened_at", "probe_at")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: float | None = None
+        self.probe_at: float | None = None
 
 
 class SpannerService:
@@ -321,6 +434,29 @@ class SpannerService:
             handler.  In-memory documents are never re-encoded with
             this codec — the shm transport uses its own fixed lossless
             wire codec.
+        task_timeout: default per-task execution deadline in seconds;
+            ``None`` (the default) never times out.  Override per query
+            (``register(..., timeout=...)``) or per call
+            (``submit*(..., timeout=...)``); the most specific setting
+            wins, and an explicit ``timeout=None`` at a more specific
+            level *disables* the inherited deadline.  A task past its
+            deadline has its worker killed and replaced and its future
+            failed with :class:`~repro.errors.TaskTimeoutError`.
+        quarantine_after: consecutive fleet-level failures (timeouts,
+            lost workers, exhausted transient retries — not ordinary
+            per-task exceptions) before a query is quarantined.
+        quarantine_cooldown: seconds a quarantined query waits before a
+            half-open probe submission is admitted.
+        on_overload: policy once ``max_in_flight`` chunks are
+            outstanding — ``"block"`` (default: submission blocks, the
+            pre-fault-tolerance backpressure), ``"reject"`` (submission
+            raises :class:`~repro.errors.OverloadedError`) or
+            ``"shed_oldest"`` (the oldest *backlogged* task's future is
+            failed with ``OverloadedError`` to make room; falls back to
+            blocking when nothing is sheddable).
+        fault_plan: a :class:`~repro.runtime.faults.FaultPlan` shipped
+            to every worker — deterministic chaos for the test suite;
+            leave ``None`` in production.
 
     The service starts lazily on first use (or explicitly via
     :meth:`start` / ``with service:``) and must be closed —
@@ -341,6 +477,11 @@ class SpannerService:
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
         encoding: str = "utf-8",
         errors: str = "strict",
+        task_timeout: float | None = None,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        quarantine_cooldown: float = DEFAULT_QUARANTINE_COOLDOWN,
+        on_overload: str = "block",
+        fault_plan: "FaultPlan | None" = None,
     ):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
@@ -358,6 +499,26 @@ class SpannerService:
                 f"max_in_flight must be >= 1, got {max_in_flight}"
             )
         self.max_in_flight = max_in_flight
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        self.task_timeout = task_timeout
+        if quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        self.quarantine_after = quarantine_after
+        if quarantine_cooldown < 0:
+            raise ValueError(
+                f"quarantine_cooldown must be >= 0, got {quarantine_cooldown}"
+            )
+        self.quarantine_cooldown = quarantine_cooldown
+        if on_overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"on_overload must be one of {OVERLOAD_POLICIES}, "
+                f"got {on_overload!r}"
+            )
+        self.on_overload = on_overload
+        self.fault_plan = fault_plan
         self.mp_context = mp_context
         self.encoding = encoding
         self.errors = errors
@@ -370,6 +531,8 @@ class SpannerService:
 
         self._lock = threading.RLock()
         self._registry: dict[str, bytes] = {}  # query id -> pickled artifact
+        self._query_timeouts: dict[str, float | None] = {}  # per-query override
+        self._breakers: dict[str, _Breaker] = {}  # query id -> breaker
         self._workers: list[_WorkerHandle] = []
         self._all_processes: list["BaseProcess"] = []
         self._tasks: dict[int, _Task] = {}  # every unresolved task
@@ -390,6 +553,10 @@ class SpannerService:
         self._completed = 0
         self._recycled = 0
         self._crashed = 0
+        self._timed_out = 0  # tasks failed by their deadline
+        self._timeout_kills = 0  # workers killed for a hung task
+        self._retried = 0  # re-dispatches (crash + transient)
+        self._shed = 0  # tasks failed by the shed_oldest policy
 
     # -- Introspection ------------------------------------------------------
     @property
@@ -412,6 +579,99 @@ class SpannerService:
     def workers_crashed(self) -> int:
         with self._lock:
             return self._crashed
+
+    @property
+    def tasks_timed_out(self) -> int:
+        with self._lock:
+            return self._timed_out
+
+    @property
+    def tasks_retried(self) -> int:
+        with self._lock:
+            return self._retried
+
+    @property
+    def tasks_shed(self) -> int:
+        with self._lock:
+            return self._shed
+
+    @property
+    def quarantined_queries(self) -> tuple[str, ...]:
+        """Query ids whose circuit breaker is currently open."""
+        with self._lock:
+            return tuple(
+                qid
+                for qid, b in self._breakers.items()
+                if b.opened_at is not None
+            )
+
+    def health(self) -> dict:
+        """A point-in-time fleet health snapshot (plain dict, loggable).
+
+        Per-worker: liveness, tasks in flight, lifetime assignments,
+        the task it is executing right now (from the heartbeat) and how
+        long ago that heartbeat was stamped — a large ``heartbeat_age``
+        on a worker with a ``running_task`` is the signature of a hang.
+        Fleet-wide: backlog depth, outstanding tasks, open quarantines
+        and the lifetime fault counters.
+        """
+        with self._lock:
+            now = time.monotonic()
+            workers = []
+            for w in self._workers:
+                hb_task, hb_stamp = w.read_heartbeat()
+                running = hb_task >= 0
+                workers.append(
+                    {
+                        "worker_id": w.worker_id,
+                        "pid": w.process.pid,
+                        "alive": w.process.is_alive(),
+                        "tasks_in_flight": len(w.in_flight),
+                        "tasks_assigned": w.assigned,
+                        "running_task": hb_task if running else None,
+                        "heartbeat_age": (now - hb_stamp) if running else None,
+                        "retiring": w.retiring,
+                    }
+                )
+            quarantined = {
+                qid: {
+                    "failures": b.failures,
+                    "open_for": now - b.opened_at,
+                }
+                for qid, b in self._breakers.items()
+                if b.opened_at is not None
+            }
+            return {
+                "workers": workers,
+                "backlog_depth": len(self._backlog),
+                "tasks_outstanding": len(self._tasks),
+                "queries_registered": len(self._registry),
+                "quarantined_queries": quarantined,
+                "counters": {
+                    "tasks_completed": self._completed,
+                    "tasks_timed_out": self._timed_out,
+                    "tasks_retried": self._retried,
+                    "tasks_shed": self._shed,
+                    "workers_recycled": self._recycled,
+                    "workers_crashed": self._crashed,
+                    "workers_killed_on_timeout": self._timeout_kills,
+                    "worker_restarts": (
+                        self._recycled + self._crashed + self._timeout_kills
+                    ),
+                },
+            }
+
+    def reinstate(self, query_id: str) -> bool:
+        """Manually clear a query's quarantine (and failure history).
+
+        Returns ``True`` when the query had an open breaker.  The
+        half-open probe path does this automatically after a cool-down;
+        ``reinstate`` is the operator override for "the bad corpus is
+        gone, let it through now".
+        """
+        with self._lock:
+            breaker = self._breakers.pop(query_id, None)
+            return breaker is not None and breaker.opened_at is not None
 
     def __repr__(self) -> str:
         return (
@@ -446,6 +706,7 @@ class SpannerService:
         ),
         *,
         query_id: str | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> str:
         """Register a query with the fleet; returns its id.
 
@@ -455,6 +716,10 @@ class SpannerService:
         stable name; re-using a name for a *different* artifact raises.
         Registration is allowed at any time — workers receive the
         artifact lazily, with the first task that needs it.
+
+        ``timeout`` sets this query's per-task deadline, overriding the
+        service's ``task_timeout`` (``None`` disables the deadline for
+        this query; omit it to inherit the service default).
         """
         payload = pickle.dumps(
             self._artifact_for(query), protocol=pickle.HIGHEST_PROTOCOL
@@ -464,9 +729,11 @@ class SpannerService:
             if query_id is not None
             else "q" + hashlib.sha256(payload).hexdigest()[:16]
         )
+        if timeout is not _UNSET and timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         with self._lock:
             if self._closing:
-                raise RuntimeError("SpannerService is closed")
+                raise ServiceClosedError("SpannerService is closed")
             existing = self._registry.get(qid)
             if existing is not None and existing != payload:
                 raise ValueError(
@@ -474,6 +741,8 @@ class SpannerService:
                     "different artifact"
                 )
             self._registry[qid] = payload
+            if timeout is not _UNSET:
+                self._query_timeouts[qid] = timeout
         return qid
 
     # -- Lifecycle ----------------------------------------------------------
@@ -481,7 +750,7 @@ class SpannerService:
         """Spawn the fleet (idempotent; called lazily by submission)."""
         with self._lock:
             if self._closing:
-                raise RuntimeError("SpannerService is closed")
+                raise ServiceClosedError("SpannerService is closed")
             if self._started:
                 return self
             ctx = multiprocessing.get_context(self.mp_context)
@@ -508,11 +777,23 @@ class SpannerService:
         """Stop the fleet.
 
         ``drain=True`` (the default) waits for every in-flight and
-        backlogged task to resolve, then stops the workers gracefully.
+        backlogged task to resolve, then stops the workers gracefully;
+        with a ``timeout``, tasks still unresolved when it expires are
+        *failed* with :class:`~repro.errors.ServiceClosedError` (never
+        left pending), and the same budget bounds the worker joins —
+        ``close(drain=True, timeout=t)`` returns in roughly ``t`` plus
+        termination overhead, whatever the fleet is stuck on.
         ``drain=False`` cancels outstanding futures and terminates the
         worker processes immediately.  Either way the service rejects
         new work afterwards.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def budget(default: float) -> float:
+            if deadline is None:
+                return default
+            return max(0.0, deadline - time.monotonic())
+
         with self._lock:
             if self._closed:
                 return
@@ -534,17 +815,34 @@ class SpannerService:
                         w.task_queue.put(("stop",))
                     w.stopped = True
             self._workers.clear()
+        # A drain that gave up (timeout expired with work unresolved)
+        # FAILS the leftovers — a pending future after close() returns
+        # would strand its caller forever.  A no-drain close cancels
+        # instead: the caller asked for abandonment, not an error.
+        detail = (
+            f" (drain timed out after {timeout}s)" if timeout is not None else ""
+        )
+        leftover_exc = (
+            ServiceClosedError(
+                f"service closed before this task completed{detail}"
+            )
+            if drain
+            else _CANCELLED
+        )
         for task in leftovers:
-            self._finish(task, _CANCELLED, None)
+            self._finish(task, leftover_exc, None)
         self._stop_event.set()
         if self._collector is not None:
-            self._collector.join(timeout=10)
+            self._collector.join(timeout=budget(10))
         for proc in self._all_processes:
             if drain:
-                proc.join(timeout=10)
+                proc.join(timeout=budget(10))
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=10)
+                proc.join(timeout=budget(10))
+            if proc.is_alive():  # stuck past the budget: no mercy
+                proc.kill()
+                proc.join(timeout=1)
         if self._results is not None:
             self._results.close()
         if self._doc_transport is not None:
@@ -563,26 +861,42 @@ class SpannerService:
         *,
         op: str = "evaluate",
         extra: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         """Dispatch one chunk; returns the future of its result list.
 
         The building block the batch APIs (and
         :class:`~repro.runtime.parallel.ParallelSpanner`'s streaming
-        sessions) fan out over.  Blocks while ``max_in_flight`` chunks
-        are already outstanding.
+        sessions) fan out over.  While ``max_in_flight`` chunks are
+        already outstanding the ``on_overload`` policy applies (block,
+        reject, or shed the oldest backlogged task).  ``timeout``
+        overrides the query/service deadline for this chunk alone.
+        Raises :class:`~repro.errors.QueryQuarantinedError` — before
+        consuming an in-flight slot or any worker time — while the
+        query's circuit breaker is open.
         """
         items = list(items)
+        if timeout is not _UNSET and timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         if not items:
             fut: Future = Future()
             fut.set_result([])
             return fut
         self.start()
         with self._lock:
+            if self._closing:
+                raise ServiceClosedError("SpannerService is closed")
             if query_id not in self._registry:
                 raise KeyError(f"unknown query id {query_id!r}")
+            self._admit_locked(query_id)
+            deadline = timeout
+            if deadline is _UNSET:
+                deadline = self._query_timeouts.get(query_id, _UNSET)
+            if deadline is _UNSET:
+                deadline = self.task_timeout
         bounded = self._inflight_slots is not None
         if bounded:
-            self._inflight_slots.acquire()
+            self._acquire_slot()
         # Pack only after holding an in-flight slot: a submitter parked
         # on the backpressure bound must not pin a packed segment's
         # bytes beyond the configured max_in_flight budget.
@@ -592,13 +906,79 @@ class SpannerService:
                 if bounded:
                     self._inflight_slots.release()
                 self._release_wire(wire)
-                raise RuntimeError("SpannerService is closed")
+                raise ServiceClosedError("SpannerService is closed")
             task = _Task(
-                next(self._task_ids), query_id, op, wire, extra, bounded
+                next(self._task_ids), query_id, op, wire, extra, bounded,
+                deadline,
             )
             self._tasks[task.task_id] = task
             self._dispatch_or_backlog(task)
         return task.future
+
+    def _admit_locked(self, query_id: str) -> None:
+        """Fail fast while ``query_id``'s breaker is open (lock held).
+
+        Once the cool-down has elapsed, admits exactly one *probe*
+        submission (half-open); further submissions keep failing until
+        the probe resolves — or until a full extra cool-down passes, in
+        case the probe itself was lost (shed, cancelled, closed away).
+        """
+        breaker = self._breakers.get(query_id)
+        if breaker is None or breaker.opened_at is None:
+            return
+        now = time.monotonic()
+        ready_at = breaker.opened_at + self.quarantine_cooldown
+        if breaker.probe_at is not None:
+            ready_at = max(ready_at, breaker.probe_at + self.quarantine_cooldown)
+        if now >= ready_at:
+            breaker.probe_at = now  # this submission is the probe
+            return
+        raise QueryQuarantinedError(query_id, breaker.failures, ready_at - now)
+
+    def _acquire_slot(self) -> None:
+        """One ``max_in_flight`` slot, by way of the overload policy."""
+        slots = self._inflight_slots
+        if slots.acquire(blocking=False):
+            return
+        if self.on_overload == "block":
+            slots.acquire()
+            return
+        if self.on_overload == "reject":
+            raise OverloadedError(
+                f"max_in_flight={self.max_in_flight} chunks already "
+                "outstanding (on_overload='reject')"
+            )
+        # shed_oldest: fail backlogged tasks oldest-first until a slot
+        # frees up.  Only the backlog is sheddable — a task already on
+        # a worker's queue cannot be un-sent — so a fully-dispatched
+        # fleet degrades to blocking, which is the right floor: the
+        # policy bounds *queue growth*, it does not abandon running
+        # work.
+        while not slots.acquire(blocking=False):
+            with self._lock:
+                shed = None
+                while self._backlog:
+                    candidate = self._backlog.popleft()
+                    if candidate.done:
+                        continue
+                    candidate.done = True
+                    self._tasks.pop(candidate.task_id, None)
+                    self._shed += 1
+                    shed = candidate
+                    break
+            if shed is None:
+                slots.acquire()
+                return
+            # _finish releases the shed task's slot; another submitter
+            # may win the race to it, hence the retry loop.
+            self._finish(
+                shed,
+                OverloadedError(
+                    "task shed under load: newer work displaced it "
+                    "(on_overload='shed_oldest')"
+                ),
+                None,
+            )
 
     def _pack(self, items: list[str], op: str) -> "list[str] | ShmChunk":
         """The transport negotiation: the wire form of one chunk.
@@ -627,14 +1007,16 @@ class SpannerService:
         docs: Iterable[str],
         *,
         limit: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         """Evaluate a batch; the future resolves to one list per doc.
 
         Documents are split into ``chunk_size`` tasks balanced across
         the fleet; the combined result is concatenated in input order —
-        byte-identical to the serial ``evaluate_many``.
+        byte-identical to the serial ``evaluate_many``.  ``timeout``
+        overrides the per-task deadline for every chunk of this batch.
         """
-        return self._submit_batch(query_id, docs, "evaluate", limit)
+        return self._submit_batch(query_id, docs, "evaluate", limit, timeout)
 
     def submit_files(
         self,
@@ -642,9 +1024,10 @@ class SpannerService:
         paths: Iterable[str],
         *,
         limit: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         """Like :meth:`submit`, but workers read the documents by path."""
-        return self._submit_batch(query_id, paths, "files", limit)
+        return self._submit_batch(query_id, paths, "files", limit, timeout)
 
     def submit_counts(
         self,
@@ -652,17 +1035,23 @@ class SpannerService:
         docs: Iterable[str],
         *,
         cap: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         """Per-document distinct-tuple counts (no tuple decoding)."""
-        return self._submit_batch(query_id, docs, "count", cap)
+        return self._submit_batch(query_id, docs, "count", cap, timeout)
 
     def _submit_batch(
-        self, query_id: str, items: Iterable[str], op: str, extra: int | None
+        self,
+        query_id: str,
+        items: Iterable[str],
+        op: str,
+        extra: int | None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         items = list(items)
         chunk_futures = [
             self.submit_chunk(query_id, items[i : i + self.chunk_size],
-                              op=op, extra=extra)
+                              op=op, extra=extra, timeout=timeout)
             for i in range(0, len(items), self.chunk_size)
         ]
         return _combine(chunk_futures)
@@ -674,6 +1063,7 @@ class SpannerService:
         docs: Iterable[str],
         *,
         limit: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> list[list[SpanTuple]]:
         """``await``-able :meth:`submit`: one ``list[SpanTuple]`` per doc.
 
@@ -681,11 +1071,15 @@ class SpannerService:
         ``max_in_flight`` backpressure bound), so the event loop never
         stalls.  Cancelling the coroutine abandons the result — the
         chunks already dispatched still complete worker-side and the
-        fleet stays fully serviceable.
+        fleet stays fully serviceable.  A chunk that exceeds its
+        deadline (``timeout`` here, else the query/service default)
+        rejects the ``await`` with
+        :class:`~repro.errors.TaskTimeoutError` — a clean exception on
+        the awaiting coroutine, never a wedged event loop.
         """
         docs = list(docs)
         future = await asyncio.to_thread(
-            self.submit, query_id, docs, limit=limit
+            self.submit, query_id, docs, limit=limit, timeout=timeout
         )
         return await asyncio.wrap_future(future)
 
@@ -695,11 +1089,12 @@ class SpannerService:
         paths: Iterable[str],
         *,
         limit: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
     ) -> list[list[SpanTuple]]:
         """``await``-able :meth:`submit_files`."""
         paths = list(paths)
         future = await asyncio.to_thread(
-            self.submit_files, query_id, paths, limit=limit
+            self.submit_files, query_id, paths, limit=limit, timeout=timeout
         )
         return await asyncio.wrap_future(future)
 
@@ -716,17 +1111,20 @@ class SpannerService:
     def _spawn_worker(self) -> _WorkerHandle:
         worker_id = next(self._worker_ids)
         task_queue = self._mp_ctx.Queue()
+        # [running task id (or -1.0), monotonic stamp] — two doubles
+        # under one lock so a reader never sees a torn pair.
+        heartbeat = self._mp_ctx.Array("d", [-1.0, 0.0])
         process = self._mp_ctx.Process(
             target=_fleet_worker,
             args=(
-                worker_id, task_queue, self._results,
-                self.encoding, self.errors,
+                worker_id, task_queue, self._results, heartbeat,
+                self.encoding, self.errors, self.fault_plan,
             ),
             name=f"spanner-service-worker-{worker_id}",
             daemon=True,
         )
         process.start()
-        handle = _WorkerHandle(worker_id, process, task_queue)
+        handle = _WorkerHandle(worker_id, process, task_queue, heartbeat)
         self._workers.append(handle)
         self._all_processes.append(process)
         return handle
@@ -771,8 +1169,8 @@ class SpannerService:
             worker.retiring = True
         worker.task_queue.put(
             (
-                "task", task.task_id, task.query_id, payload,
-                task.op, task.items, task.extra,
+                "task", task.task_id, task.attempts + 1, task.query_id,
+                payload, task.op, task.items, task.extra,
             )
         )
 
@@ -806,6 +1204,7 @@ class SpannerService:
                         except queue_module.Empty:
                             break
                         self._handle_result(extra_msg, resolutions)
+                self._check_deadlines(resolutions)
                 self._reap_crashed(resolutions)
                 self._recycle_retiring()
                 self._ensure_fleet()
@@ -842,20 +1241,81 @@ class SpannerService:
 
     def _handle_result(self, msg, resolutions) -> None:
         kind, _worker_id, task_id, payload = msg
-        task = self._tasks.pop(task_id, None)
+        task = self._tasks.get(task_id)
         if task is None or task.done:
             # A straggler result for a task already re-dispatched and
             # resolved elsewhere: drop it — at-most-once resolution is
             # what keeps re-dispatch from duplicating tuples.
             return
-        task.done = True
         if task.worker is not None:
             task.worker.in_flight.pop(task_id, None)
+            task.worker = None
+        if kind == "fail" and isinstance(payload, TransientTaskError):
+            # The worker said "not my fault, try again" — shm attach
+            # race, injected transient fault.  Backoff + re-dispatch,
+            # bounded by the same attempt budget as crashes.
+            self._retry_or_fail(task, resolutions, payload)
+            return
+        self._tasks.pop(task_id, None)
+        task.done = True
         self._completed += 1
         if kind == "done":
+            # Only clean completions reset the breaker: ordinary task
+            # exceptions say nothing fleet-level either way.
+            self._record_success_locked(task.query_id)
             resolutions.append((task, None, payload))
         else:
             resolutions.append((task, payload, None))
+
+    def _check_deadlines(self, resolutions) -> None:
+        """Kill workers whose running task has outlived its deadline.
+
+        The heartbeat names the task a worker is executing and when it
+        started; a deadlined task older than its budget gets its worker
+        killed (SIGKILL — a genuinely hung process may ignore SIGTERM),
+        its future failed with :class:`TaskTimeoutError`, and its
+        query's breaker charged.  The task is NOT re-dispatched — see
+        the class docstring — but the worker's *prefetched* tasks never
+        started running, so those go back through the retry path like
+        crash orphans.  ``_ensure_fleet`` respawns the replacement on
+        this same collector pass, so detection-to-replacement is one
+        0.05s tick past the deadline.
+        """
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.stopped or not worker.process.is_alive():
+                continue
+            hb_task, hb_stamp = worker.read_heartbeat()
+            if hb_task < 0:
+                continue
+            task = worker.in_flight.get(hb_task)
+            if task is None or task.done or task.deadline is None:
+                continue
+            if now - hb_stamp <= task.deadline:
+                continue
+            worker.stopped = True  # _reap_crashed must not double-count
+            self._workers.remove(worker)
+            worker.process.kill()
+            self._timeout_kills += 1
+            worker.in_flight.pop(task.task_id, None)
+            self._tasks.pop(task.task_id, None)
+            task.done = True
+            task.worker = None
+            self._timed_out += 1
+            self._record_failure_locked(task.query_id)
+            resolutions.append(
+                (
+                    task,
+                    TaskTimeoutError(
+                        f"task for query {task.query_id!r} exceeded its "
+                        f"{task.deadline}s deadline "
+                        f"(ran {now - hb_stamp:.2f}s); worker "
+                        f"{worker.worker_id} killed"
+                    ),
+                    None,
+                )
+            )
+            self._orphan_worker_tasks(worker, resolutions)
 
     def _reap_crashed(self, resolutions) -> None:
         for worker in list(self._workers):
@@ -866,28 +1326,72 @@ class SpannerService:
             worker.stopped = True
             self._workers.remove(worker)
             self._crashed += 1
-            orphans = list(worker.in_flight.values())
-            worker.in_flight.clear()
-            for task in orphans:
-                if task.done:
-                    continue
-                task.attempts += 1
-                task.worker = None
-                if task.attempts >= MAX_TASK_ATTEMPTS:
-                    task.done = True
-                    self._tasks.pop(task.task_id, None)
-                    resolutions.append(
-                        (
-                            task,
-                            RuntimeError(
-                                f"task for query {task.query_id!r} lost "
-                                f"{task.attempts} workers; giving up"
-                            ),
-                            None,
-                        )
-                    )
-                else:
-                    self._dispatch_or_backlog(task)
+            self._orphan_worker_tasks(worker, resolutions)
+
+    def _orphan_worker_tasks(self, worker: _WorkerHandle, resolutions) -> None:
+        """Route a dead worker's in-flight tasks through retry/give-up."""
+        orphans = list(worker.in_flight.values())
+        worker.in_flight.clear()
+        for task in orphans:
+            if task.done:
+                continue
+            task.worker = None
+            self._retry_or_fail(
+                task,
+                resolutions,
+                RuntimeError(
+                    f"task for query {task.query_id!r} lost "
+                    f"{task.attempts + 1} workers; giving up"
+                ),
+            )
+
+    def _retry_or_fail(
+        self, task: _Task, resolutions, give_up_exc: BaseException
+    ) -> None:
+        """One more attempt with backoff — or fail and charge the breaker.
+
+        The backoff is capped exponential in the attempt number; the
+        task sits in the backlog until ``not_before`` passes, so a
+        repeatedly-failing task stops hammering replacement workers
+        while everything else flows around it.
+        """
+        task.attempts += 1
+        if task.attempts >= MAX_TASK_ATTEMPTS:
+            task.done = True
+            self._tasks.pop(task.task_id, None)
+            self._record_failure_locked(task.query_id)
+            resolutions.append((task, give_up_exc, None))
+            return
+        self._retried += 1
+        task.not_before = time.monotonic() + min(
+            RETRY_BACKOFF_BASE * (2 ** (task.attempts - 1)),
+            RETRY_BACKOFF_CAP,
+        )
+        self._backlog.append(task)
+
+    # -- Circuit breakers (self._lock held) -----------------------------------
+    def _record_failure_locked(self, query_id: str) -> None:
+        """A fleet-level failure: deadline kill, lost workers, or
+        exhausted transient retries.  Ordinary worker exceptions (a bad
+        path in ``submit_files``, a decode error) do NOT land here —
+        they indict the input, not the fleet, and must never quarantine
+        a query other inputs are using fine.
+        """
+        breaker = self._breakers.setdefault(query_id, _Breaker())
+        breaker.failures += 1
+        now = time.monotonic()
+        if breaker.opened_at is not None:
+            # Open already (this was the probe, or a straggler): re-arm
+            # the cool-down from now.
+            breaker.opened_at = now
+            breaker.probe_at = None
+        elif breaker.failures >= self.quarantine_after:
+            breaker.opened_at = now
+
+    def _record_success_locked(self, query_id: str) -> None:
+        # Consecutive-failure semantics: any clean completion (probe or
+        # otherwise) clears the query's whole failure history.
+        self._breakers.pop(query_id, None)
 
     def _recycle_retiring(self) -> None:
         for worker in list(self._workers):
@@ -929,11 +1433,23 @@ class SpannerService:
         self._all_processes = alive
 
     def _drain_backlog(self) -> None:
+        # Tasks still serving a retry backoff (not_before in the
+        # future) are skipped, not reordered: they return to the front
+        # of the backlog and a later collector pass (ticks every 0.05s)
+        # dispatches them once eligible.
+        now = time.monotonic()
+        deferred: deque[_Task] = deque()
         while self._backlog:
+            task = self._backlog[0]
+            if task.not_before > now:
+                deferred.append(self._backlog.popleft())
+                continue
             worker = self._pick_worker()
             if worker is None:
-                return
+                break
             self._assign(worker, self._backlog.popleft())
+        while deferred:
+            self._backlog.appendleft(deferred.pop())
 
     # -- Future resolution (never under self._lock) --------------------------
     def _finish(

@@ -62,7 +62,7 @@ import threading
 from itertools import count
 from typing import Iterator, NamedTuple, Sequence
 
-from ..errors import SpannerError
+from ..errors import SpannerError, TransientTaskError
 
 try:  # pragma: no cover - import guard for platforms without POSIX shm
     from multiprocessing import shared_memory as _shared_memory
@@ -243,7 +243,19 @@ class ShmDocumentView(Sequence[str]):
 
     def _buffer(self):
         if self._segment is None:
-            self._segment = _attach_cached(self._ref.segment)
+            try:
+                self._segment = _attach_cached(self._ref.segment)
+            except (FileNotFoundError, OSError) as err:
+                # The segment is not visible in this worker's namespace
+                # (attach race with a recycle, or a fresh worker beating
+                # the owner's publication).  That indicts neither the
+                # query nor the document — surface it as *transient* so
+                # the driver re-dispatches with backoff instead of
+                # failing the task's future.
+                raise TransientTaskError(
+                    f"cannot attach shared-memory segment "
+                    f"{self._ref.segment!r}: {err}"
+                ) from err
         return self._segment.buf
 
     def __len__(self) -> int:

@@ -20,6 +20,7 @@ from benchmarks.check_regression import (
     main,
     rss_metric,
     table_metric,
+    table_total,
 )
 
 
@@ -29,9 +30,15 @@ def make_record(
     fused_s: float | None = 0.05,
     rss_kb: int | None = 50_000,
     rss_children_kb: int | None = 20_000,
+    fleet_counters: tuple[int, int] | None = None,
     unix_time: float = 0.0,
 ) -> dict:
-    """A BENCH_*.json payload shaped like the harness writes it."""
+    """A BENCH_*.json payload shaped like the harness writes it.
+
+    ``fleet_counters=(timeouts, quarantines)`` adds an E13g table with
+    those counter totals; ``None`` (the default) models a record from
+    before the fault-tolerance work, with no E13g table at all.
+    """
     experiments = []
     if fused_s is not None:
         experiments.append(
@@ -53,22 +60,38 @@ def make_record(
             }
         )
     if docs_per_sec is not None:
+        tables = [
+            {
+                "title": "E13a  docs/sec over log lines",
+                "headers": ["docs", "compiled docs/s"],
+                "rows": [
+                    [50, docs_per_sec * 0.9],
+                    [100, docs_per_sec],
+                    [200, docs_per_sec * 1.1],
+                ],
+            }
+        ]
+        if fleet_counters is not None:
+            timeouts, quarantines = fleet_counters
+            tables.append(
+                {
+                    "title": "E13g  deadline + heartbeat overhead",
+                    "headers": [
+                        "docs", "off (s)", "on (s)", "overhead %",
+                        "timeouts", "quarantines",
+                    ],
+                    "rows": [
+                        [800, 0.45, 0.46, 1.8, timeouts, quarantines],
+                        [1600, 0.91, 0.92, 1.2, 0, 0],
+                    ],
+                }
+            )
         experiments.append(
             {
                 "experiment": "E13",
                 "peak_rss_kb": rss_kb,
                 "peak_rss_children_kb": rss_children_kb,
-                "tables": [
-                    {
-                        "title": "E13a  docs/sec over log lines",
-                        "headers": ["docs", "compiled docs/s"],
-                        "rows": [
-                            [50, docs_per_sec * 0.9],
-                            [100, docs_per_sec],
-                            [200, docs_per_sec * 1.1],
-                        ],
-                    }
-                ],
+                "tables": tables,
             }
         )
     return {"unix_time": unix_time, "experiments": experiments}
@@ -248,6 +271,46 @@ class TestOldRecordTolerance:
         names = [name for name, _payload in load_records(tmp_path)]
         assert names[-1] == "BENCH_0aaa.json"
         assert check(tmp_path) == 1
+
+
+class TestFleetCounters:
+    """The informational timeouts/quarantines report (PR 6 E13g)."""
+
+    def test_table_total_sums_counter_rows(self):
+        record = make_record(fleet_counters=(2, 1))
+        assert table_total(record, "E13", "E13g", "timeouts") == 2
+        assert table_total(record, "E13", "E13g", "quarantines") == 1
+        assert table_total(record, "E13", "E13g", "no-such") is None
+        assert table_total(make_record(), "E13", "E13g", "timeouts") is None
+
+    def test_clean_counters_reported_without_notice(self, tmp_path, capsys):
+        write_history(
+            tmp_path,
+            [make_record(), make_record(fleet_counters=(0, 0))],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "fleet-counters" in out
+        assert "timeouts=0, quarantines=0" in out
+        assert "notice" not in out
+
+    def test_nonzero_counters_warn_but_do_not_fail(self, tmp_path, capsys):
+        # A benchmark run where deadlines tripped: suspicious timings,
+        # but an informational notice — never an exit-code failure.
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(fleet_counters=(3, 1))],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "timeouts=3, quarantines=1" in out
+        assert "notice: nonzero fault counters" in out
+
+    def test_records_predating_e13g_stay_silent(self, tmp_path, capsys):
+        write_history(tmp_path, [make_record() for _ in range(3)])
+        assert check(tmp_path) == 0
+        assert "fleet-counters" not in capsys.readouterr().out
 
 
 class TestCli:

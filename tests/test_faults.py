@@ -1,0 +1,474 @@
+"""Chaos suite: the fleet under deterministic fault injection.
+
+Every test drives a :class:`SpannerService` with a
+:class:`~repro.runtime.faults.FaultPlan` that injects hangs, crashes,
+slow decodes or shared-memory attach failures at chosen task indices,
+and asserts the fault-tolerance contract:
+
+* results that survive a fault are **byte-identical** to the serial
+  engine — no tuple lost, none duplicated, order intact;
+* a hung worker is detected and replaced within 2x the configured
+  deadline, and exactly the hung task's future fails with
+  :class:`TaskTimeoutError`;
+* a query that keeps failing is quarantined
+  (:class:`QueryQuarantinedError` fail-fast without consuming a
+  worker), recovers through a half-open probe after the cool-down, and
+  :meth:`reinstate` restores it immediately;
+* overload policies shed predictably (``reject`` / ``shed_oldest``);
+* no ``/dev/shm`` segment survives ``close()``, whatever was injected.
+
+Each service numbers its tasks from 0 in submission order, so a plan
+keyed on small integers targets the first chunks a test submits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import (
+    OverloadedError,
+    QueryQuarantinedError,
+    TaskTimeoutError,
+    TransientTaskError,
+)
+from repro.runtime import CompiledSpanner, FaultPlan, SpannerService
+from repro.runtime.faults import FaultSpec
+
+from test_service import DOCS, WORD_FORMULA, canonical, dev_shm_segments, _require_shm
+
+#: Deadline used by the hang tests: long enough that healthy tasks
+#: (millisecond-scale) never brush it, short enough to keep the suite
+#: fast.
+DEADLINE = 0.5
+
+
+@pytest.fixture(scope="module")
+def word_serial():
+    return list(CompiledSpanner(WORD_FORMULA).evaluate_many(DOCS))
+
+
+def plan_for_all(kind: str, n: int, **kwargs) -> FaultPlan:
+    plan = FaultPlan()
+    for task in range(n):
+        plan.add(task, FaultSpec(kind, **kwargs))
+    return plan
+
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor-strike")
+        with pytest.raises(ValueError):
+            FaultPlan().crash(task=-1)
+
+    def test_attempt_scoping(self):
+        spec = FaultSpec("slow", attempts=(1, 3))
+        assert spec.applies_to(1)
+        assert not spec.applies_to(2)
+        assert spec.applies_to(3)
+        assert FaultSpec("slow").applies_to(7)  # None = every attempt
+
+    def test_plan_is_inert_when_empty(self):
+        assert not FaultPlan()
+        assert FaultPlan().crash(task=0)
+
+    def test_shm_attach_fault_raises_transient(self):
+        with pytest.raises(TransientTaskError):
+            FaultSpec("shm_attach").trigger()
+
+
+class TestCrashInjection:
+    def test_crash_then_retry_byte_identical(self, word_serial):
+        """Task 0 crashes its worker on the first attempt and succeeds
+        on re-dispatch: the batch result must not notice."""
+        plan = FaultPlan().crash(task=0, attempts=(1,))
+        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert svc.workers_crashed >= 1
+            assert svc.tasks_retried >= 1
+
+    def test_poison_task_gives_up_others_survive(self, word_serial):
+        """A task that crashes every worker it lands on fails alone
+        after MAX_TASK_ATTEMPTS; every other chunk still resolves
+        byte-identically."""
+        plan = FaultPlan().crash(task=0)  # every attempt
+        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            futures = [
+                svc.submit_chunk(qid, DOCS[i : i + 2])
+                for i in range(0, len(DOCS), 2)
+            ]
+            with pytest.raises(RuntimeError, match="giving up"):
+                futures[0].result(timeout=120)
+            rest = []
+            for future in futures[1:]:
+                rest.extend(future.result(timeout=120))
+            assert canonical(rest) == canonical(word_serial[2:])
+
+    def test_crash_storm_converges(self, word_serial):
+        """Several first-attempt crashes across the batch: all retried,
+        nothing lost or duplicated."""
+        plan = FaultPlan()
+        for task in (0, 3, 7):
+            plan.crash(task=task, attempts=(1,))
+        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert svc.workers_crashed >= 3
+
+
+class TestHangsAndDeadlines:
+    def test_hung_worker_detected_within_2x_deadline(self, word_serial):
+        """Acceptance: the hang is detected, the worker killed and
+        replaced, and the task's future failed with TaskTimeoutError —
+        all within 2x the configured deadline."""
+        plan = FaultPlan().hang(task=0)
+        with SpannerService(
+            workers=2, chunk_size=2, fault_plan=plan, task_timeout=DEADLINE
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            fut = svc.submit_chunk(qid, DOCS[:2])
+            start = time.monotonic()
+            with pytest.raises(TaskTimeoutError):
+                fut.result(timeout=10 * DEADLINE)
+            assert time.monotonic() - start <= 2 * DEADLINE
+            assert svc.tasks_timed_out == 1
+            # The fleet healed: a full batch still matches serial.
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            health = svc.health()
+            assert health["counters"]["workers_killed_on_timeout"] == 1
+            assert len(health["workers"]) == 2  # replacement in place
+
+    def test_only_the_hung_task_fails(self, word_serial):
+        """A hang on one chunk must not take down its batch siblings:
+        futures are per-chunk, and only the hung chunk's future sees
+        TaskTimeoutError."""
+        plan = FaultPlan().hang(task=0)
+        with SpannerService(
+            workers=2, chunk_size=2, fault_plan=plan, task_timeout=DEADLINE
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            futures = [
+                svc.submit_chunk(qid, DOCS[i : i + 2])
+                for i in range(0, len(DOCS), 2)
+            ]
+            with pytest.raises(TaskTimeoutError):
+                futures[0].result(timeout=120)
+            rest = []
+            for future in futures[1:]:
+                rest.extend(future.result(timeout=120))
+            assert canonical(rest) == canonical(word_serial[2:])
+
+    def test_per_call_timeout_overrides_service_default(self):
+        """timeout= on the call wins over the service default; an
+        explicit None disables the deadline entirely (a slow task is
+        given the time it needs)."""
+        plan = FaultPlan().slow(task=0, seconds=3 * DEADLINE)
+        with SpannerService(
+            workers=1, chunk_size=2, fault_plan=plan, task_timeout=DEADLINE
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            # Disabled per call: the slow chunk completes exactly.
+            out = svc.submit_chunk(qid, DOCS[:2], timeout=None).result(
+                timeout=120
+            )
+            assert canonical(out) == canonical(
+                list(CompiledSpanner(WORD_FORMULA).evaluate_many(DOCS[:2]))
+            )
+            assert svc.tasks_timed_out == 0
+
+    def test_per_query_timeout_override(self):
+        """register(timeout=...) scopes the deadline to one query."""
+        plan = FaultPlan().hang(task=0)
+        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+            # No service default; the deadline comes from the query.
+            qid = svc.register(
+                CompiledSpanner(WORD_FORMULA), timeout=DEADLINE
+            )
+            with pytest.raises(TaskTimeoutError):
+                svc.submit_chunk(qid, DOCS[:2]).result(timeout=10 * DEADLINE)
+
+    def test_async_extract_rejects_cleanly_on_timeout(self):
+        """The awaited future rejects with TaskTimeoutError — the event
+        loop neither hangs nor swallows the failure."""
+        plan = FaultPlan().hang(task=0)
+
+        async def run():
+            with SpannerService(
+                workers=2, chunk_size=4, fault_plan=plan,
+                task_timeout=DEADLINE,
+            ) as svc:
+                qid = svc.register(CompiledSpanner(WORD_FORMULA))
+                with pytest.raises(TaskTimeoutError):
+                    await svc.extract(qid, DOCS[:4])
+                # The loop (and the fleet) survive for the next call.
+                return await svc.extract(qid, DOCS[4:8])
+
+        out = asyncio.run(run())
+        serial = list(CompiledSpanner(WORD_FORMULA).evaluate_many(DOCS[4:8]))
+        assert canonical(out) == canonical(serial)
+
+
+class TestSlowAndTransient:
+    def test_slow_decode_is_not_a_fault(self, word_serial):
+        """A slow task under its deadline completes byte-identically —
+        deadlines punish hangs, not honest work."""
+        plan = FaultPlan().slow(task=0, seconds=0.1).slow(task=1, seconds=0.1)
+        with SpannerService(
+            workers=2, chunk_size=2, fault_plan=plan, task_timeout=5.0
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert svc.tasks_timed_out == 0
+
+    def test_shm_attach_fault_retries_with_backoff(self, word_serial):
+        """A transient attach failure on the first two attempts
+        re-dispatches (with backoff) and succeeds on the third."""
+        plan = FaultPlan().shm_fault(task=0, attempts=(1, 2))
+        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert svc.tasks_retried == 2
+            assert svc.workers_crashed == 0  # no process was lost
+
+    def test_transient_exhaustion_surfaces_the_error(self):
+        """A transient fault on every attempt gives up after the
+        attempt budget and surfaces TransientTaskError to the caller."""
+        plan = FaultPlan().shm_fault(task=0)
+        with SpannerService(workers=1, chunk_size=2, fault_plan=plan) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            with pytest.raises(TransientTaskError):
+                svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+
+
+class TestQuarantine:
+    def _hang_everything(self, tasks: int = 16) -> FaultPlan:
+        return plan_for_all("hang", tasks)
+
+    def test_three_timeouts_quarantine_then_reinstate(self):
+        """Acceptance: 3 consecutive deadline failures quarantine the
+        query; subsequent submissions fail fast without consuming a
+        worker; reinstate() restores service."""
+        plan = self._hang_everything()
+        with SpannerService(
+            workers=1, chunk_size=2, fault_plan=plan,
+            task_timeout=DEADLINE, quarantine_after=3,
+            quarantine_cooldown=60.0,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            for _ in range(3):
+                with pytest.raises(TaskTimeoutError):
+                    svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            assert svc.quarantined_queries == (qid,)
+
+            kills_before = svc.health()["counters"]["workers_killed_on_timeout"]
+            start = time.monotonic()
+            with pytest.raises(QueryQuarantinedError) as info:
+                svc.submit_chunk(qid, DOCS[:2])
+            # Fail-fast: synchronous, and no worker was burned on it.
+            assert time.monotonic() - start < DEADLINE
+            assert info.value.query_id == qid
+            assert info.value.failures == 3
+            assert info.value.retry_after > 0
+            assert (
+                svc.health()["counters"]["workers_killed_on_timeout"]
+                == kills_before
+            )
+
+            assert svc.reinstate(qid) is True
+            assert svc.quarantined_queries == ()
+            # Admitted again (the corpus is still poisonous, so it
+            # times out — but it *ran*, consuming a worker).
+            with pytest.raises(TaskTimeoutError):
+                svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            assert svc.reinstate("never-registered") is False
+
+    def test_half_open_probe_recovers_after_cooldown(self, word_serial):
+        """After the cool-down one probe is admitted; its success
+        closes the breaker and full service resumes."""
+        plan = FaultPlan()
+        for task in range(3):  # only the first three tasks hang
+            plan.hang(task=task)
+        with SpannerService(
+            workers=1, chunk_size=2, fault_plan=plan,
+            task_timeout=DEADLINE, quarantine_after=3,
+            quarantine_cooldown=0.5,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            for _ in range(3):
+                with pytest.raises(TaskTimeoutError):
+                    svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            assert svc.quarantined_queries == (qid,)
+            with pytest.raises(QueryQuarantinedError):
+                svc.submit_chunk(qid, DOCS[:2])
+            time.sleep(0.6)  # past the cool-down: next submit is the probe
+            probe = svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            assert canonical(probe) == canonical(
+                list(CompiledSpanner(WORD_FORMULA).evaluate_many(DOCS[:2]))
+            )
+            assert svc.quarantined_queries == ()
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+
+    def test_failed_probe_rearms_the_cooldown(self):
+        plan = self._hang_everything()
+        with SpannerService(
+            workers=1, chunk_size=2, fault_plan=plan,
+            task_timeout=DEADLINE, quarantine_after=2,
+            quarantine_cooldown=0.4,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            for _ in range(2):
+                with pytest.raises(TaskTimeoutError):
+                    svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            assert svc.quarantined_queries == (qid,)
+            time.sleep(0.5)
+            with pytest.raises(TaskTimeoutError):  # the admitted probe
+                svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            # Probe failed: quarantined again, immediately.
+            with pytest.raises(QueryQuarantinedError):
+                svc.submit_chunk(qid, DOCS[:2])
+
+    def test_quarantine_is_per_query(self, word_serial):
+        """One query's quarantine must not slow its neighbours."""
+        plan = FaultPlan().hang(task=0)  # only "bad"'s first chunk
+        with SpannerService(
+            workers=2, chunk_size=2, fault_plan=plan,
+            task_timeout=DEADLINE, quarantine_after=1,
+            quarantine_cooldown=60.0,
+        ) as svc:
+            bad = svc.register(CompiledSpanner(WORD_FORMULA), query_id="bad")
+            good = svc.register(
+                CompiledSpanner(WORD_FORMULA), query_id="good", timeout=None
+            )
+            with pytest.raises(TaskTimeoutError):
+                svc.submit_chunk(bad, DOCS[:2]).result(timeout=120)
+            with pytest.raises(QueryQuarantinedError):
+                svc.submit_chunk(bad, DOCS[:2])
+            # Tasks 1+ have no faults planned: "good" serves normally.
+            out = svc.submit(good, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert svc.quarantined_queries == ("bad",)
+
+
+class TestOverloadPolicies:
+    def test_reject_policy_raises_overloaded(self):
+        plan = FaultPlan().slow(task=0, seconds=1.0)
+        with SpannerService(
+            workers=1, chunk_size=1, max_in_flight=1,
+            on_overload="reject", fault_plan=plan,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            first = svc.submit_chunk(qid, DOCS[:1])
+            with pytest.raises(OverloadedError):
+                svc.submit_chunk(qid, DOCS[1:2])
+            # The in-flight task is unharmed and the slot recycles.
+            first.result(timeout=120)
+            retried = svc.submit_chunk(qid, DOCS[1:2]).result(timeout=120)
+            serial = list(CompiledSpanner(WORD_FORMULA).evaluate_many(DOCS[1:2]))
+            assert canonical(retried) == canonical(serial)
+
+    def test_shed_oldest_fails_backlogged_task(self):
+        """With the pipeline full, a new submission sheds the oldest
+        *backlogged* chunk (never one already on a worker): the shed
+        future fails with OverloadedError, the newcomer takes its slot,
+        and every dispatched chunk completes untouched."""
+        plan = FaultPlan().slow(task=0, seconds=2.0)
+        with SpannerService(
+            workers=1, chunk_size=1, max_in_flight=3,
+            on_overload="shed_oldest", fault_plan=plan,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            # One worker, prefetch 2: task 0 runs (slowly), task 1
+            # prefetches onto the worker, task 2 stays backlogged.
+            running = svc.submit_chunk(qid, DOCS[:1])
+            queued = svc.submit_chunk(qid, DOCS[1:2])
+            backlogged = svc.submit_chunk(qid, DOCS[2:3])
+            time.sleep(0.3)  # let the collector settle the dispatch
+            # Slots are full: the newcomer displaces the backlogged one.
+            newcomer = svc.submit_chunk(qid, DOCS[3:4])
+            with pytest.raises(OverloadedError):
+                backlogged.result(timeout=120)
+            assert svc.tasks_shed == 1
+            serial = CompiledSpanner(WORD_FORMULA)
+            for future, docs in (
+                (running, DOCS[:1]),
+                (queued, DOCS[1:2]),
+                (newcomer, DOCS[3:4]),
+            ):
+                out = future.result(timeout=120)
+                assert canonical(out) == canonical(
+                    list(serial.evaluate_many(docs))
+                )
+
+    def test_block_policy_still_backpressures(self, word_serial):
+        with SpannerService(
+            workers=2, chunk_size=2, max_in_flight=2, on_overload="block"
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            assert svc.submit(qid, DOCS).result(timeout=120) == word_serial
+            assert svc.tasks_shed == 0
+
+
+class TestShmUnderFaults:
+    def test_combined_fault_plan_leaves_shm_clean(self, word_serial):
+        """Crash + hang + slow + transient in one run over forced shm:
+        surviving chunks are byte-identical and /dev/shm ends empty."""
+        _require_shm()
+        plan = (
+            FaultPlan()
+            .crash(task=1, attempts=(1,))
+            .hang(task=2)
+            .slow(task=3, seconds=0.1)
+            .shm_fault(task=4, attempts=(1,))
+        )
+        service = SpannerService(
+            workers=2, chunk_size=2, transport="shm",
+            fault_plan=plan, task_timeout=DEADLINE,
+        )
+        try:
+            service.start()
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            futures = [
+                service.submit_chunk(qid, DOCS[i : i + 2])
+                for i in range(0, len(DOCS), 2)
+            ]
+            survived: list = []
+            timed_out = 0
+            for i, future in enumerate(futures):
+                try:
+                    survived.append((i, future.result(timeout=120)))
+                except TaskTimeoutError:
+                    timed_out += 1
+            assert timed_out == 1  # exactly the hung chunk
+            for i, out in survived:
+                expected = word_serial[2 * i : 2 * i + 2]
+                assert canonical(out) == canonical(expected)
+        finally:
+            service.close()
+        assert not dev_shm_segments()
+
+    def test_timeout_releases_segment(self):
+        """The release-on-timeout path: a timed-out task's segment is
+        released when its future fails, not leaked until close."""
+        _require_shm()
+        plan = FaultPlan().hang(task=0)
+        with SpannerService(
+            workers=1, chunk_size=2, transport="shm",
+            fault_plan=plan, task_timeout=DEADLINE,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            with pytest.raises(TaskTimeoutError):
+                svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            # The segment owner holds nothing live for the dead task.
+            assert svc._doc_transport.live_segments() == ()
+        assert not dev_shm_segments()

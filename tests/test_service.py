@@ -94,16 +94,23 @@ class TestFleetMatchesSerial:
             assert canonical(f_digit.result()) == canonical(digit_serial)
             assert canonical(f_eq.result()) == canonical(eq_serial)
 
-    def test_forced_recycle_byte_identical(self, word_serial):
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_forced_recycle_byte_identical(self, word_serial, transport):
         """max_tasks_per_worker=1: every task retires a worker; the
-        output must not notice."""
+        output must not notice — segment release included, when the
+        documents ride shared memory."""
+        if transport == "shm":
+            _require_shm()
         with SpannerService(
-            workers=2, chunk_size=2, max_tasks_per_worker=1
+            workers=2, chunk_size=2, max_tasks_per_worker=1,
+            transport=transport,
         ) as service:
             qid = service.register(CompiledSpanner(WORD_FORMULA))
             out = service.submit(qid, DOCS).result()
             assert canonical(out) == canonical(word_serial)
             assert service.workers_recycled > 0
+        if transport == "shm":
+            assert not dev_shm_segments()
 
     def test_recycling_prunes_exited_processes(self, word_serial):
         """A continuously recycling fleet must not accumulate process
@@ -213,13 +220,18 @@ class TestRegistration:
 
 
 class TestFailurePaths:
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
     def test_killed_worker_redispatches_without_loss_or_dup(
-        self, word_serial
+        self, word_serial, transport
     ):
         """SIGKILL one worker mid-batch: the batch still resolves to
         exactly the serial result — nothing dropped, nothing doubled —
-        and the fleet keeps serving afterwards."""
-        service = SpannerService(workers=2, chunk_size=2)
+        and the fleet keeps serving afterwards.  Over shm transport
+        this also exercises segment release on worker *death*, not
+        just on clean resolution."""
+        if transport == "shm":
+            _require_shm()
+        service = SpannerService(workers=2, chunk_size=2, transport=transport)
         try:
             service.start()
             qid = service.register(CompiledSpanner(WORD_FORMULA))
@@ -236,6 +248,8 @@ class TestFailurePaths:
             ) == word_serial[:5]
         finally:
             service.close()
+        if transport == "shm":
+            assert not dev_shm_segments()
 
     def test_kill_during_each_phase_converges(self, word_serial):
         """Kill a worker at a few offsets; at-most-once resolution must
@@ -280,6 +294,69 @@ class TestFailurePaths:
         service.close()
         with pytest.raises(RuntimeError):
             service.start()
+
+    def test_drain_timeout_fails_unresolved_futures(self):
+        """close(drain=True, timeout=...) must never leave a future
+        pending: work the drain window could not finish is failed with
+        ServiceClosedError, and the close returns promptly (the timeout
+        also bounds the worker joins)."""
+        from repro.errors import ServiceClosedError
+        from repro.runtime.faults import FaultPlan
+
+        plan = FaultPlan()
+        for task in range(8):
+            plan.hang(task=task)
+        service = SpannerService(workers=2, chunk_size=1, fault_plan=plan)
+        service.start()
+        qid = service.register(CompiledSpanner(WORD_FORMULA))
+        futures = [service.submit_chunk(qid, [doc]) for doc in DOCS[:8]]
+        start = time.monotonic()
+        service.close(drain=True, timeout=0.5)
+        elapsed = time.monotonic() - start
+        assert elapsed < 10  # bounded even though every worker hangs
+        for future in futures:
+            assert future.done()
+            with pytest.raises(ServiceClosedError):
+                future.result(timeout=0)
+
+
+class TestHealth:
+    def test_health_snapshot_shape_and_counters(self, word_serial):
+        with SpannerService(workers=2, chunk_size=3) as service:
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            idle = service.health()
+            assert len(idle["workers"]) == 2
+            for w in idle["workers"]:
+                assert w["alive"]
+                assert w["running_task"] is None  # nothing dispatched yet
+                assert w["heartbeat_age"] is None
+            assert idle["backlog_depth"] == 0
+            assert idle["queries_registered"] == 1
+            assert idle["quarantined_queries"] == {}
+
+            assert service.submit(qid, DOCS).result() == word_serial
+            busy = service.health()
+            counters = busy["counters"]
+            assert counters["tasks_completed"] == len(DOCS) // 3 + 1
+            assert counters["tasks_timed_out"] == 0
+            assert counters["worker_restarts"] == 0
+            assert busy["tasks_outstanding"] == 0
+
+    def test_health_reflects_crash_restarts(self, word_serial):
+        service = SpannerService(workers=2, chunk_size=2)
+        try:
+            service.start()
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            future = service.submit(qid, DOCS)
+            os.kill(service._workers[0].process.pid, signal.SIGKILL)
+            future.result(timeout=120)
+            health = service.health()
+            assert health["counters"]["workers_crashed"] == 1
+            assert health["counters"]["worker_restarts"] == 1
+            # The replacement keeps the fleet at strength.
+            assert len(health["workers"]) == 2
+        finally:
+            service.close()
 
 
 class TestAsyncFrontend:
