@@ -48,6 +48,12 @@ Series reproduced:
   per-task deadlines and heartbeats enabled (``task_timeout=30``)
   versus disabled — no fault fires, so the delta is the bookkeeping
   overhead of the healthy path (target <= 3%);
+* the resource-governance tax (E13h): the same workload with the full
+  governance layer armed — shm budget, result-size caps, memory
+  watchdog, compile admission — at limits generous enough that
+  nothing ever trips, versus everything off; the delta is the cost of
+  *checking* the limits (target <= 1%), and every governance counter
+  must read 0;
 * output equality is asserted, not sampled.
 """
 
@@ -299,6 +305,7 @@ def run() -> list[Table]:
     if transport_table is not None:
         tables.append(transport_table)
     tables.append(_run_e13g())
+    tables.append(_run_e13h())
     return tables
 
 
@@ -352,6 +359,82 @@ def _run_e13g():
         "target: <= 3% overhead with deadlines enabled (best-of-5 "
         "passes per cell; single-pass noise on shared runners is wider "
         "than the effect, so read the sign across corpus sizes)"
+    )
+    return table
+
+
+def _run_e13h():
+    """E13h: the price of resource governance on the healthy path.
+
+    The E13a workload on a 2-worker fleet with the whole governance
+    layer armed — shm byte budget, per-query result caps, the worker
+    memory watchdog, compile-time admission with a sandboxed compile —
+    at limits far above what the workload needs, versus a fleet with
+    every knob off.  Nothing trips (the governance counters are
+    asserted 0), so the delta is the per-task cost of *checking*:
+    cap bookkeeping in the enumeration loop, one RSS read per
+    heartbeat, budget arithmetic per pack.  Target <= 1% — cheaper
+    than E13g's deadlines because the checks ride existing loops.
+    """
+    automaton = workload_automaton()
+    table = Table(
+        "E13h  resource-governance overhead (2-worker fleet, E13a "
+        "workload): all limits off vs armed-but-generous",
+        ["docs", "off (s)", "on (s)", "off docs/s", "on docs/s",
+         "overhead %", "degraded", "truncated"],
+    )
+    governed = dict(
+        shm_budget=256 * 1024 * 1024,
+        max_tuples=10_000_000,
+        max_result_bytes=1 << 30,
+        on_result_limit="truncate",
+        worker_memory_limit=4 << 30,
+        worker_memory_hard_limit=8 << 30,
+        max_compile_states=100_000,
+        compile_timeout=60.0,
+    )
+    for n_docs in (800, 1600):
+        docs = log_corpus(n_docs)
+        serial = list(CompiledSpanner(automaton).evaluate_many(docs))
+        timings = {}
+        counters = {}
+        for label, knobs in (("off", {}), ("on", governed)):
+            with SpannerService(
+                workers=2, chunk_size=16, **knobs
+            ) as service:
+                qid = service.register(CompiledSpanner(automaton))
+                service.submit(qid, docs).result()  # warm: artifact shipped
+                elapsed, out = _timed_best(
+                    lambda: service.submit(qid, docs).result(), repeat=5
+                )
+                resources = service.health()["resources"]
+                counters[label] = (
+                    resources["degraded_to_pipe"],
+                    resources["docs_truncated"],
+                    resources["tasks_result_limited"],
+                    resources["queries_rejected"],
+                    resources["memory_recycles"],
+                    resources["memory_kills"],
+                )
+            assert out == serial, f"governance={label} output diverged"
+            timings[label] = elapsed
+        assert counters["on"] == (0, 0, 0, 0, 0, 0), (
+            f"generous limits tripped on the healthy path: {counters['on']}"
+        )
+        overhead = (timings["on"] / timings["off"] - 1.0) * 100.0
+        table.add(
+            n_docs, timings["off"], timings["on"],
+            n_docs / timings["off"], n_docs / timings["on"],
+            overhead, counters["on"][0], counters["on"][1],
+        )
+    table.note(
+        "identical tuple sequences asserted with governance on and off; "
+        "limits are set far above the workload so every governance "
+        "counter (degradations, truncations, result-limit failures, "
+        "rejections, memory recycles/kills) must read 0 — target: "
+        "<= 1% overhead with all limits armed (best-of-5 passes per "
+        "cell; single-pass noise on shared runners is wider than the "
+        "effect, so read the sign across corpus sizes)"
     )
     return table
 
@@ -553,6 +636,42 @@ def test_e13_shm_transport_parity_two_workers():
     if os.path.isdir("/dev/shm"):
         leftovers = glob.glob("/dev/shm/sjdoc-*")
         assert not leftovers, f"leaked shm segments: {leftovers}"
+
+
+def test_e13_governed_fleet_identical():
+    """CI smoke: a fleet with the whole governance layer armed at
+    generous limits — shm budget, result caps, memory watchdog,
+    compile admission — must match the ungoverned serial output
+    byte-for-byte with every governance counter at 0.  Identity
+    asserts only, no wall-clock bound (the overhead timing lives in
+    the E13h table); this is the guard against governance checks
+    perturbing the answer stream on the healthy path.
+    """
+    automaton = workload_automaton()
+    docs = log_corpus(120)
+    serial = list(CompiledSpanner(automaton).evaluate_many(docs))
+    with SpannerService(
+        workers=2,
+        chunk_size=16,
+        shm_budget=256 * 1024 * 1024,
+        max_tuples=10_000_000,
+        max_result_bytes=1 << 30,
+        on_result_limit="truncate",
+        worker_memory_limit=4 << 30,
+        worker_memory_hard_limit=8 << 30,
+        max_compile_states=100_000,
+        compile_timeout=60.0,
+    ) as service:
+        qid = service.register(CompiledSpanner(automaton))
+        out = service.submit(qid, docs).result()
+        resources = service.health()["resources"]
+    assert _canonical(out) == _canonical(serial)
+    assert resources["degraded_to_pipe"] == 0
+    assert resources["docs_truncated"] == 0
+    assert resources["tasks_result_limited"] == 0
+    assert resources["queries_rejected"] == 0
+    assert resources["memory_recycles"] == 0
+    assert resources["memory_kills"] == 0
 
 
 def test_e13_parallel_speedup_when_cores_allow():

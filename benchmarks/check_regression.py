@@ -38,10 +38,12 @@ the gate is skipped with a clear message and exit 0, never a crash.
 
 Besides the gates, the checker reports (informationally, never as an
 exit-code failure) the newest record's fleet fault counters — the
-``timeouts`` / ``quarantines`` columns of the E13g table.  The E13g
-run is the healthy path, so both must read 0; a nonzero total flags
-the record's timings as contaminated by deadline retries.  Records
-predating E13g simply skip the report.
+``timeouts`` / ``quarantines`` columns of the E13g table — and its
+resource-governance counters — the ``degraded`` / ``truncated``
+columns of the E13h table.  Both runs are the healthy path, so every
+counter must read 0; a nonzero total flags the record's timings as
+contaminated by deadline retries (E13g) or by limit trips (E13h).
+Records predating either table simply skip that report.
 
 Timing on shared CI runners is noisy; 30% is deliberately far above
 run-to-run jitter (single-digit percents on these workloads) so the
@@ -128,6 +130,9 @@ def table_total(
 #: Fault-tolerance counters stamped into the E13g table since PR 6.
 FLEET_COUNTER_COLUMNS = ("timeouts", "quarantines")
 
+#: Resource-governance counters stamped into the E13h table since PR 7.
+RESOURCE_COUNTER_COLUMNS = ("degraded", "truncated")
+
 
 def report_fleet_counters(records: list[tuple[str, dict]]) -> None:
     """Informational: the newest record's fleet fault counters.
@@ -154,6 +159,40 @@ def report_fleet_counters(records: list[tuple[str, dict]]) -> None:
             "  notice: nonzero fault counters — deadlines tripped during "
             "the benchmark run, so its fleet timings include retries; "
             "treat this record's throughput numbers with suspicion"
+        )
+
+
+def report_resource_counters(records: list[tuple[str, dict]]) -> None:
+    """Informational: the newest record's governance counters.
+
+    The E13h table arms every resource limit at values far above the
+    workload, so both counters must read 0; a nonzero value means a
+    limit tripped *during the benchmark run* — its "on" timings then
+    include pipe fallbacks or truncated enumerations and the measured
+    overhead is not the healthy-path cost.  A data-quality notice for
+    the trajectory reader — never an exit-code failure, and records
+    predating E13h stay silent.
+    """
+    newest_name, newest = records[-1]
+    totals = {
+        column: table_total(newest, "E13", "E13h", column)
+        for column in RESOURCE_COUNTER_COLUMNS
+    }
+    if all(value is None for value in totals.values()):
+        return  # record predates the E13h table
+    rendered = ", ".join(
+        f"{column}={int(value or 0)}" for column, value in totals.items()
+    )
+    print(
+        f"perf-trajectory [resource-counters]: newest {newest_name}: "
+        f"{rendered}"
+    )
+    if any(value for value in totals.values()):
+        print(
+            "  notice: nonzero governance counters — a resource limit "
+            "tripped during the benchmark run, so its governed timings "
+            "include degraded transport or truncated results; the "
+            "measured overhead is not the healthy-path cost"
         )
 
 
@@ -355,6 +394,7 @@ def check(
     records = load_records(results_dir)
     if records:
         report_fleet_counters(records)
+        report_resource_counters(records)
     if len(records) < 2:
         print(
             f"perf-trajectory: {len(records)} record(s) in {results_dir} — "

@@ -15,8 +15,12 @@ The tour below registers three queries — an ERROR-component extractor,
 an error-code extractor and a *string-equality* (dedup) query running
 the fused equality runtime — and serves them all from one 2-worker
 fleet, first through sync futures, then through asyncio — prints the
-``health()`` snapshot a liveness endpoint would poll — then serves a
-final batch across a forced worker recycle.
+``health()`` snapshot a liveness endpoint would poll (including its
+``resources`` section: shm bytes against the budget, per-worker RSS
+and the governance counters) — demonstrates the resource-governance
+layer (result caps with the ``truncate`` policy, compile-time
+admission control) — then serves a final batch across a forced worker
+recycle.
 """
 
 import asyncio
@@ -127,6 +131,57 @@ def main() -> None:
             f"quarantined={list(health['quarantined_queries']) or 'none'}"
         )
         print(f"  counters: {health['counters']}")
+        # The resource-governance view: shm bytes against the budget,
+        # degraded-to-pipe episodes, per-worker RSS, and the
+        # truncation / rejection / memory-recycle counters.
+        res = health["resources"]
+        rss = {
+            wid: f"{v / 1024 / 1024:.1f}MiB" if v else "?"
+            for wid, v in res["worker_rss_bytes"].items()
+        }
+        print(
+            f"  resources: shm_in_flight={res['shm_bytes_in_flight']} "
+            f"shm_pooled={res['shm_bytes_pooled']} "
+            f"budget={res['shm_budget'] or 'unlimited'} "
+            f"degraded_to_pipe={res['degraded_to_pipe']}"
+        )
+        print(
+            f"             worker_rss={rss} "
+            f"truncated={res['docs_truncated']} "
+            f"result_limited={res['tasks_result_limited']} "
+            f"rejected={res['queries_rejected']} "
+            f"memory_recycles={res['memory_recycles']}"
+        )
+
+    # -- resource governance: caps and admission control -------------------
+    from repro.errors import QueryRejectedError
+    from repro.runtime import estimate_compile_states
+
+    with SpannerService(
+        workers=1, chunk_size=8,
+        max_tuples=2, on_result_limit="truncate",
+        max_compile_states=estimate_compile_states(CODE_ATOM),
+    ) as service:
+        # Per-query result caps: at most 2 tuples per document, the
+        # truncate policy returning the exact enumeration-order prefix.
+        # A lowercase-word extractor yields many tuples per log line,
+        # so the cap genuinely bites.
+        word_atom = "(ε|.*[^a-z])w{[a-z]+}([^a-z].*|ε)"
+        qid = service.register(CompiledSpanner(word_atom))
+        capped = service.submit(qid, lines).result()
+        truncated = service.health()["resources"]["docs_truncated"]
+        print(
+            f"\ngovernance: max_tuples=2 (truncate) kept "
+            f"{sum(map(len, capped))} tuples, {truncated} docs truncated"
+        )
+        # Admission control: a formula whose compile-size estimate
+        # (Lemma 3.4: <= 2 states per AST node) exceeds the budget is
+        # rejected at register() time, before any compilation — no
+        # worker ever sees it.
+        try:
+            service.register(COMPONENT_ATOM)
+        except QueryRejectedError as err:
+            print(f"governance: oversized query rejected: {err}")
 
     # -- worker recycling: results are identical across worker churn -------
     with SpannerService(

@@ -18,7 +18,13 @@ Subcommands:
   and ``--encoding``/``--errors`` decode legacy corpora without
   crashing mid-stream; ``--task-timeout`` bounds every dispatched
   chunk (a hung worker is killed and replaced instead of stalling the
-  run) and ``--on-overload`` picks the load-shedding policy;
+  run) and ``--on-overload`` picks the load-shedding policy; the
+  resource-governance knobs (``--shm-budget``, ``--max-tuples`` /
+  ``--max-result-bytes`` / ``--on-result-limit``,
+  ``--worker-memory-limit``, ``--max-compile-states`` /
+  ``--compile-timeout``) bound shared memory, per-document output
+  volume, worker RSS and compile time, degrading or rejecting
+  gracefully instead of dying;
 * ``query`` — evaluate a regex CQ given repeated ``--atom`` formulas,
   an optional ``--head`` and optional ``--equal`` groups; with several
   ``--file`` arguments the per-query compilation is shared across the
@@ -142,21 +148,53 @@ def _extract_prefix(
 
 
 def _fleet_opts(args: argparse.Namespace) -> dict:
-    """The fault-tolerance knobs every fleet construction site shares.
+    """The fault-tolerance and resource knobs every fleet site shares.
 
     Validated here so a bad value prints ``error: ...`` (exit 2) like
     every other CLI mistake instead of a constructor traceback.  A task
     that then exceeds the deadline surfaces as
-    :class:`~repro.errors.TaskTimeoutError` — a ``SpannerError``, so
-    ``main()`` renders it the same way.
+    :class:`~repro.errors.TaskTimeoutError`, and one that exceeds a
+    result cap as :class:`~repro.errors.ResultLimitError` — both
+    ``SpannerError``s, so ``main()`` renders them the same way.
     """
     if args.task_timeout is not None and args.task_timeout <= 0:
         raise SpannerError(
             f"--task-timeout must be > 0, got {args.task_timeout}"
         )
+    for flag, value in (
+        ("--shm-budget", args.shm_budget),
+        ("--max-tuples", args.max_tuples),
+        ("--max-result-bytes", args.max_result_bytes),
+        ("--worker-memory-limit", args.worker_memory_limit),
+    ):
+        if value is not None and value < 1:
+            raise SpannerError(f"{flag} must be >= 1, got {value}")
     return {
         "task_timeout": args.task_timeout,
         "on_overload": args.on_overload,
+        "shm_budget": args.shm_budget,
+        "max_tuples": args.max_tuples,
+        "max_result_bytes": args.max_result_bytes,
+        "on_result_limit": args.on_result_limit,
+        "worker_memory_limit": args.worker_memory_limit,
+    }
+
+
+def _admission_opts(args: argparse.Namespace) -> dict:
+    """The register-time admission knobs (``SpannerService`` only —
+    ``ParallelSpanner`` compiles its one query eagerly at construction,
+    so there is no admission decision left to make there)."""
+    if args.max_compile_states is not None and args.max_compile_states < 1:
+        raise SpannerError(
+            f"--max-compile-states must be >= 1, got {args.max_compile_states}"
+        )
+    if args.compile_timeout is not None and args.compile_timeout <= 0:
+        raise SpannerError(
+            f"--compile-timeout must be > 0, got {args.compile_timeout}"
+        )
+    return {
+        "max_compile_states": args.max_compile_states,
+        "compile_timeout": args.compile_timeout,
     }
 
 
@@ -180,10 +218,13 @@ def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
         encoding=args.encoding,
         errors=args.errors,
         **_fleet_opts(args),
+        **_admission_opts(args),
     ) as service:
-        query_ids = [
-            service.register(CompiledSpanner(formula)) for formula in formulas
-        ]
+        # Register the raw formulas so admission control sees them
+        # *before* compilation (the artifact — the compiled tables —
+        # is identical either way).  A rejection surfaces as
+        # ``error: query rejected: ...`` before any worker time.
+        query_ids = [service.register(formula) for formula in formulas]
         futures = [
             service.submit_files(qid, args.file, limit=args.limit)
             for qid in query_ids
@@ -234,7 +275,14 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         and args.file
         and (len(args.file) > 1 or label_queries)
     ):
-        if label_queries:
+        if (
+            label_queries
+            or args.max_compile_states is not None
+            or args.compile_timeout is not None
+        ):
+            # Several formulas — or an admission knob, which only
+            # register() on a SpannerService enforces (ParallelSpanner
+            # compiles eagerly, before any admission decision exists).
             total = _extract_fleet(args, formulas)
         else:
             # One query: keep the streaming single-query session (the
@@ -491,6 +539,76 @@ def build_parser() -> argparse.ArgumentParser:
                 "what a --workers fleet does when its in-flight bound "
                 "is hit: block submission (default), shed the oldest "
                 "queued chunk, or reject the new one"
+            ),
+        )
+        p.add_argument(
+            "--shm-budget",
+            type=int,
+            metavar="BYTES",
+            help=(
+                "byte budget for the shared-memory transport; chunks "
+                "the budget (or /dev/shm) cannot fit fall back to the "
+                "task pipe, never fail (default: unbounded)"
+            ),
+        )
+        p.add_argument(
+            "--max-tuples",
+            type=int,
+            metavar="N",
+            help=(
+                "per-document result cap in tuples for --workers "
+                "fleets; a document past it fails its chunk (or is "
+                "truncated, see --on-result-limit) instead of "
+                "ballooning memory (default: uncapped)"
+            ),
+        )
+        p.add_argument(
+            "--max-result-bytes",
+            type=int,
+            metavar="BYTES",
+            help=(
+                "per-document result cap in encoded bytes for "
+                "--workers fleets (default: uncapped)"
+            ),
+        )
+        p.add_argument(
+            "--on-result-limit",
+            choices=("error", "truncate"),
+            default="error",
+            help=(
+                "what a capped document does: error (default, fail "
+                "that chunk) or truncate (keep the exact serial "
+                "prefix up to the cap)"
+            ),
+        )
+        p.add_argument(
+            "--worker-memory-limit",
+            type=int,
+            metavar="BYTES",
+            help=(
+                "RSS past which a fleet worker is drained and "
+                "recycled at its next task boundary (default: no "
+                "watchdog)"
+            ),
+        )
+        p.add_argument(
+            "--max-compile-states",
+            type=int,
+            metavar="N",
+            help=(
+                "reject formulas whose estimated automaton size "
+                "exceeds N before compiling them (fleet extract; "
+                "default: admit everything)"
+            ),
+        )
+        p.add_argument(
+            "--compile-timeout",
+            type=float,
+            metavar="SECONDS",
+            help=(
+                "deadline for compiling each registered formula "
+                "(fleet extract; a compile past it is killed and the "
+                "formula rejected; default: unbounded)"
             ),
         )
 

@@ -9,7 +9,12 @@ evaluating them — plus the serving-fleet fault-tolerance errors
 :class:`OverloadedError`, :class:`ServiceClosedError`,
 :class:`TransientTaskError`), which exist because combined-complexity
 intractability (Theorems 4.5/4.9) means a fleet serving arbitrary
-queries must assume some tasks legitimately never finish.
+queries must assume some tasks legitimately never finish, and the
+resource-governance errors (:class:`ResultLimitError`,
+:class:`QueryRejectedError`), which exist because output relations can
+be combinatorially large (Theorem 5.4) and automaton size is only
+polynomially bounded per query — a serving fleet must be able to say
+"no" before memory or compile time runs out.
 """
 
 from __future__ import annotations
@@ -72,6 +77,77 @@ class QueryError(SpannerError):
 
 class EvaluationError(SpannerError):
     """Raised when evaluation cannot proceed (e.g. exceeded a budget)."""
+
+
+class ResultLimitError(EvaluationError):
+    """A task's result grew past its ``max_tuples``/``max_result_bytes`` cap.
+
+    Raised worker-side by
+    :class:`~repro.runtime.service.SpannerService` while enumerating a
+    document whose output crosses the effective result cap (per-call
+    override, else per-query override, else the service default) under
+    the ``on_result_limit="error"`` policy.  Exactly the offending
+    task's future fails; the fleet, the query registration and every
+    other in-flight task are untouched.  This error indicts the
+    *input* (a tuple-dense document meeting a tuple-dense query — the
+    combinatorial outputs Theorem 5.4 allows), not the fleet, so it
+    never charges the query's circuit breaker.
+
+    Picklable by construction: workers ship it back through the result
+    queue, so ``args`` is exactly the constructor signature.
+
+    Attributes:
+        kind: which cap tripped — ``"tuples"`` or ``"bytes"``.
+        limit: the configured cap.
+        produced: how much the document had produced when the cap
+            tripped (tuples or encoded bytes, matching ``kind``).
+    """
+
+    def __init__(self, kind: str, limit: int, produced: int):
+        super().__init__(kind, limit, produced)
+        self.kind = kind
+        self.limit = limit
+        self.produced = produced
+
+    def __str__(self) -> str:
+        unit = "tuples" if self.kind == "tuples" else "result bytes"
+        return (
+            f"document result exceeded the cap: {self.produced} {unit} "
+            f"against a max of {self.limit} "
+            "(raise the cap, or set on_result_limit='truncate' for the "
+            "bounded prefix)"
+        )
+
+
+class QueryRejectedError(SpannerError):
+    """Admission control refused to compile (or finish compiling) a query.
+
+    Raised by :meth:`~repro.runtime.service.SpannerService.register`
+    *before* any worker time is spent: either the query's estimated
+    automaton size exceeds ``max_compile_states`` (the state count is
+    bounded from the syntax tree — Thompson's construction is linear in
+    ``|alpha|`` — so the estimate costs a parse, not a compile), or the
+    compilation outlived ``compile_timeout`` and was killed.  The fleet
+    and every registered query keep serving; nothing was registered.
+
+    Attributes:
+        reason: human-readable rejection reason.
+        estimated_states: the admission estimate, when the size bound
+            tripped (``None`` for compile timeouts).
+        max_compile_states: the configured bound, when it tripped.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        estimated_states: int | None = None,
+        max_compile_states: int | None = None,
+    ):
+        super().__init__(f"query rejected: {reason}")
+        self.reason = reason
+        self.estimated_states = estimated_states
+        self.max_compile_states = max_compile_states
 
 
 class TaskTimeoutError(EvaluationError, TimeoutError):

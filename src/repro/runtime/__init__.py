@@ -51,6 +51,7 @@ __all__ = [
     "AutomatonTables",
     "tables_for",
     "CompiledSpanner",
+    "estimate_compile_states",
     "CompiledEqualityQuery",
     "ParallelSpanner",
     "SpannerService",
@@ -68,10 +69,10 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    if name == "CompiledSpanner":
-        from .compiled import CompiledSpanner
+    if name in ("CompiledSpanner", "estimate_compile_states"):
+        from . import compiled
 
-        return CompiledSpanner
+        return getattr(compiled, name)
     if name == "ParallelSpanner":
         from .parallel import ParallelSpanner
 

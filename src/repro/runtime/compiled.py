@@ -21,18 +21,48 @@ yields, in the same radix order of configuration words.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import Iterable, Iterator
 
 from ..enumeration.enumerator import SpannerEvaluator
+from ..regex.ast import RegexFormula
+from ..regex.parser import parse
 from ..spans import SpanRelation, SpanTuple
 from ..vset.automaton import VSetAutomaton
 from ..vset.compile import compile_regex
 from .tables import AutomatonTables, tables_for
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..regex.ast import RegexFormula
+__all__ = ["CompiledSpanner", "estimate_compile_states"]
 
-__all__ = ["CompiledSpanner"]
+
+def estimate_compile_states(
+    query: object,
+) -> int | None:
+    """Upper-bound the automaton size ``register()`` would build.
+
+    Admission control needs the answer *before* compiling: the
+    Thompson-style construction of Lemma 3.4 emits at most two states
+    per syntax-tree node (plus the start/accept pair), so for formula
+    inputs the bound ``2*|alpha| + 2`` costs one linear parse — never a
+    compile.  Already-built inputs report their actual state count, and
+    inputs whose cost this function cannot bound cheaply (e.g. a
+    :class:`~repro.runtime.equality.CompiledEqualityQuery`, which is
+    already compiled anyway) return ``None``, meaning "admit".
+
+    The estimate is an upper bound on the *pre-compaction* automaton;
+    trimming only removes states, so a query admitted by its estimate
+    never compiles into something larger than the estimate.
+    """
+    if isinstance(query, CompiledSpanner):
+        return query.n_states
+    if isinstance(query, AutomatonTables):
+        return query.automaton.n_states
+    if isinstance(query, VSetAutomaton):
+        return query.n_states
+    if isinstance(query, str):
+        query = parse(query)
+    if isinstance(query, RegexFormula):
+        return 2 * query.size() + 2
+    return None
 
 
 class CompiledSpanner:

@@ -28,6 +28,30 @@ shipped to every worker at spawn time and consulted once per attempt,
     simulates the shared-memory attach race where a segment is not yet
     visible in the worker's namespace; the driver must re-dispatch.
 
+PR 7 adds the *resource* faults the governance layer defends against:
+
+``rss_bloat``
+    the worker leaks ``amount`` bytes on purpose (kept alive in a
+    module global), so its RSS crosses the memory watchdog's limit —
+    the task itself still completes correctly; the driver must
+    drain-and-recycle the worker at the next task boundary.
+``tuple_flood``
+    the task's engine is wrapped so every document's result stream is
+    padded to ``amount`` tuples — simulates the combinatorially large
+    outputs Theorem 5.4 allows, deterministically, whatever the
+    document; the result caps must fail (or truncate) exactly this
+    task.
+``shm_enospc``
+    *driver-side*: chosen pack sequence numbers fail segment
+    allocation with a synthetic ``ENOSPC``
+    (:meth:`~repro.runtime.transport.SharedMemoryTransport.inject_enospc`),
+    so the pipe fallback is exercised without filling ``/dev/shm``.
+    Configured per *pack index*, not per task — packing happens on
+    submitter threads before a task exists.
+``slow_compile``
+    *driver-side*: every ``register()`` compilation sleeps first, so a
+    ``compile_timeout`` fires deterministically.
+
 Each spec may be limited to specific *attempts* (1-based), so a plan
 can express "fail transiently on the first two attempts, succeed on
 the third" and the retry/backoff path is exercised end to end.
@@ -47,7 +71,11 @@ from ..errors import TransientTaskError
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
 
 #: Recognised fault kinds, in the order the docstring introduces them.
-FAULT_KINDS = ("crash", "hang", "slow", "shm_attach")
+#: ``shm_enospc`` and ``slow_compile`` are consulted driver-side (plan
+#: fields, not task specs); the rest execute in the worker.
+FAULT_KINDS = (
+    "crash", "hang", "slow", "shm_attach", "rss_bloat", "tuple_flood",
+)
 
 #: How long a "hang" sleeps.  Long enough that any test deadline fires
 #: first; short enough that a kill-path bug fails the suite instead of
@@ -57,6 +85,20 @@ HANG_SECONDS = 600.0
 #: Exit code used by injected crashes, distinguishable from a Python
 #: traceback (1) and a signal death (negative) in worker post-mortems.
 CRASH_EXIT_CODE = 86
+
+#: Default leak size for ``rss_bloat`` — big enough to cross any
+#: realistic test watchdog limit in one hop.
+BLOAT_BYTES = 256 * 1024 * 1024
+
+#: Default padded result size for ``tuple_flood``.  Finite on purpose:
+#: a flood against an *uncapped* fleet must still terminate (slowly)
+#: instead of hanging the suite.
+FLOOD_TUPLES = 100_000
+
+#: Keeps injected rss_bloat allocations alive for the worker's
+#: remaining lifetime — the point is a *persistent* RSS high-water
+#: mark the watchdog can see at the next task boundary.
+_BLOAT_HOLD: list = []
 
 
 @dataclass(frozen=True)
@@ -70,11 +112,15 @@ class FaultSpec:
         attempts: 1-based attempt numbers the fault applies to, or
             ``None`` for every attempt.  ``attempts=(1,)`` means "fail
             once, then succeed" — the canonical transient fault.
+        amount: size parameter for the resource faults — leaked bytes
+            for ``rss_bloat``, padded tuples per document for
+            ``tuple_flood``.
     """
 
     kind: str
     seconds: float | None = None
     attempts: tuple[int, ...] | None = None
+    amount: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -99,6 +145,16 @@ class FaultSpec:
             raise TransientTaskError(
                 "injected fault: shared-memory segment not attachable"
             )
+        elif self.kind == "rss_bloat":
+            # Leak on purpose: the watchdog watches RSS at task
+            # boundaries, so the allocation must outlive the task.
+            _BLOAT_HOLD.append(bytearray(
+                BLOAT_BYTES if self.amount is None else self.amount
+            ))
+        # tuple_flood does nothing here — the worker consults
+        # FaultPlan.flood_amount and wraps the task's engine instead,
+        # because the flood must happen *during* enumeration, after
+        # the engine is materialized.
 
 
 @dataclass
@@ -115,9 +171,17 @@ class FaultPlan:
 
     The plan is pickled into each worker at spawn; mutating it after
     the service starts has no effect on already-running workers.
+
+    The two driver-side resource faults live on the plan itself rather
+    than in ``specs``: ``enospc_packs`` names transport pack indices
+    whose segment allocation fails (consulted when the service wires
+    its transport), and ``compile_delay`` makes every ``register()``
+    compilation sleep first (consulted by the admission-control path).
     """
 
     specs: dict[int, FaultSpec] = field(default_factory=dict)
+    enospc_packs: frozenset = frozenset()
+    compile_delay: float | None = None
 
     # -- builders ------------------------------------------------------
 
@@ -151,7 +215,58 @@ class FaultPlan:
     ) -> "FaultPlan":
         return self.add(task, FaultSpec("shm_attach", attempts=attempts))
 
+    def rss_bloat(
+        self,
+        task: int,
+        amount: int | None = None,
+        attempts: tuple[int, ...] | None = None,
+    ) -> "FaultPlan":
+        return self.add(
+            task, FaultSpec("rss_bloat", attempts=attempts, amount=amount)
+        )
+
+    def tuple_flood(
+        self,
+        task: int,
+        amount: int | None = None,
+        attempts: tuple[int, ...] | None = None,
+    ) -> "FaultPlan":
+        return self.add(
+            task, FaultSpec("tuple_flood", attempts=attempts, amount=amount)
+        )
+
+    def shm_enospc(self, *packs: int) -> "FaultPlan":
+        """Fail segment allocation for these pack indices (0-based, in
+        transport pack order — submission order for one submitter)."""
+        if any(p < 0 for p in packs):
+            raise ValueError(f"pack indices must be >= 0, got {packs}")
+        self.enospc_packs = self.enospc_packs | frozenset(packs)
+        return self
+
+    def slow_compile(self, seconds: float) -> "FaultPlan":
+        """Make every ``register()`` compilation sleep first."""
+        if seconds <= 0:
+            raise ValueError(f"seconds must be > 0, got {seconds}")
+        self.compile_delay = seconds
+        return self
+
     # -- worker side ---------------------------------------------------
+
+    def flood_amount(self, task_id: int, attempt: int) -> int | None:
+        """Padded per-document tuple count, when a flood is planned here.
+
+        Returns ``None`` (no flood) for every task without an applicable
+        ``tuple_flood`` spec — the worker wraps the task's engine in
+        :class:`_FloodingEngine` only on a non-``None`` return.
+        """
+        spec = self.specs.get(task_id)
+        if (
+            spec is not None
+            and spec.kind == "tuple_flood"
+            and spec.applies_to(attempt)
+        ):
+            return FLOOD_TUPLES if spec.amount is None else spec.amount
+        return None
 
     def apply(self, task_id: int, attempt: int) -> None:
         """Trigger the fault for (task_id, attempt), if any is planned.
@@ -166,4 +281,47 @@ class FaultPlan:
             spec.trigger()
 
     def __bool__(self) -> bool:
-        return bool(self.specs)
+        return (
+            bool(self.specs)
+            or bool(self.enospc_packs)
+            or self.compile_delay is not None
+        )
+
+
+class _FloodingEngine:
+    """Engine wrapper that pads every document's stream to ``amount``.
+
+    Used by the worker loop when :meth:`FaultPlan.flood_amount` names
+    the current task: the base engine's genuine tuples come out first
+    (so parity checks on the surviving prefix stay meaningful), then the
+    last tuple repeats until ``amount`` tuples have been yielded —
+    combinatorial output volume without a combinatorial document.
+    Documents with no matches stay empty: there is nothing to repeat,
+    and an all-empty flood would silently test nothing, so flood tests
+    use matching documents.
+
+    ``count`` delegates untouched — the flood targets enumeration,
+    where the result caps do their incremental accounting.
+    """
+
+    def __init__(self, base, amount: int):
+        self._base = base
+        self._amount = amount
+
+    def stream(self, doc):
+        produced = 0
+        last = None
+        for mu in self._base.stream(doc):
+            if produced >= self._amount:
+                return
+            last = mu
+            produced += 1
+            yield mu
+        if last is None:
+            return
+        while produced < self._amount:
+            yield last
+            produced += 1
+
+    def count(self, doc, cap=None):
+        return self._base.count(doc, cap=cap)

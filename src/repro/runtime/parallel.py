@@ -72,7 +72,11 @@ from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
-from .service import OVERLOAD_POLICIES, SpannerService
+from .service import (
+    OVERLOAD_POLICIES,
+    RESULT_LIMIT_POLICIES,
+    SpannerService,
+)
 from .transport import DEFAULT_SHM_THRESHOLD, create_transport, read_document
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -136,6 +140,20 @@ class ParallelSpanner:
             in-flight bound (``"block"``, ``"shed_oldest"``,
             ``"reject"``); see :class:`SpannerService`.  The session's
             own ``max_pending`` backpressure usually fills first.
+        shm_budget: byte budget for the fleet's shared-memory segments;
+            chunks the budget cannot fit degrade to the task pipe
+            (results byte-identical); see :class:`SpannerService`.
+        max_tuples / max_result_bytes: per-*document* result caps,
+            enforced inside the workers; a capped document fails its
+            chunk with :class:`~repro.errors.ResultLimitError` (policy
+            ``"error"``) or contributes exactly the serial prefix
+            (policy ``"truncate"``).  Not enforced on the ``workers=1``
+            serial path — the caps govern fleet resources.
+        on_result_limit: ``"error"`` or ``"truncate"``; see
+            :class:`SpannerService`.
+        worker_memory_limit / worker_memory_hard_limit: RSS bounds for
+            the fleet's memory watchdog (drain-recycle / hard-kill);
+            see :class:`SpannerService`.
     """
 
     def __init__(
@@ -155,6 +173,12 @@ class ParallelSpanner:
         errors: str = "strict",
         task_timeout: float | None = None,
         on_overload: str = "block",
+        shm_budget: int | None = None,
+        max_tuples: int | None = None,
+        max_result_bytes: int | None = None,
+        on_result_limit: str = "error",
+        worker_memory_limit: int | None = None,
+        worker_memory_hard_limit: int | None = None,
     ):
         if not isinstance(spanner, (CompiledSpanner, CompiledEqualityQuery)):
             spanner = CompiledSpanner(spanner)
@@ -176,11 +200,14 @@ class ParallelSpanner:
         # performs exactly the checks the service will repeat (mode
         # name, threshold, forced-shm availability); the probe owns no
         # segments, so closing it is free.
-        probe = create_transport(transport, shm_threshold=shm_threshold)
+        probe = create_transport(
+            transport, shm_threshold=shm_threshold, shm_budget=shm_budget
+        )
         if probe is not None:
             probe.close()
         self.transport = transport
         self.shm_threshold = shm_threshold
+        self.shm_budget = shm_budget
         self.encoding = encoding
         self.errors = errors
         if task_timeout is not None and task_timeout <= 0:
@@ -195,6 +222,37 @@ class ParallelSpanner:
                 f"got {on_overload!r}"
             )
         self.on_overload = on_overload
+        if max_tuples is not None and max_tuples < 1:
+            raise ValueError(f"max_tuples must be >= 1, got {max_tuples}")
+        self.max_tuples = max_tuples
+        if max_result_bytes is not None and max_result_bytes < 1:
+            raise ValueError(
+                f"max_result_bytes must be >= 1, got {max_result_bytes}"
+            )
+        self.max_result_bytes = max_result_bytes
+        if on_result_limit not in RESULT_LIMIT_POLICIES:
+            raise ValueError(
+                f"on_result_limit must be one of {RESULT_LIMIT_POLICIES}, "
+                f"got {on_result_limit!r}"
+            )
+        self.on_result_limit = on_result_limit
+        if worker_memory_limit is not None and worker_memory_limit < 1:
+            raise ValueError(
+                f"worker_memory_limit must be >= 1, got {worker_memory_limit}"
+            )
+        self.worker_memory_limit = worker_memory_limit
+        if worker_memory_hard_limit is not None and (
+            worker_memory_hard_limit < 1
+            or (
+                worker_memory_limit is not None
+                and worker_memory_hard_limit < worker_memory_limit
+            )
+        ):
+            raise ValueError(
+                "worker_memory_hard_limit must be >= 1 and >= "
+                f"worker_memory_limit, got {worker_memory_hard_limit}"
+            )
+        self.worker_memory_hard_limit = worker_memory_hard_limit
         self._pool: "SpannerService | None" = None
         self._query_id: str | None = None
 
@@ -222,6 +280,12 @@ class ParallelSpanner:
             errors=self.errors,
             task_timeout=self.task_timeout,
             on_overload=self.on_overload,
+            shm_budget=self.shm_budget,
+            max_tuples=self.max_tuples,
+            max_result_bytes=self.max_result_bytes,
+            on_result_limit=self.on_result_limit,
+            worker_memory_limit=self.worker_memory_limit,
+            worker_memory_hard_limit=self.worker_memory_hard_limit,
         )
         service.start()
         self._query_id = service.register(self.spanner)

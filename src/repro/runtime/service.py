@@ -59,6 +59,25 @@ fleet:
   submitter) or ``"shed_oldest"`` (the oldest backlogged task is
   failed to make room).  :mod:`repro.runtime.faults` injects all of
   these failure modes deterministically for the chaos suite.
+* **Resource governance.**  The time-domain defenses above assume the
+  fleet has memory to run in; the resource domain gets its own layer.
+  A ``shm_budget`` bounds the transport's segment bytes — a chunk the
+  budget (or ``/dev/shm`` itself) cannot fit degrades to the task pipe
+  for that chunk, counted, never fatal.  Per-document result caps
+  (``max_tuples`` / ``max_result_bytes``, service/query/call scoped)
+  stop the combinatorially large outputs Theorem 5.4 allows at the
+  enumeration boundary: ``on_result_limit="error"`` fails exactly that
+  task with :class:`~repro.errors.ResultLimitError` (never charging
+  the query's breaker — the *input* is indicted, not the fleet);
+  ``"truncate"`` returns the exact serial prefix, counted.  A memory
+  watchdog reads each worker's RSS off the heartbeat channel and
+  drain-recycles past ``worker_memory_limit`` (hard-kills only past
+  ``worker_memory_hard_limit``).  And ``register()`` practices
+  admission control: an automaton-size estimate gates
+  ``max_compile_states`` before compiling, and ``compile_timeout``
+  runs the compilation under the fleet's deadline pattern —
+  :class:`~repro.errors.QueryRejectedError` instead of an unbounded
+  compile.  ``health()['resources']`` reports all of it.
 * **Asyncio front-end.**  ``await service.extract(query_id, docs)``
   evaluates a batch without blocking the event loop;
   :meth:`submit` returns a :class:`concurrent.futures.Future` usable
@@ -93,9 +112,9 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import multiprocessing
+from multiprocessing import connection as mp_connection
 import os
 import pickle
-import queue as queue_module
 import threading
 import time
 from collections import deque
@@ -106,15 +125,17 @@ from typing import TYPE_CHECKING, Awaitable, Iterable, Sequence
 from ..errors import (
     OverloadedError,
     QueryQuarantinedError,
+    QueryRejectedError,
+    ResultLimitError,
     ServiceClosedError,
     TaskTimeoutError,
     TransientTaskError,
 )
 from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
-from .compiled import CompiledSpanner
+from .compiled import CompiledSpanner, estimate_compile_states
 from .equality import CompiledEqualityQuery
-from .faults import FaultPlan
+from .faults import FaultPlan, _FloodingEngine
 from .tables import AutomatonTables
 from .transport import (
     DEFAULT_SHM_THRESHOLD,
@@ -152,6 +173,13 @@ RETRY_BACKOFF_CAP = 1.0
 #: What ``submit`` does once ``max_in_flight`` chunks are outstanding.
 OVERLOAD_POLICIES = ("block", "shed_oldest", "reject")
 
+#: What a worker does when a document's result crosses its cap:
+#: ``"error"`` fails exactly that task with
+#: :class:`~repro.errors.ResultLimitError`; ``"truncate"`` returns the
+#: bounded prefix (byte-identical up to the cap) and counts the
+#: truncation.
+RESULT_LIMIT_POLICIES = ("error", "truncate")
+
 #: Fleet-level failures (timeouts, lost workers, exhausted transient
 #: retries) before a query's circuit breaker opens.
 DEFAULT_QUARANTINE_AFTER = 3
@@ -185,6 +213,101 @@ MAX_WORKER_PREFETCH = 2
 # compilation the engines do internally).
 
 
+try:  # POSIX only; the RSS probe degrades to 0.0 (never sampled) without it
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def _current_rss() -> float:
+    """This process's resident set size in bytes (0.0 when unknowable).
+
+    ``/proc/self/statm`` is the live value (Linux); the ``getrusage``
+    fallback is a high-water mark, which over-reports after a spike but
+    still moves monotonically toward any bloat — good enough for a
+    watchdog whose only action is a graceful drain-and-recycle.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return float(int(fh.read().split()[1]) * _PAGE_SIZE)
+    except (OSError, ValueError, IndexError):
+        pass
+    if _resource is not None:
+        try:
+            return float(
+                _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss * 1024
+            )
+        except Exception:  # pragma: no cover - defensive
+            pass
+    return 0.0
+
+
+#: Tuples consumed per accounting probe in :func:`_enumerate_capped`.
+#: Large enough that the capped path stays within ~1% of the uncapped
+#: ``list(stream)`` (the E13h target), small enough that a flood costs
+#: at most one probe batch past the cap before the verdict.
+_CAP_PROBE_BATCH = 64
+
+
+def _enumerate_capped(
+    stream,
+    extra: int | None,
+    caps: "tuple[int | None, int | None, str] | None",
+) -> tuple[list, bool]:
+    """One document's tuples under the result cap; (tuples, truncated).
+
+    Accounting is incremental over the polynomial-delay stream, so a
+    combinatorially large result (Theorem 5.4) costs at most one probe
+    batch past the cap before the verdict — never a materialization.
+    Tuples are consumed in :data:`_CAP_PROBE_BATCH` slices so the
+    healthy path runs at ``list()`` speed rather than a per-tuple
+    Python loop, and byte accounting pickles each batch *once* (what
+    the result pipe would actually carry) instead of every tuple
+    individually; a byte-cap truncation therefore cuts at a probe
+    boundary — still an exact serial-order prefix.  The caps and the
+    probe grid are per *document*, not per chunk, so verdicts are
+    byte-identical whatever the worker count or chunking.
+    """
+    if extra is not None:
+        stream = islice(stream, extra)
+    if caps is None:
+        return list(stream), False
+    max_tuples, max_bytes, policy = caps
+    out: list = []
+    used = 0
+    while True:
+        take = _CAP_PROBE_BATCH
+        if max_tuples is not None:
+            # One past the cap: distinguishes "exactly cap tuples
+            # exist" (complete, not truncated) from a genuine overrun.
+            take = min(take, max_tuples - len(out) + 1)
+        batch = list(islice(stream, take))
+        if max_tuples is not None and len(out) + len(batch) > max_tuples:
+            if policy == "truncate":
+                out.extend(batch[: max_tuples - len(out)])
+                return out, True
+            raise ResultLimitError(
+                "tuples", max_tuples, len(out) + len(batch)
+            )
+        if max_bytes is not None and batch:
+            used += len(
+                pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            if used > max_bytes:
+                if policy == "truncate":
+                    return out, True
+                raise ResultLimitError("bytes", max_bytes, used)
+        out.extend(batch)
+        if len(batch) < take:
+            # A short batch IS exhaustion — returning here instead of
+            # probing once more for an empty batch keeps the healthy
+            # path at list() speed (the extra probe re-enters the
+            # enumeration machinery just to hear "no more").
+            return out, False
+
+
 def _materialize(artifact: object) -> object:
     """An unpickled shipped artifact, rebuilt into a serving engine."""
     if isinstance(artifact, AutomatonTables):
@@ -203,7 +326,8 @@ def _run_op(
     extra: int | None,
     encoding: str,
     errors: str,
-) -> list:
+    caps: "tuple[int | None, int | None, str] | None" = None,
+) -> tuple[list, int]:
     """One task's evaluation — exactly the serial per-document path.
 
     ``items`` is either the plain document/path list the pipe carried,
@@ -211,29 +335,40 @@ def _run_op(
     driver packed; either way the evaluation loop sees a sequence of
     strings (decoded lazily out of the shared buffer in the shm case),
     and the attachment is released before the result ships back.
+
+    ``caps`` is the resolved ``(max_tuples, max_result_bytes, policy)``
+    result cap (or ``None``, the uncapped fast path — ``islice`` at the
+    caller's explicit ``limit`` only, as before the governance layer).
+    Returns ``(per_doc_results, truncated_docs)``; under the ``error``
+    policy a crossed cap raises :class:`~repro.errors.ResultLimitError`
+    out of here instead.  ``count`` tasks are never capped — a count is
+    one integer per document regardless of how many tuples it counts.
     """
     docs = open_chunk(items)
+    truncated = 0
     try:
         if op == "evaluate":
-            if extra is None:
-                return [list(engine.stream(doc)) for doc in docs]
-            # Stop enumerating (polynomial delay) at the cap instead of
-            # materializing combinatorially many tuples only to discard
-            # them.
-            return [list(islice(engine.stream(doc), extra)) for doc in docs]
+            out: list[list[SpanTuple]] = []
+            for doc in docs:
+                # Enumeration stops (polynomial delay) at whichever
+                # bound bites first instead of materializing
+                # combinatorially many tuples only to discard them.
+                tuples, cut = _enumerate_capped(engine.stream(doc), extra, caps)
+                truncated += cut
+                out.append(tuples)
+            return out, truncated
         if op == "count":
-            return [engine.count(doc, cap=extra) for doc in docs]
+            return [engine.count(doc, cap=extra) for doc in docs], 0
         if op == "files":
             # Only paths crossed the pipe; read the documents
             # worker-side (huge files decode straight from mmap).
-            out: list[list[SpanTuple]] = []
+            out = []
             for path in docs:
                 doc = read_document(path, encoding=encoding, errors=errors)
-                stream = engine.stream(doc)
-                out.append(
-                    list(stream if extra is None else islice(stream, extra))
-                )
-            return out
+                tuples, cut = _enumerate_capped(engine.stream(doc), extra, caps)
+                truncated += cut
+                out.append(tuples)
+            return out, truncated
         raise ValueError(f"unknown task op {op!r}")
     finally:
         release_chunk(docs)
@@ -242,7 +377,7 @@ def _run_op(
 def _fleet_worker(
     worker_id: int,
     task_queue,
-    result_queue,
+    result_conn,
     heartbeat=None,
     encoding: str = "utf-8",
     errors: str = "strict",
@@ -255,11 +390,24 @@ def _fleet_worker(
     loop.  Results and failures go back tagged with the task id, so the
     driver resolves exactly the future that asked.
 
-    ``heartbeat`` is a shared ``Array('d', 2)`` the worker stamps with
-    ``(task_id, monotonic start time)`` when a task begins and
-    ``(-1, now)`` when it ends — the driver's only window into a worker
-    that has stopped answering.  ``time.monotonic`` is system-wide on
-    the platforms we support, so driver-side age arithmetic is valid.
+    ``result_conn`` is this worker's *own* pipe to the driver — results
+    are deliberately NOT funneled through one shared queue.  A shared
+    ``multiprocessing.Queue`` serializes writers through one
+    cross-process lock, and the watchdogs kill workers with SIGKILL: a
+    kill landing mid-send would leave that lock held forever and
+    silently wedge every *surviving* worker's results.  With per-worker
+    pipes a dying writer can only tear its own channel, which the
+    driver detects (EOF / torn frame) and retires.
+
+    ``heartbeat`` is a shared ``Array('d', 3)`` the worker stamps with
+    ``(task_id, monotonic start time, rss_bytes)`` when a task begins
+    and ``(-1, now, rss_bytes)`` when it ends — the driver's only
+    window into a worker that has stopped answering, and (since PR 7)
+    into its memory footprint: the end-of-task RSS sample is what the
+    memory watchdog reads, so a task that bloated the worker is seen at
+    exactly the next task boundary — the earliest moment a drain-and-
+    recycle is safe.  ``time.monotonic`` is system-wide on the
+    platforms we support, so driver-side age arithmetic is valid.
     The idle stamp lands *before* the result is enqueued: once a result
     is visible, the heartbeat can no longer name its task, so the
     deadline scan cannot kill a worker for work it already finished
@@ -275,11 +423,16 @@ def _fleet_worker(
         msg = task_queue.get()
         if msg[0] == "stop":
             break
-        _kind, task_id, attempt, query_id, payload, op, items, extra = msg
+        (
+            _kind, task_id, attempt, query_id, payload, op, items, extra,
+            caps,
+        ) = msg
         if heartbeat is not None:
+            rss = _current_rss()
             with heartbeat.get_lock():
                 heartbeat[0] = float(task_id)
                 heartbeat[1] = time.monotonic()
+                heartbeat[2] = rss
         try:
             # Materialize a shipped artifact *before* any injected
             # fault: the driver marks the query shipped the moment the
@@ -296,20 +449,60 @@ def _fleet_worker(
                 engines[query_id] = engine
             if fault_plan is not None:
                 fault_plan.apply(task_id, attempt)
-            out = _run_op(engine, op, items, extra, encoding, errors)
+                flood = fault_plan.flood_amount(task_id, attempt)
+                if flood is not None:
+                    # Wrap for this task only; the cached engine stays
+                    # clean for every other task of the query.
+                    engine = _FloodingEngine(engine, flood)
+            out, truncated = _run_op(
+                engine, op, items, extra, encoding, errors, caps
+            )
         except Exception as err:
             try:  # ship the real exception when it pickles
                 pickle.dumps(err)
             except Exception:
                 err = RuntimeError(f"{type(err).__name__}: {err}")
-            result = ("fail", worker_id, task_id, err)
+            result = ("fail", worker_id, task_id, err, 0)
         else:
-            result = ("done", worker_id, task_id, out)
+            result = ("done", worker_id, task_id, out, truncated)
         if heartbeat is not None:
+            rss = _current_rss()
             with heartbeat.get_lock():
                 heartbeat[0] = -1.0
                 heartbeat[1] = time.monotonic()
-        result_queue.put(result)
+                heartbeat[2] = rss
+        try:
+            result_conn.send(result)
+        except (BrokenPipeError, OSError):
+            break  # the driver is gone; nothing left to serve
+    result_conn.close()
+
+
+def _compile_child(conn, query: object, delay: float | None) -> None:
+    """Compile ``query`` to its pickled artifact in a throwaway process.
+
+    The parent polls the pipe under ``compile_timeout`` and kills this
+    process on expiry — the deadline pattern the fleet already uses for
+    hung tasks, applied to compilation, which otherwise runs
+    driver-side with nothing to bound it.  ``delay`` is the
+    ``slow_compile`` chaos hook.
+    """
+    try:
+        if delay:
+            time.sleep(delay)
+        payload = pickle.dumps(
+            SpannerService._artifact_for(query),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        conn.send(("ok", payload))
+    except Exception as err:
+        try:  # ship the real exception when it pickles
+            pickle.dumps(err)
+        except Exception:
+            err = RuntimeError(f"{type(err).__name__}: {err}")
+        conn.send(("err", err))
+    finally:
+        conn.close()
 
 
 # -- Driver side --------------------------------------------------------------
@@ -325,7 +518,7 @@ class _Task:
     """
 
     __slots__ = (
-        "task_id", "query_id", "op", "items", "extra",
+        "task_id", "query_id", "op", "items", "extra", "caps",
         "future", "worker", "attempts", "done", "bounded",
         "deadline", "not_before",
     )
@@ -339,12 +532,14 @@ class _Task:
         extra: int | None,
         bounded: bool,
         deadline: float | None = None,
+        caps: "tuple[int | None, int | None, str] | None" = None,
     ):
         self.task_id = task_id
         self.query_id = query_id
         self.op = op
         self.items = items
         self.extra = extra
+        self.caps = caps  # resolved (max_tuples, max_bytes, policy)
         self.future: Future = Future()
         self.worker: "_WorkerHandle | None" = None
         self.attempts = 0
@@ -358,27 +553,38 @@ class _WorkerHandle:
     """Driver-side record of one worker process."""
 
     __slots__ = (
-        "worker_id", "process", "task_queue", "heartbeat", "shipped",
-        "in_flight", "assigned", "retiring", "stopped",
+        "worker_id", "process", "task_queue", "result_reader", "heartbeat",
+        "shipped", "in_flight", "assigned", "retiring", "memory_flagged",
+        "stopped",
     )
 
     def __init__(
-        self, worker_id: int, process: "BaseProcess", task_queue, heartbeat
+        self,
+        worker_id: int,
+        process: "BaseProcess",
+        task_queue,
+        heartbeat,
+        result_reader,
     ):
         self.worker_id = worker_id
         self.process = process
         self.task_queue = task_queue
-        self.heartbeat = heartbeat  # shared (running task_id, stamp)
+        #: Driver end of this worker's result pipe; ``None`` once
+        #: retired (EOF observed, or handed to the zombie-drain list).
+        self.result_reader = result_reader
+        self.heartbeat = heartbeat  # shared (running task_id, stamp, rss)
         self.shipped: set[str] = set()  # query ids this worker holds
         self.in_flight: dict[int, _Task] = {}
         self.assigned = 0  # lifetime task count (drives recycling)
         self.retiring = False  # no new assignments; stop when drained
+        self.memory_flagged = False  # retiring because of the watchdog
         self.stopped = False  # stop sent (or crash/kill observed)
 
-    def read_heartbeat(self) -> tuple[int, float]:
-        """The (running task id, stamp) pair; task id is -1 when idle."""
+    def read_heartbeat(self) -> tuple[int, float, float]:
+        """The (running task id, stamp, rss bytes) triple; task id is
+        -1 when idle, rss is 0.0 until the worker's first stamp."""
         with self.heartbeat.get_lock():
-            return int(self.heartbeat[0]), self.heartbeat[1]
+            return int(self.heartbeat[0]), self.heartbeat[1], self.heartbeat[2]
 
 
 class _Breaker:
@@ -454,6 +660,46 @@ class SpannerService:
             ``"shed_oldest"`` (the oldest *backlogged* task's future is
             failed with ``OverloadedError`` to make room; falls back to
             blocking when nothing is sheddable).
+        shm_budget: byte budget for the shared-memory transport's
+            segments (in-flight + free pool together); ``None`` =
+            unbounded.  Under pressure the free pool shrinks first; a
+            chunk the remaining budget cannot fit — like any real
+            ``ENOSPC``/``MemoryError`` out of ``/dev/shm`` — falls back
+            to the task pipe for that chunk (counted in ``health()``,
+            never fatal, results byte-identical).
+        max_tuples / max_result_bytes: service-default result cap per
+            *document* (``None`` = uncapped).  Enforced worker-side
+            with incremental accounting over the polynomial-delay
+            stream; override per query (``register``) or per call
+            (``submit*``), most specific wins, explicit ``None``
+            disables an inherited cap.
+        on_result_limit: ``"error"`` (default) fails a capped task with
+            :class:`~repro.errors.ResultLimitError` — which indicts the
+            input, so it never charges the query's breaker; or
+            ``"truncate"`` — the document contributes exactly its first
+            ``max_tuples`` tuples (/ last tuple under the byte cap),
+            byte-identical to the serial prefix, and the truncation is
+            counted.
+        worker_memory_limit: RSS (bytes) past which a worker is
+            drained-and-recycled at its next task boundary — in-flight
+            work finishes, nothing is lost.  Sampled from the heartbeat
+            channel, so detection is one collector tick after the task
+            that bloated the worker ends.
+        worker_memory_hard_limit: RSS past which a worker is killed
+            *immediately* (its tasks re-dispatch like crash orphans) —
+            the backstop for a worker ballooning mid-task, before any
+            task boundary.  Must be >= ``worker_memory_limit``.
+        max_compile_states: reject ``register()`` inputs whose
+            *estimated* automaton size exceeds this with
+            :class:`~repro.errors.QueryRejectedError` — the estimate
+            (Lemma 3.4's construction emits <= 2 states per syntax-tree
+            node) costs a parse, not a compile.
+        compile_timeout: seconds a ``register()`` compilation may run.
+            When set, compilation happens in a throwaway process under
+            this deadline (the fleet's hung-task pattern); on expiry it
+            is killed and ``register`` raises
+            :class:`~repro.errors.QueryRejectedError` — no worker is
+            consumed and the fleet keeps serving.
         fault_plan: a :class:`~repro.runtime.faults.FaultPlan` shipped
             to every worker — deterministic chaos for the test suite;
             leave ``None`` in production.
@@ -481,6 +727,14 @@ class SpannerService:
         quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
         quarantine_cooldown: float = DEFAULT_QUARANTINE_COOLDOWN,
         on_overload: str = "block",
+        shm_budget: int | None = None,
+        max_tuples: int | None = None,
+        max_result_bytes: int | None = None,
+        on_result_limit: str = "error",
+        worker_memory_limit: int | None = None,
+        worker_memory_hard_limit: int | None = None,
+        max_compile_states: int | None = None,
+        compile_timeout: float | None = None,
         fault_plan: "FaultPlan | None" = None,
     ):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
@@ -518,20 +772,75 @@ class SpannerService:
                 f"got {on_overload!r}"
             )
         self.on_overload = on_overload
+        if max_tuples is not None and max_tuples < 1:
+            raise ValueError(f"max_tuples must be >= 1, got {max_tuples}")
+        self.max_tuples = max_tuples
+        if max_result_bytes is not None and max_result_bytes < 1:
+            raise ValueError(
+                f"max_result_bytes must be >= 1, got {max_result_bytes}"
+            )
+        self.max_result_bytes = max_result_bytes
+        if on_result_limit not in RESULT_LIMIT_POLICIES:
+            raise ValueError(
+                f"on_result_limit must be one of {RESULT_LIMIT_POLICIES}, "
+                f"got {on_result_limit!r}"
+            )
+        self.on_result_limit = on_result_limit
+        if worker_memory_limit is not None and worker_memory_limit < 1:
+            raise ValueError(
+                f"worker_memory_limit must be >= 1, got {worker_memory_limit}"
+            )
+        self.worker_memory_limit = worker_memory_limit
+        if worker_memory_hard_limit is not None:
+            if worker_memory_hard_limit < 1:
+                raise ValueError(
+                    "worker_memory_hard_limit must be >= 1, "
+                    f"got {worker_memory_hard_limit}"
+                )
+            if (
+                worker_memory_limit is not None
+                and worker_memory_hard_limit < worker_memory_limit
+            ):
+                raise ValueError(
+                    "worker_memory_hard_limit must be >= worker_memory_limit "
+                    f"({worker_memory_hard_limit} < {worker_memory_limit})"
+                )
+        self.worker_memory_hard_limit = worker_memory_hard_limit
+        if max_compile_states is not None and max_compile_states < 1:
+            raise ValueError(
+                f"max_compile_states must be >= 1, got {max_compile_states}"
+            )
+        self.max_compile_states = max_compile_states
+        if compile_timeout is not None and compile_timeout <= 0:
+            raise ValueError(
+                f"compile_timeout must be > 0, got {compile_timeout}"
+            )
+        self.compile_timeout = compile_timeout
         self.fault_plan = fault_plan
         self.mp_context = mp_context
         self.encoding = encoding
         self.errors = errors
         self.transport = transport
         # None = pure pipe; otherwise the owning side of the
-        # shared-memory document transport (validates the mode string).
+        # shared-memory document transport (validates the mode string
+        # and the budget).
         self._doc_transport = create_transport(
-            transport, shm_threshold=shm_threshold
+            transport, shm_threshold=shm_threshold, shm_budget=shm_budget
         )
+        if (
+            fault_plan is not None
+            and fault_plan.enospc_packs
+            and self._doc_transport is not None
+        ):
+            self._doc_transport.inject_enospc(fault_plan.enospc_packs)
 
         self._lock = threading.RLock()
         self._registry: dict[str, bytes] = {}  # query id -> pickled artifact
         self._query_timeouts: dict[str, float | None] = {}  # per-query override
+        # per-query result-cap overrides: (max_tuples, max_result_bytes),
+        # each either a value, None (explicitly uncapped) or _UNSET
+        # (inherit the service default).
+        self._query_caps: dict[str, tuple] = {}
         self._breakers: dict[str, _Breaker] = {}  # query id -> breaker
         self._workers: list[_WorkerHandle] = []
         self._all_processes: list["BaseProcess"] = []
@@ -539,7 +848,10 @@ class SpannerService:
         self._backlog: deque[_Task] = deque()  # awaiting an eligible worker
         self._task_ids = count()
         self._worker_ids = count()
-        self._results = None  # shared result queue (created on start)
+        #: Result readers of workers no longer in the fleet (killed,
+        #: crashed, recycled): polled until EOF so results already in
+        #: the pipe still resolve their futures, then closed.
+        self._zombie_readers: list = []
         self._collector: threading.Thread | None = None
         self._stop_event = threading.Event()
         self._inflight_slots = (
@@ -557,6 +869,11 @@ class SpannerService:
         self._timeout_kills = 0  # workers killed for a hung task
         self._retried = 0  # re-dispatches (crash + transient)
         self._shed = 0  # tasks failed by the shed_oldest policy
+        self._truncated_docs = 0  # docs cut at their cap (truncate policy)
+        self._result_limited = 0  # tasks failed by ResultLimitError
+        self._rejected = 0  # register() admissions refused
+        self._memory_recycles = 0  # workers drained by the watchdog
+        self._memory_kills = 0  # workers killed past the hard ceiling
 
     # -- Introspection ------------------------------------------------------
     @property
@@ -596,6 +913,26 @@ class SpannerService:
             return self._shed
 
     @property
+    def docs_truncated(self) -> int:
+        with self._lock:
+            return self._truncated_docs
+
+    @property
+    def tasks_result_limited(self) -> int:
+        with self._lock:
+            return self._result_limited
+
+    @property
+    def queries_rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    @property
+    def workers_recycled_on_memory(self) -> int:
+        with self._lock:
+            return self._memory_recycles
+
+    @property
     def quarantined_queries(self) -> tuple[str, ...]:
         """Query ids whose circuit breaker is currently open."""
         with self._lock:
@@ -609,18 +946,25 @@ class SpannerService:
         """A point-in-time fleet health snapshot (plain dict, loggable).
 
         Per-worker: liveness, tasks in flight, lifetime assignments,
-        the task it is executing right now (from the heartbeat) and how
+        the task it is executing right now (from the heartbeat), how
         long ago that heartbeat was stamped — a large ``heartbeat_age``
-        on a worker with a ``running_task`` is the signature of a hang.
-        Fleet-wide: backlog depth, outstanding tasks, open quarantines
-        and the lifetime fault counters.
+        on a worker with a ``running_task`` is the signature of a hang
+        — and the last RSS sample the worker stamped.  Fleet-wide:
+        backlog depth, outstanding tasks, open quarantines, the
+        lifetime fault counters, and a ``resources`` section (shm bytes
+        against the budget, degraded-to-pipe episodes, per-worker RSS
+        and the truncation/rejection/recycle counters of the
+        governance layer).
         """
         with self._lock:
             now = time.monotonic()
             workers = []
+            worker_rss: dict[int, float | None] = {}
             for w in self._workers:
-                hb_task, hb_stamp = w.read_heartbeat()
+                hb_task, hb_stamp, hb_rss = w.read_heartbeat()
                 running = hb_task >= 0
+                rss = hb_rss if hb_rss > 0 else None  # None = never stamped
+                worker_rss[w.worker_id] = rss
                 workers.append(
                     {
                         "worker_id": w.worker_id,
@@ -631,8 +975,30 @@ class SpannerService:
                         "running_task": hb_task if running else None,
                         "heartbeat_age": (now - hb_stamp) if running else None,
                         "retiring": w.retiring,
+                        "rss_bytes": rss,
                     }
                 )
+            if self._doc_transport is not None:
+                shm = self._doc_transport.stats()
+            else:
+                shm = {
+                    "bytes_in_flight": 0,
+                    "bytes_pooled": 0,
+                    "budget": None,
+                    "degraded_to_pipe": 0,
+                }
+            resources = {
+                "shm_bytes_in_flight": shm["bytes_in_flight"],
+                "shm_bytes_pooled": shm["bytes_pooled"],
+                "shm_budget": shm["budget"],
+                "degraded_to_pipe": shm["degraded_to_pipe"],
+                "worker_rss_bytes": worker_rss,
+                "docs_truncated": self._truncated_docs,
+                "tasks_result_limited": self._result_limited,
+                "queries_rejected": self._rejected,
+                "memory_recycles": self._memory_recycles,
+                "memory_kills": self._memory_kills,
+            }
             quarantined = {
                 qid: {
                     "failures": b.failures,
@@ -647,6 +1013,7 @@ class SpannerService:
                 "tasks_outstanding": len(self._tasks),
                 "queries_registered": len(self._registry),
                 "quarantined_queries": quarantined,
+                "resources": resources,
                 "counters": {
                     "tasks_completed": self._completed,
                     "tasks_timed_out": self._timed_out,
@@ -655,8 +1022,13 @@ class SpannerService:
                     "workers_recycled": self._recycled,
                     "workers_crashed": self._crashed,
                     "workers_killed_on_timeout": self._timeout_kills,
+                    "workers_killed_on_memory": self._memory_kills,
+                    # memory_recycles are ordinary (graceful) recycles,
+                    # already inside workers_recycled — attribution, not
+                    # an extra restart.
                     "worker_restarts": (
-                        self._recycled + self._crashed + self._timeout_kills
+                        self._recycled + self._crashed
+                        + self._timeout_kills + self._memory_kills
                     ),
                 },
             }
@@ -707,6 +1079,8 @@ class SpannerService:
         *,
         query_id: str | None = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
+        max_tuples: int | None = _UNSET,  # type: ignore[assignment]
+        max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
     ) -> str:
         """Register a query with the fleet; returns its id.
 
@@ -720,17 +1094,46 @@ class SpannerService:
         ``timeout`` sets this query's per-task deadline, overriding the
         service's ``task_timeout`` (``None`` disables the deadline for
         this query; omit it to inherit the service default).
+        ``max_tuples`` / ``max_result_bytes`` override the service's
+        result caps for this query the same way.
+
+        Admission control runs first: with ``max_compile_states`` set,
+        a query whose *estimated* automaton size exceeds the bound is
+        refused with :class:`~repro.errors.QueryRejectedError` before
+        any compilation; with ``compile_timeout`` set, the compilation
+        itself runs in a throwaway process under that deadline and a
+        timeout rejects the query the same way.  Either rejection
+        leaves the fleet and every registered query untouched.
         """
-        payload = pickle.dumps(
-            self._artifact_for(query), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        if timeout is not _UNSET and timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if max_tuples is not _UNSET and max_tuples is not None and max_tuples < 1:
+            raise ValueError(f"max_tuples must be >= 1, got {max_tuples}")
+        if (
+            max_result_bytes is not _UNSET
+            and max_result_bytes is not None
+            and max_result_bytes < 1
+        ):
+            raise ValueError(
+                f"max_result_bytes must be >= 1, got {max_result_bytes}"
+            )
+        if self.max_compile_states is not None:
+            estimate = estimate_compile_states(query)
+            if estimate is not None and estimate > self.max_compile_states:
+                with self._lock:
+                    self._rejected += 1
+                raise QueryRejectedError(
+                    f"estimated automaton size {estimate} exceeds "
+                    f"max_compile_states={self.max_compile_states}",
+                    estimated_states=estimate,
+                    max_compile_states=self.max_compile_states,
+                )
+        payload = self._compile_payload(query)
         qid = (
             query_id
             if query_id is not None
             else "q" + hashlib.sha256(payload).hexdigest()[:16]
         )
-        if timeout is not _UNSET and timeout is not None and timeout <= 0:
-            raise ValueError(f"timeout must be > 0, got {timeout}")
         with self._lock:
             if self._closing:
                 raise ServiceClosedError("SpannerService is closed")
@@ -743,7 +1146,64 @@ class SpannerService:
             self._registry[qid] = payload
             if timeout is not _UNSET:
                 self._query_timeouts[qid] = timeout
+            if max_tuples is not _UNSET or max_result_bytes is not _UNSET:
+                self._query_caps[qid] = (max_tuples, max_result_bytes)
         return qid
+
+    def _compile_payload(self, query: object) -> bytes:
+        """The pickled ship-to-workers artifact, under the compile deadline.
+
+        Without a ``compile_timeout`` (or for inputs that are already
+        compiled — nothing left to bound), compilation runs inline,
+        exactly the pre-governance path.  With one, a throwaway process
+        compiles and pickles the artifact while we poll its pipe under
+        the deadline; expiry kills the process and raises
+        :class:`~repro.errors.QueryRejectedError` — the driver thread
+        is never stuck inside an unbounded ``compile_regex``.
+        """
+        plan = self.fault_plan
+        delay = plan.compile_delay if plan is not None else None
+        precompiled = isinstance(
+            query, (CompiledSpanner, CompiledEqualityQuery, AutomatonTables)
+        )
+        if self.compile_timeout is None or (precompiled and not delay):
+            if delay:
+                time.sleep(delay)
+            return pickle.dumps(
+                self._artifact_for(query), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        ctx = multiprocessing.get_context(self.mp_context)
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_compile_child,
+            args=(send, query, delay),
+            name="spanner-service-compile",
+            daemon=True,
+        )
+        proc.start()
+        send.close()
+        try:
+            if not recv.poll(self.compile_timeout):
+                with self._lock:
+                    self._rejected += 1
+                raise QueryRejectedError(
+                    f"compilation exceeded compile_timeout="
+                    f"{self.compile_timeout}s and was killed"
+                )
+            try:
+                status, result = recv.recv()
+            except (EOFError, OSError):
+                raise QueryRejectedError(
+                    "compilation process died before producing an artifact"
+                ) from None
+        finally:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5)
+            recv.close()
+        if status == "err":
+            raise result
+        return result
 
     # -- Lifecycle ----------------------------------------------------------
     def start(self) -> "SpannerService":
@@ -755,7 +1215,6 @@ class SpannerService:
                 return self
             ctx = multiprocessing.get_context(self.mp_context)
             self._mp_ctx: "BaseContext" = ctx
-            self._results = ctx.Queue()
             for _ in range(self.workers):
                 self._spawn_worker()
             self._collector = threading.Thread(
@@ -814,6 +1273,7 @@ class SpannerService:
                     if drain:
                         w.task_queue.put(("stop",))
                     w.stopped = True
+                self._orphan_reader(w)
             self._workers.clear()
         # A drain that gave up (timeout expired with work unresolved)
         # FAILS the leftovers — a pending future after close() returns
@@ -843,8 +1303,14 @@ class SpannerService:
             if proc.is_alive():  # stuck past the budget: no mercy
                 proc.kill()
                 proc.join(timeout=1)
-        if self._results is not None:
-            self._results.close()
+        with self._lock:
+            stale_readers = list(self._zombie_readers)
+            self._zombie_readers.clear()
+        for conn in stale_readers:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
         if self._doc_transport is not None:
             # Belt over the per-task handshake: whatever segments are
             # somehow still owned (e.g. a collector that died mid-
@@ -862,6 +1328,8 @@ class SpannerService:
         op: str = "evaluate",
         extra: int | None = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
+        max_tuples: int | None = _UNSET,  # type: ignore[assignment]
+        max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         """Dispatch one chunk; returns the future of its result list.
 
@@ -870,14 +1338,26 @@ class SpannerService:
         sessions) fan out over.  While ``max_in_flight`` chunks are
         already outstanding the ``on_overload`` policy applies (block,
         reject, or shed the oldest backlogged task).  ``timeout``
-        overrides the query/service deadline for this chunk alone.
-        Raises :class:`~repro.errors.QueryQuarantinedError` — before
-        consuming an in-flight slot or any worker time — while the
-        query's circuit breaker is open.
+        overrides the query/service deadline for this chunk alone, and
+        ``max_tuples`` / ``max_result_bytes`` the query/service result
+        caps (per document; explicit ``None`` disables an inherited
+        cap).  Raises :class:`~repro.errors.QueryQuarantinedError` —
+        before consuming an in-flight slot or any worker time — while
+        the query's circuit breaker is open.
         """
         items = list(items)
         if timeout is not _UNSET and timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
+        if max_tuples is not _UNSET and max_tuples is not None and max_tuples < 1:
+            raise ValueError(f"max_tuples must be >= 1, got {max_tuples}")
+        if (
+            max_result_bytes is not _UNSET
+            and max_result_bytes is not None
+            and max_result_bytes < 1
+        ):
+            raise ValueError(
+                f"max_result_bytes must be >= 1, got {max_result_bytes}"
+            )
         if not items:
             fut: Future = Future()
             fut.set_result([])
@@ -894,6 +1374,9 @@ class SpannerService:
                 deadline = self._query_timeouts.get(query_id, _UNSET)
             if deadline is _UNSET:
                 deadline = self.task_timeout
+            caps = self._resolve_caps_locked(
+                query_id, max_tuples, max_result_bytes
+            )
         bounded = self._inflight_slots is not None
         if bounded:
             self._acquire_slot()
@@ -909,11 +1392,35 @@ class SpannerService:
                 raise ServiceClosedError("SpannerService is closed")
             task = _Task(
                 next(self._task_ids), query_id, op, wire, extra, bounded,
-                deadline,
+                deadline, caps,
             )
             self._tasks[task.task_id] = task
             self._dispatch_or_backlog(task)
         return task.future
+
+    def _resolve_caps_locked(
+        self,
+        query_id: str,
+        max_tuples: "int | None",
+        max_result_bytes: "int | None",
+    ) -> "tuple[int | None, int | None, str] | None":
+        """The effective per-document result cap for one chunk.
+
+        Per-call beats per-query beats the service default, per field;
+        an explicit ``None`` at a more specific level disables the
+        inherited cap.  ``None`` (no cap at all) keeps the worker on
+        the uncapped fast path.
+        """
+        q_tuples, q_bytes = self._query_caps.get(query_id, (_UNSET, _UNSET))
+        if max_tuples is _UNSET:
+            max_tuples = self.max_tuples if q_tuples is _UNSET else q_tuples
+        if max_result_bytes is _UNSET:
+            max_result_bytes = (
+                self.max_result_bytes if q_bytes is _UNSET else q_bytes
+            )
+        if max_tuples is None and max_result_bytes is None:
+            return None
+        return (max_tuples, max_result_bytes, self.on_result_limit)
 
     def _admit_locked(self, query_id: str) -> None:
         """Fail fast while ``query_id``'s breaker is open (lock held).
@@ -1008,15 +1515,22 @@ class SpannerService:
         *,
         limit: int | None = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
+        max_tuples: int | None = _UNSET,  # type: ignore[assignment]
+        max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         """Evaluate a batch; the future resolves to one list per doc.
 
         Documents are split into ``chunk_size`` tasks balanced across
         the fleet; the combined result is concatenated in input order —
         byte-identical to the serial ``evaluate_many``.  ``timeout``
-        overrides the per-task deadline for every chunk of this batch.
+        overrides the per-task deadline for every chunk of this batch;
+        ``max_tuples`` / ``max_result_bytes`` the per-document result
+        caps likewise.
         """
-        return self._submit_batch(query_id, docs, "evaluate", limit, timeout)
+        return self._submit_batch(
+            query_id, docs, "evaluate", limit, timeout,
+            max_tuples, max_result_bytes,
+        )
 
     def submit_files(
         self,
@@ -1025,9 +1539,14 @@ class SpannerService:
         *,
         limit: int | None = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
+        max_tuples: int | None = _UNSET,  # type: ignore[assignment]
+        max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         """Like :meth:`submit`, but workers read the documents by path."""
-        return self._submit_batch(query_id, paths, "files", limit, timeout)
+        return self._submit_batch(
+            query_id, paths, "files", limit, timeout,
+            max_tuples, max_result_bytes,
+        )
 
     def submit_counts(
         self,
@@ -1047,11 +1566,15 @@ class SpannerService:
         op: str,
         extra: int | None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
+        max_tuples: int | None = _UNSET,  # type: ignore[assignment]
+        max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
     ) -> Future:
         items = list(items)
         chunk_futures = [
             self.submit_chunk(query_id, items[i : i + self.chunk_size],
-                              op=op, extra=extra, timeout=timeout)
+                              op=op, extra=extra, timeout=timeout,
+                              max_tuples=max_tuples,
+                              max_result_bytes=max_result_bytes)
             for i in range(0, len(items), self.chunk_size)
         ]
         return _combine(chunk_futures)
@@ -1111,20 +1634,33 @@ class SpannerService:
     def _spawn_worker(self) -> _WorkerHandle:
         worker_id = next(self._worker_ids)
         task_queue = self._mp_ctx.Queue()
-        # [running task id (or -1.0), monotonic stamp] — two doubles
-        # under one lock so a reader never sees a torn pair.
-        heartbeat = self._mp_ctx.Array("d", [-1.0, 0.0])
+        # Per-worker result pipe — see the _fleet_worker docstring for
+        # why results must not share one queue (a SIGKILLed writer
+        # would wedge the shared lock for every survivor).
+        result_reader, result_writer = self._mp_ctx.Pipe(duplex=False)
+        # [running task id (or -1.0), monotonic stamp, rss bytes] —
+        # three doubles under one lock so a reader never sees a torn
+        # set.  RSS rides the same channel the deadline scan reads:
+        # the memory watchdog costs no extra IPC.
+        heartbeat = self._mp_ctx.Array("d", [-1.0, 0.0, 0.0])
         process = self._mp_ctx.Process(
             target=_fleet_worker,
             args=(
-                worker_id, task_queue, self._results, heartbeat,
+                worker_id, task_queue, result_writer, heartbeat,
                 self.encoding, self.errors, self.fault_plan,
             ),
             name=f"spanner-service-worker-{worker_id}",
             daemon=True,
         )
         process.start()
-        handle = _WorkerHandle(worker_id, process, task_queue, heartbeat)
+        # Drop the driver's copy of the write end NOW: the worker must
+        # hold the only one, so its death (clean or killed) reads as
+        # EOF on the driver side — and later forks can never inherit a
+        # stray writer that would mask that EOF.
+        result_writer.close()
+        handle = _WorkerHandle(
+            worker_id, process, task_queue, heartbeat, result_reader
+        )
         self._workers.append(handle)
         self._all_processes.append(process)
         return handle
@@ -1170,7 +1706,7 @@ class SpannerService:
         worker.task_queue.put(
             (
                 "task", task.task_id, task.attempts + 1, task.query_id,
-                payload, task.op, task.items, task.extra,
+                payload, task.op, task.items, task.extra, task.caps,
             )
         )
 
@@ -1189,22 +1725,26 @@ class SpannerService:
         """One collector pass; True when the loop should stop."""
         resolutions: list[tuple[_Task, BaseException | None, object]] = []
         try:
-            try:
-                msg = self._results.get(timeout=0.05)
-            except queue_module.Empty:
-                msg = None
-            except (OSError, ValueError):  # queue closed mid-shutdown
-                return True
             with self._lock:
-                if msg is not None:
-                    self._handle_result(msg, resolutions)
-                    while True:  # drain whatever else already arrived
-                        try:
-                            extra_msg = self._results.get_nowait()
-                        except queue_module.Empty:
-                            break
-                        self._handle_result(extra_msg, resolutions)
+                readers = [
+                    w.result_reader
+                    for w in self._workers
+                    if w.result_reader is not None
+                ]
+                readers.extend(self._zombie_readers)
+            if readers:
+                try:
+                    ready = mp_connection.wait(readers, timeout=0.05)
+                except OSError:  # a reader closed mid-shutdown
+                    ready = []
+            else:  # no fleet yet (spawn failures): keep the tick rate
+                time.sleep(0.05)
+                ready = []
+            with self._lock:
+                for conn in ready:
+                    self._drain_reader(conn, resolutions)
                 self._check_deadlines(resolutions)
+                self._check_memory(resolutions)
                 self._reap_crashed(resolutions)
                 self._recycle_retiring()
                 self._ensure_fleet()
@@ -1239,8 +1779,47 @@ class SpannerService:
                 None,
             )
 
+    def _drain_reader(self, conn, resolutions) -> None:
+        """Pull every complete result already in one worker's pipe.
+
+        EOF (the worker exited) or a torn frame (the worker was killed
+        mid-send) retires just this reader: with per-worker pipes a
+        dying writer can only poison its own channel, never the
+        fleet's.  Results the worker flushed before dying are still
+        drained first — at-most-once resolution drops any that a
+        re-dispatch has since superseded.
+        """
+        while True:
+            try:
+                if not conn.poll():
+                    return
+                msg = conn.recv()
+            except (EOFError, OSError, pickle.UnpicklingError):
+                self._retire_reader(conn)
+                return
+            self._handle_result(msg, resolutions)
+
+    def _retire_reader(self, conn) -> None:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        for worker in self._workers:
+            if worker.result_reader is conn:
+                worker.result_reader = None
+        try:
+            self._zombie_readers.remove(conn)
+        except ValueError:
+            pass
+
+    def _orphan_reader(self, worker: _WorkerHandle) -> None:
+        """Keep polling a removed worker's result pipe until EOF."""
+        if worker.result_reader is not None:
+            self._zombie_readers.append(worker.result_reader)
+            worker.result_reader = None
+
     def _handle_result(self, msg, resolutions) -> None:
-        kind, _worker_id, task_id, payload = msg
+        kind, _worker_id, task_id, payload, truncated = msg
         task = self._tasks.get(task_id)
         if task is None or task.done:
             # A straggler result for a task already re-dispatched and
@@ -1262,9 +1841,15 @@ class SpannerService:
         if kind == "done":
             # Only clean completions reset the breaker: ordinary task
             # exceptions say nothing fleet-level either way.
+            self._truncated_docs += truncated
             self._record_success_locked(task.query_id)
             resolutions.append((task, None, payload))
         else:
+            # Ordinary worker exception: fails exactly this future,
+            # NEVER charges the breaker — including ResultLimitError,
+            # which indicts the input's output volume, not the fleet.
+            if isinstance(payload, ResultLimitError):
+                self._result_limited += 1
             resolutions.append((task, payload, None))
 
     def _check_deadlines(self, resolutions) -> None:
@@ -1285,7 +1870,7 @@ class SpannerService:
         for worker in list(self._workers):
             if worker.stopped or not worker.process.is_alive():
                 continue
-            hb_task, hb_stamp = worker.read_heartbeat()
+            hb_task, hb_stamp, _hb_rss = worker.read_heartbeat()
             if hb_task < 0:
                 continue
             task = worker.in_flight.get(hb_task)
@@ -1295,6 +1880,7 @@ class SpannerService:
                 continue
             worker.stopped = True  # _reap_crashed must not double-count
             self._workers.remove(worker)
+            self._orphan_reader(worker)
             worker.process.kill()
             self._timeout_kills += 1
             worker.in_flight.pop(task.task_id, None)
@@ -1317,6 +1903,43 @@ class SpannerService:
             )
             self._orphan_worker_tasks(worker, resolutions)
 
+    def _check_memory(self, resolutions) -> None:
+        """The memory watchdog: drain bloated workers, kill ballooning ones.
+
+        Reads the RSS sample each worker stamps on its heartbeat at
+        task boundaries.  Past ``worker_memory_limit`` the worker is
+        marked retiring — it finishes its in-flight tasks, gets no new
+        ones, and ``_recycle_retiring``/``_ensure_fleet`` replace it
+        gracefully on a later pass: no tuple is ever lost to a soft
+        recycle.  Past ``worker_memory_hard_limit`` the worker is
+        killed now (it may never reach a task boundary) and its
+        in-flight tasks re-dispatch exactly like crash orphans.
+        A never-stamped heartbeat (rss 0.0) is skipped — a fresh idle
+        worker has shown no evidence either way.
+        """
+        soft = self.worker_memory_limit
+        hard = self.worker_memory_hard_limit
+        if soft is None and hard is None:
+            return
+        for worker in list(self._workers):
+            if worker.stopped or not worker.process.is_alive():
+                continue
+            _hb_task, _hb_stamp, rss = worker.read_heartbeat()
+            if rss <= 0:
+                continue
+            if hard is not None and rss > hard:
+                worker.stopped = True  # _reap_crashed must not double-count
+                self._workers.remove(worker)
+                self._orphan_reader(worker)
+                worker.process.kill()
+                self._memory_kills += 1
+                self._orphan_worker_tasks(worker, resolutions)
+                continue
+            if soft is not None and rss > soft and not worker.retiring:
+                worker.retiring = True
+                worker.memory_flagged = True
+                self._memory_recycles += 1
+
     def _reap_crashed(self, resolutions) -> None:
         for worker in list(self._workers):
             if worker.stopped or worker.process.is_alive():
@@ -1325,6 +1948,7 @@ class SpannerService:
             # re-dispatch everything it was holding.
             worker.stopped = True
             self._workers.remove(worker)
+            self._orphan_reader(worker)
             self._crashed += 1
             self._orphan_worker_tasks(worker, resolutions)
 
@@ -1399,6 +2023,7 @@ class SpannerService:
                 worker.task_queue.put(("stop",))
                 worker.stopped = True
                 self._workers.remove(worker)
+                self._orphan_reader(worker)
                 self._recycled += 1
 
     def _ensure_fleet(self) -> None:

@@ -48,6 +48,17 @@ missing), and ``"auto"`` uses shared memory only for chunks whose
 encoded payload reaches ``shm_threshold`` bytes — below that the pipe's
 fixed costs win and the chunk rides the task message as before.
 
+Graceful degradation (PR 7): segment *allocation* can fail —
+``/dev/shm`` is a bounded filesystem (``ENOSPC``), and a ``budget``
+caps how many bytes this transport may hold across in-flight and
+pooled segments combined.  Either way :meth:`pack` returns ``None``
+(the chunk rides the pipe, exactly as if it had lost the size
+negotiation), counts the degradation in :meth:`stats`, and shrinks the
+free pool first so pooled-but-idle segments yield their budget to live
+traffic.  Degradation is per chunk and never fatal — even a forced
+``"shm"`` transport degrades rather than failing the submission,
+because the caller asked for a fast path, not an outage.
+
 Huge *file-backed* documents get the third path: :func:`read_document`
 decodes large files straight from an ``mmap`` window instead of
 materializing an intermediate ``bytes`` copy — the worker-side read
@@ -56,6 +67,7 @@ materializing an intermediate ``bytes`` copy — the worker-side read
 
 from __future__ import annotations
 
+import errno
 import mmap
 import os
 import threading
@@ -119,13 +131,18 @@ def shm_available() -> bool:
 
 
 def create_transport(
-    mode: str, *, shm_threshold: int = DEFAULT_SHM_THRESHOLD
+    mode: str,
+    *,
+    shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+    shm_budget: int | None = None,
 ) -> "SharedMemoryTransport | None":
     """The transport for ``mode`` — ``None`` means "everything by pipe".
 
     ``"auto"`` degrades to the pipe silently where shared memory is
     unavailable; ``"shm"`` raises instead, because the caller asked for
-    a guarantee the platform cannot give.
+    a guarantee the platform cannot give.  ``shm_budget`` caps the
+    bytes of segment capacity the transport may own at once; chunks
+    that would overrun it ride the pipe instead (counted, never fatal).
     """
     if mode not in TRANSPORT_MODES:
         raise ValueError(
@@ -141,7 +158,7 @@ def create_transport(
             )
         return None
     return SharedMemoryTransport(
-        threshold=shm_threshold, force=(mode == "shm")
+        threshold=shm_threshold, force=(mode == "shm"), budget=shm_budget
     )
 
 
@@ -301,7 +318,11 @@ class SharedMemoryTransport:
     mode = "shm"
 
     def __init__(
-        self, *, threshold: int = DEFAULT_SHM_THRESHOLD, force: bool = False
+        self,
+        *,
+        threshold: int = DEFAULT_SHM_THRESHOLD,
+        force: bool = False,
+        budget: int | None = None,
     ):
         if _shared_memory is None:  # pragma: no cover - guarded by factory
             raise TransportUnavailableError(
@@ -309,8 +330,13 @@ class SharedMemoryTransport:
             )
         if threshold < 0:
             raise ValueError(f"shm_threshold must be >= 0, got {threshold}")
+        if budget is not None and budget < 1:
+            raise ValueError(f"shm_budget must be >= 1, got {budget}")
         self.threshold = threshold
         self.force = force
+        #: Max bytes of segment capacity (in-flight + pooled, counted
+        #: by size class) this transport may own; ``None`` = unbounded.
+        self.budget = budget
         self._lock = threading.Lock()
         #: segment name -> [SharedMemory, refcount] (in flight)
         self._segments: dict[str, list] = {}
@@ -322,6 +348,18 @@ class SharedMemoryTransport:
         #: so pooling must remember the class it will be looked up by,
         #: not re-derive it from ``segment.size``.
         self._classes: dict[str, int] = {}
+        #: Bytes of owned segment capacity, by size class (the budget's
+        #: unit of account — what the transport *reserved*, not what a
+        #: chunk happened to fill).
+        self._allocated = 0
+        #: Chunks that fell back to the pipe on allocation failure or
+        #: budget pressure (the graceful-degradation counter; chunks
+        #: that merely lost the size negotiation are not degradations).
+        self._degraded = 0
+        #: Fault injection (tests): pack sequence numbers whose segment
+        #: allocation must fail with a synthetic ``ENOSPC``.
+        self._pack_seq = 0
+        self._fault_packs: frozenset[int] = frozenset()
 
     # -- Introspection (tests assert leak-freedom through this) -------------
     def live_segments(self) -> tuple[str, ...]:
@@ -336,6 +374,35 @@ class SharedMemoryTransport:
             return tuple(
                 seg.name for bucket in self._pool.values() for seg in bucket
             )
+
+    def stats(self) -> dict:
+        """Resource accounting, for ``health()`` and the tests.
+
+        ``bytes_in_flight``/``bytes_pooled`` are segment *capacity*
+        (size classes — what counts against the budget), not payload
+        bytes.  ``degraded_to_pipe`` counts chunks that fell back to
+        the pipe on allocation failure or budget pressure since
+        construction.
+        """
+        with self._lock:
+            pooled = sum(
+                self._classes.get(seg.name, 0)
+                for bucket in self._pool.values()
+                for seg in bucket
+            )
+            return {
+                "bytes_in_flight": self._allocated - pooled,
+                "bytes_pooled": pooled,
+                "budget": self.budget,
+                "degraded_to_pipe": self._degraded,
+            }
+
+    def inject_enospc(self, packs: "frozenset[int] | set[int]") -> None:
+        """Chaos hook: make these pack sequence numbers (0-based, in
+        pack order) fail segment allocation with a synthetic
+        ``ENOSPC`` — exercising the real exception path, fallback
+        included, without actually filling ``/dev/shm``."""
+        self._fault_packs = frozenset(packs)
 
     # -- Packing -------------------------------------------------------------
     def pack(self, items: Sequence[str]) -> ShmChunk | None:
@@ -352,6 +419,13 @@ class SharedMemoryTransport:
         (:data:`WIRE_ENCODING`/:data:`WIRE_ERRORS`), never the caller's
         file codec — the worker must see the exact string the serial
         path would evaluate.
+
+        Allocation failure is the *other* ``None`` outcome: a full
+        ``/dev/shm`` (``ENOSPC``), an OS that refuses the mapping
+        (``MemoryError``), or a chunk that would overrun this
+        transport's ``budget`` degrades the chunk to the pipe — counted
+        in :meth:`stats`, never raised to the submitter, ``force``
+        included (the caller asked for a fast path, not an outage).
         """
         if not self.force:
             chars = sum(len(s) for s in items)
@@ -365,7 +439,26 @@ class SharedMemoryTransport:
                     return None
         blobs = [s.encode(WIRE_ENCODING, WIRE_ERRORS) for s in items]
         total = sum(len(b) for b in blobs)
-        segment = self._obtain_segment(max(total, 1))
+        with self._lock:
+            seq = self._pack_seq
+            self._pack_seq += 1
+            inject = seq in self._fault_packs
+        try:
+            if inject:
+                raise OSError(
+                    errno.ENOSPC, "injected fault: /dev/shm exhausted"
+                )
+            segment = self._obtain_segment(max(total, 1))
+        except (OSError, MemoryError):
+            # SharedMemory(create=True) failed (ENOSPC and kin), or the
+            # budget cannot fit this chunk even after shrinking the
+            # pool: degrade to the pipe.  The documents still reach the
+            # worker — through the task message, exactly as if the
+            # chunk had lost the size negotiation — so degradation is
+            # a throughput event, never a correctness one.
+            with self._lock:
+                self._degraded += 1
+            return None
         index = []
         offset = 0
         for blob in blobs:
@@ -387,12 +480,49 @@ class SharedMemoryTransport:
 
     def _obtain_segment(self, size: int):
         wanted = self._size_class(size)
+        evicted: list = []
+        overrun = False
         with self._lock:
             bucket = self._pool.get(wanted)
             if bucket:
                 self._pooled -= 1
                 return bucket.pop()
-        segment = self._create_segment(wanted)
+            if self.budget is not None:
+                # Budget pressure: pooled-but-idle segments yield their
+                # reserved bytes to live traffic before any chunk is
+                # degraded — the pool is a throughput optimization, the
+                # budget is a promise.
+                while self._allocated + wanted > self.budget and self._pooled:
+                    size_class, pool_bucket = next(
+                        (c, b) for c, b in self._pool.items() if b
+                    )
+                    seg = pool_bucket.pop()
+                    if not pool_bucket:
+                        del self._pool[size_class]
+                    self._pooled -= 1
+                    self._classes.pop(seg.name, None)
+                    self._allocated -= size_class
+                    evicted.append(seg)
+                overrun = self._allocated + wanted > self.budget
+            if not overrun:
+                # Reserve before creating, so concurrent packers cannot
+                # collectively overshoot the budget between the check
+                # and the create.
+                self._allocated += wanted
+        for seg in evicted:
+            self._destroy(seg)
+        if overrun:
+            raise OSError(
+                errno.ENOSPC,
+                f"shm budget of {self.budget} bytes cannot fit a "
+                f"{wanted}-byte segment",
+            )
+        try:
+            segment = self._create_segment(wanted)
+        except BaseException:
+            with self._lock:
+                self._allocated -= wanted
+            raise
         with self._lock:
             self._classes[segment.name] = wanted
         return segment
@@ -442,7 +572,7 @@ class SharedMemoryTransport:
                 self._pool.setdefault(size_class, []).append(segment)
                 self._pooled += 1
                 return
-            self._classes.pop(segment.name, None)
+            self._allocated -= self._classes.pop(segment.name, 0)
         self._destroy(segment)
 
     def close(self) -> None:
@@ -456,6 +586,7 @@ class SharedMemoryTransport:
             self._pool.clear()
             self._pooled = 0
             self._classes.clear()
+            self._allocated = 0
         for segment in leftovers:
             self._destroy(segment)
 

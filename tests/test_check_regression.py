@@ -31,13 +31,15 @@ def make_record(
     rss_kb: int | None = 50_000,
     rss_children_kb: int | None = 20_000,
     fleet_counters: tuple[int, int] | None = None,
+    resource_counters: tuple[int, int] | None = None,
     unix_time: float = 0.0,
 ) -> dict:
     """A BENCH_*.json payload shaped like the harness writes it.
 
     ``fleet_counters=(timeouts, quarantines)`` adds an E13g table with
-    those counter totals; ``None`` (the default) models a record from
-    before the fault-tolerance work, with no E13g table at all.
+    those counter totals; ``resource_counters=(degraded, truncated)``
+    adds an E13h table the same way; ``None`` (the default) models a
+    record from before the respective work, with no such table at all.
     """
     experiments = []
     if fused_s is not None:
@@ -83,6 +85,21 @@ def make_record(
                     "rows": [
                         [800, 0.45, 0.46, 1.8, timeouts, quarantines],
                         [1600, 0.91, 0.92, 1.2, 0, 0],
+                    ],
+                }
+            )
+        if resource_counters is not None:
+            degraded, truncated = resource_counters
+            tables.append(
+                {
+                    "title": "E13h  resource-governance overhead",
+                    "headers": [
+                        "docs", "off (s)", "on (s)", "overhead %",
+                        "degraded", "truncated",
+                    ],
+                    "rows": [
+                        [800, 0.45, 0.45, 0.4, degraded, truncated],
+                        [1600, 0.91, 0.91, 0.3, 0, 0],
                     ],
                 }
             )
@@ -311,6 +328,51 @@ class TestFleetCounters:
         write_history(tmp_path, [make_record() for _ in range(3)])
         assert check(tmp_path) == 0
         assert "fleet-counters" not in capsys.readouterr().out
+
+
+class TestResourceCounters:
+    """The informational degraded/truncated report (PR 7 E13h)."""
+
+    def test_table_total_sums_counter_rows(self):
+        record = make_record(resource_counters=(3, 2))
+        assert table_total(record, "E13", "E13h", "degraded") == 3
+        assert table_total(record, "E13", "E13h", "truncated") == 2
+        assert table_total(make_record(), "E13", "E13h", "degraded") is None
+
+    def test_clean_counters_reported_without_notice(self, tmp_path, capsys):
+        write_history(
+            tmp_path,
+            [make_record(), make_record(resource_counters=(0, 0))],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "resource-counters" in out
+        assert "degraded=0, truncated=0" in out
+        assert "notice" not in out
+
+    def test_nonzero_counters_warn_but_do_not_fail(self, tmp_path, capsys):
+        # A benchmark run where a limit tripped: the governed timings
+        # include pipe fallbacks or truncations — an informational
+        # notice, never an exit-code failure.
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(resource_counters=(4, 2))],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "degraded=4, truncated=2" in out
+        assert "notice: nonzero governance counters" in out
+
+    def test_records_predating_e13h_stay_silent(self, tmp_path, capsys):
+        write_history(
+            tmp_path,
+            [make_record(fleet_counters=(0, 0)) for _ in range(3)],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "resource-counters" not in out
+        assert "fleet-counters" in out  # the older report still prints
 
 
 class TestCli:

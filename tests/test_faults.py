@@ -15,6 +15,12 @@ and asserts the fault-tolerance contract:
   worker), recovers through a half-open probe after the cool-down, and
   :meth:`reinstate` restores it immediately;
 * overload policies shed predictably (``reject`` / ``shed_oldest``);
+* the resource-governance layer degrades gracefully: shm allocation
+  failures fall back to the pipe byte-identically, a flooded result
+  fails (or truncates) exactly its own task without charging the
+  breaker, a bloated worker is recycled with no tuple loss, and an
+  oversized or wedged compilation is rejected at ``register()``
+  without consuming a worker;
 * no ``/dev/shm`` segment survives ``close()``, whatever was injected.
 
 Each service numbers its tasks from 0 in submission order, so a plan
@@ -31,10 +37,17 @@ import pytest
 from repro.errors import (
     OverloadedError,
     QueryQuarantinedError,
+    QueryRejectedError,
+    ResultLimitError,
     TaskTimeoutError,
     TransientTaskError,
 )
-from repro.runtime import CompiledSpanner, FaultPlan, SpannerService
+from repro.runtime import (
+    CompiledSpanner,
+    FaultPlan,
+    SpannerService,
+    estimate_compile_states,
+)
 from repro.runtime.faults import FaultSpec
 
 from test_service import DOCS, WORD_FORMULA, canonical, dev_shm_segments, _require_shm
@@ -78,6 +91,27 @@ class TestFaultPlan:
     def test_shm_attach_fault_raises_transient(self):
         with pytest.raises(TransientTaskError):
             FaultSpec("shm_attach").trigger()
+
+    def test_resource_builders_validate(self):
+        with pytest.raises(ValueError):
+            FaultPlan().shm_enospc(0, -1)
+        with pytest.raises(ValueError):
+            FaultPlan().slow_compile(0)
+        # The driver-side faults make an otherwise-empty plan live.
+        assert FaultPlan().shm_enospc(3)
+        assert FaultPlan().slow_compile(0.1)
+        assert FaultPlan().shm_enospc(0).shm_enospc(2).enospc_packs == {0, 2}
+
+    def test_flood_amount_scoping(self):
+        from repro.runtime.faults import FLOOD_TUPLES
+
+        plan = FaultPlan().tuple_flood(task=3, amount=17, attempts=(2,))
+        assert plan.flood_amount(3, 2) == 17
+        assert plan.flood_amount(3, 1) is None  # wrong attempt
+        assert plan.flood_amount(4, 2) is None  # wrong task
+        assert FaultPlan().tuple_flood(task=0).flood_amount(0, 1) == FLOOD_TUPLES
+        # A non-flood spec on the task is not a flood.
+        assert FaultPlan().crash(task=0).flood_amount(0, 1) is None
 
 
 class TestCrashInjection:
@@ -472,3 +506,287 @@ class TestShmUnderFaults:
             # The segment owner holds nothing live for the dead task.
             assert svc._doc_transport.live_segments() == ()
         assert not dev_shm_segments()
+
+
+def _poll(predicate, timeout: float = 30.0, interval: float = 0.05) -> bool:
+    """Wait for an eventually-true fleet condition (watchdog actions
+    land on collector iterations, not synchronously with results)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestShmBudgetDegradation:
+    """ENOSPC / budget pressure: chunks ride the pipe, results don't care."""
+
+    def test_enospc_fallback_is_byte_identical(self, word_serial):
+        """Acceptance: injected allocation failures on the first two
+        packs degrade exactly those chunks to the pipe; the batch is
+        byte-identical, the episodes are counted, and /dev/shm ends
+        clean."""
+        _require_shm()
+        plan = FaultPlan().shm_enospc(0, 1)
+        with SpannerService(
+            workers=2, chunk_size=2, transport="shm", fault_plan=plan
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            resources = svc.health()["resources"]
+            assert resources["degraded_to_pipe"] == 2
+        assert not dev_shm_segments()
+
+    def test_close_drain_during_degraded_episode_unlinks(self, word_serial):
+        """close(drain=True) while some chunks degraded mid-batch: every
+        submitted future resolves and no segment survives the close —
+        the degraded (pipe) tasks must not confuse the shutdown sweep's
+        segment accounting."""
+        _require_shm()
+        plan = FaultPlan().shm_enospc(1, 3)
+        svc = SpannerService(
+            workers=2, chunk_size=2, transport="shm", fault_plan=plan
+        )
+        svc.start()
+        qid = svc.register(CompiledSpanner(WORD_FORMULA))
+        futures = [
+            svc.submit_chunk(qid, DOCS[i : i + 2])
+            for i in range(0, len(DOCS), 2)
+        ]
+        svc.close(drain=True)
+        out = []
+        for future in futures:
+            out.extend(future.result(timeout=0))  # resolved by the drain
+        assert canonical(out) == canonical(word_serial)
+        assert not dev_shm_segments()
+
+
+class TestResultCaps:
+    """Per-query/per-call result-size caps against injected floods."""
+
+    def test_flood_fails_exactly_the_flooded_task(self, word_serial):
+        """Acceptance: a tuple flood on task 0 fails that task alone
+        with ResultLimitError; every sibling chunk is byte-identical."""
+        plan = FaultPlan().tuple_flood(task=0, amount=500)
+        with SpannerService(
+            workers=2, chunk_size=2, max_tuples=100, fault_plan=plan
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            futures = [
+                svc.submit_chunk(qid, DOCS[i : i + 2])
+                for i in range(0, len(DOCS), 2)
+            ]
+            with pytest.raises(ResultLimitError) as info:
+                futures[0].result(timeout=120)
+            assert info.value.kind == "tuples"
+            assert info.value.limit == 100
+            rest = []
+            for future in futures[1:]:
+                rest.extend(future.result(timeout=120))
+            assert canonical(rest) == canonical(word_serial[2:])
+            assert svc.tasks_result_limited == 1
+            assert svc.docs_truncated == 0
+
+    @pytest.mark.parametrize("transport", ["pipe", "shm"])
+    def test_result_limit_never_charges_the_breaker(self, transport):
+        """A capped result indicts the input, not the fleet: even with
+        quarantine_after=1 the query stays admitted and the very next
+        submission serves normally."""
+        if transport == "shm":
+            _require_shm()
+        plan = FaultPlan().tuple_flood(task=0, amount=500)
+        with SpannerService(
+            workers=1, chunk_size=2, transport=transport,
+            max_tuples=100, fault_plan=plan,
+            quarantine_after=1, quarantine_cooldown=60.0,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            with pytest.raises(ResultLimitError):
+                svc.submit_chunk(qid, DOCS[:2]).result(timeout=120)
+            assert svc.quarantined_queries == ()
+            # Admitted immediately — no QueryQuarantinedError, no probe.
+            out = svc.submit_chunk(qid, DOCS[2:4]).result(timeout=120)
+            serial = list(CompiledSpanner(WORD_FORMULA).evaluate_many(DOCS[2:4]))
+            assert canonical(out) == canonical(serial)
+        if transport == "shm":
+            assert not dev_shm_segments()
+
+    def test_truncate_policy_returns_exact_serial_prefix(self):
+        """on_result_limit='truncate': the bounded result is the exact
+        radix-order prefix of the serial stream, counted per document."""
+        doc = "the quick brown fox"  # four matches
+        serial = list(CompiledSpanner(WORD_FORMULA).stream(doc))
+        assert len(serial) == 4
+        with SpannerService(
+            workers=1, chunk_size=4, max_tuples=3, on_result_limit="truncate"
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit_chunk(qid, [doc]).result(timeout=120)
+            assert out == [serial[:3]]  # one doc, exact prefix
+            assert svc.docs_truncated == 1
+            assert svc.tasks_result_limited == 0
+            # An explicit per-call None disables the inherited cap.
+            full = svc.submit_chunk(qid, [doc], max_tuples=None).result(
+                timeout=120
+            )
+            assert full == [serial]
+            # Counting is a fixed-size answer: never capped.
+            counts = svc.submit_counts(qid, [doc]).result(timeout=120)
+            assert counts == [4]
+
+    def test_byte_cap_and_per_call_override(self):
+        """max_result_bytes fails a task whose pickled tuples overrun
+        the byte budget; the per-call knob beats the service default."""
+        doc = "the quick brown fox"
+        with SpannerService(workers=1, chunk_size=4) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            with pytest.raises(ResultLimitError) as info:
+                svc.submit_chunk(qid, [doc], max_result_bytes=10).result(
+                    timeout=120
+                )
+            assert info.value.kind == "bytes"
+            # Uncapped by default: the same chunk serves fine.
+            out = svc.submit_chunk(qid, [doc]).result(timeout=120)
+            assert out == [list(CompiledSpanner(WORD_FORMULA).stream(doc))]
+
+
+class TestMemoryWatchdog:
+    """RSS-based drain-and-recycle against injected worker bloat."""
+
+    BLOAT = 64 * 1024 * 1024
+
+    @staticmethod
+    def _limits() -> tuple[int, int]:
+        """(soft, hard) anchored to this process's live RSS.
+
+        Workers are forked, so they start at roughly the parent's
+        footprint — which depends on how much of the test session ran
+        before this test.  Absolute limits flake (a full-suite parent
+        forks workers already past a 48 MiB hard limit); limits
+        relative to the parent's RSS right now put healthy workers
+        safely under the soft limit and the injected 64 MiB bloat
+        safely past the hard one, wherever the baseline sits.
+        """
+        from repro.runtime.service import _current_rss
+
+        base = int(_current_rss())
+        bloat = TestMemoryWatchdog.BLOAT
+        return base + bloat // 2, base + 3 * bloat // 4
+
+    def test_bloated_worker_recycled_no_tuple_loss(self, word_serial):
+        """Acceptance: a worker pushed over worker_memory_limit by an
+        injected leak is drained and recycled at a task boundary; the
+        batch result never notices, and the recycle is attributed in
+        health()."""
+        plan = FaultPlan().rss_bloat(task=1, amount=self.BLOAT)
+        soft, _hard = self._limits()
+        with SpannerService(
+            workers=2, chunk_size=2,
+            worker_memory_limit=soft,
+            fault_plan=plan,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert _poll(lambda: svc.workers_recycled_on_memory >= 1)
+            health = svc.health()
+            assert health["resources"]["memory_recycles"] >= 1
+            assert health["counters"]["workers_killed_on_memory"] == 0
+            # A graceful recycle is an ordinary replacement, not a kill:
+            # the fleet is back at strength.
+            assert _poll(
+                lambda: len(
+                    [w for w in svc.health()["workers"] if w["alive"]]
+                ) == 2
+            )
+            # The fleet still serves correctly after the recycle.
+            again = svc.submit(qid, DOCS[:4]).result(timeout=120)
+            assert canonical(again) == canonical(word_serial[:4])
+
+    def test_hard_limit_kills_past_the_soft_limit(self, word_serial):
+        """A worker past worker_memory_hard_limit is killed outright
+        (orphaned tasks re-dispatched), counted separately from the
+        graceful recycles."""
+        plan = FaultPlan().rss_bloat(task=1, amount=self.BLOAT, attempts=(1,))
+        soft, hard = self._limits()
+        with SpannerService(
+            workers=2, chunk_size=2,
+            worker_memory_limit=soft,
+            worker_memory_hard_limit=hard,
+            fault_plan=plan,
+        ) as svc:
+            qid = svc.register(CompiledSpanner(WORD_FORMULA))
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert _poll(
+                lambda: svc.health()["counters"]["workers_killed_on_memory"]
+                >= 1
+            )
+
+
+class TestAdmissionControl:
+    """register()-time rejection: size estimates and compile deadlines."""
+
+    SMALL_FORMULA = "x{[a-z]+}"
+
+    def test_oversized_estimate_rejected_without_a_worker(self):
+        """Acceptance: a formula whose Lemma 3.4 size bound exceeds
+        max_compile_states is rejected before compilation; the fleet is
+        untouched and smaller queries still register and serve."""
+        big = estimate_compile_states(WORD_FORMULA)
+        small = estimate_compile_states(self.SMALL_FORMULA)
+        assert small < big  # the test's premise
+        with SpannerService(
+            workers=1, chunk_size=4, max_compile_states=big - 1
+        ) as svc:
+            with pytest.raises(QueryRejectedError) as info:
+                svc.register(WORD_FORMULA)
+            assert info.value.estimated_states == big
+            assert info.value.max_compile_states == big - 1
+            assert svc.queries_rejected == 1
+            assert svc.workers_crashed == 0
+            qid = svc.register(self.SMALL_FORMULA)
+            out = svc.submit(qid, DOCS[:4]).result(timeout=120)
+            serial = list(
+                CompiledSpanner(self.SMALL_FORMULA).evaluate_many(DOCS[:4])
+            )
+            assert canonical(out) == canonical(serial)
+
+    def test_estimate_is_an_upper_bound(self):
+        """The admission estimate must never under-count: the compiled
+        automaton (post-trim) is at most as large as the bound."""
+        for formula in (WORD_FORMULA, self.SMALL_FORMULA, ".*a{[0-9]}.*"):
+            assert CompiledSpanner(formula).n_states <= estimate_compile_states(
+                formula
+            )
+
+    def test_compile_timeout_kills_the_wedged_compile(self):
+        """Acceptance: a compilation past compile_timeout is killed and
+        rejected promptly; no worker is consumed and the fleet stays
+        healthy."""
+        plan = FaultPlan().slow_compile(5.0)
+        with SpannerService(
+            workers=1, chunk_size=4, compile_timeout=0.2, fault_plan=plan
+        ) as svc:
+            start = time.monotonic()
+            with pytest.raises(QueryRejectedError, match="compile_timeout"):
+                svc.register(WORD_FORMULA)
+            assert time.monotonic() - start < 4.0  # killed, not awaited
+            assert svc.queries_rejected == 1
+            health = svc.health()
+            assert [w["alive"] for w in health["workers"]] == [True]
+
+    def test_sandboxed_compile_artifact_serves(self, word_serial):
+        """A compile that fits its deadline (run in the throwaway
+        subprocess, since a delay fault is planned) produces an
+        artifact that serves byte-identically."""
+        plan = FaultPlan().slow_compile(0.1)
+        with SpannerService(
+            workers=2, chunk_size=2, compile_timeout=30.0, fault_plan=plan
+        ) as svc:
+            qid = svc.register(WORD_FORMULA)
+            out = svc.submit(qid, DOCS).result(timeout=120)
+            assert canonical(out) == canonical(word_serial)
+            assert svc.queries_rejected == 0

@@ -189,6 +189,93 @@ class TestSegmentLifetime:
         assert ref.segment not in dev_shm_segments()
 
 
+class TestBudgetGovernance:
+    """The shm capacity budget: overruns degrade to the pipe, the pool
+    yields its reservation to live traffic, and degraded episodes never
+    confuse segment accounting or the close() sweep."""
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            SharedMemoryTransport(budget=0)
+        t = create_transport("shm", shm_budget=123)
+        try:
+            assert t.budget == 123
+        finally:
+            t.close()
+        assert create_transport("auto", shm_budget=None).budget is None
+
+    def test_oversized_chunk_degrades_to_pipe(self):
+        t = SharedMemoryTransport(force=True, budget=8192)
+        try:
+            # 20000 bytes → 32768-byte size class: cannot ever fit.
+            assert t.pack(["x" * 20000]) is None
+            stats = t.stats()
+            assert stats["degraded_to_pipe"] == 1
+            assert stats["bytes_in_flight"] == 0
+            # A chunk that fits still takes the fast path.
+            ref = t.pack(["x" * 2000])
+            assert isinstance(ref, ShmChunk)
+            assert t.stats()["bytes_in_flight"] == 4096
+            t.release(ref)
+        finally:
+            t.close()
+        assert not dev_shm_segments()
+
+    def test_pool_yields_budget_to_live_traffic(self):
+        t = SharedMemoryTransport(force=True, budget=8192)
+        try:
+            first = t.pack(["a" * 3000])  # 4096-byte class
+            t.release(first)  # pooled: still holds its reservation
+            assert t.stats()["bytes_pooled"] == 4096
+            # 8192-byte class would overrun 4096+8192 > 8192: the idle
+            # pooled segment is evicted (destroyed) to make room.
+            second = t.pack(["b" * 6000])
+            assert isinstance(second, ShmChunk)
+            stats = t.stats()
+            assert stats["degraded_to_pipe"] == 0
+            assert stats["bytes_pooled"] == 0
+            assert stats["bytes_in_flight"] == 8192
+            assert first.segment not in dev_shm_segments()
+            view = open_chunk(second)
+            assert list(view) == ["b" * 6000]
+            release_chunk(view)
+            t.release(second)
+        finally:
+            t.close()
+        assert not dev_shm_segments()
+
+    def test_injected_enospc_counts_and_falls_back(self):
+        t = SharedMemoryTransport(force=True)
+        try:
+            t.inject_enospc({0, 2})
+            assert t.pack(["doc"]) is None  # pack 0: injected failure
+            ref = t.pack(["doc"])  # pack 1: healthy
+            assert isinstance(ref, ShmChunk)
+            assert t.pack(["doc"]) is None  # pack 2: injected failure
+            assert t.stats()["degraded_to_pipe"] == 2
+            t.release(ref)
+        finally:
+            t.close()
+        assert not dev_shm_segments()
+
+    def test_close_during_degraded_episode_unlinks_everything(self):
+        """A close landing mid-degradation (live segment held by an
+        unresolved task, later chunks riding the pipe) must still
+        unlink every owned segment — degraded chunks own nothing, so
+        they must not shadow the ones that do."""
+        t = SharedMemoryTransport(force=True, budget=64 * 1024)
+        ref = t.pack(["payload"] * 8)  # in flight, never released
+        assert isinstance(ref, ShmChunk)
+        t.inject_enospc({1})
+        assert t.pack(["degraded"] * 8) is None  # the episode
+        assert t.stats()["degraded_to_pipe"] == 1
+        t.close()
+        assert not dev_shm_segments()
+        stats = t.stats()
+        assert stats["bytes_in_flight"] == 0
+        assert stats["bytes_pooled"] == 0
+
+
 class TestReadDocument:
     def test_mmap_and_plain_reads_agree(self, tmp_path):
         path = tmp_path / "doc.txt"
