@@ -38,12 +38,15 @@ the gate is skipped with a clear message and exit 0, never a crash.
 
 Besides the gates, the checker reports (informationally, never as an
 exit-code failure) the newest record's fleet fault counters — the
-``timeouts`` / ``quarantines`` columns of the E13g table — and its
+``timeouts`` / ``quarantines`` columns of the E13g table — its
 resource-governance counters — the ``degraded`` / ``truncated``
-columns of the E13h table.  Both runs are the healthy path, so every
-counter must read 0; a nonzero total flags the record's timings as
-contaminated by deadline retries (E13g) or by limit trips (E13h).
-Records predating either table simply skip that report.
+columns of the E13h table — and its durable-store counters — the
+``hits`` / ``corrupt`` / ``orphans`` columns of the E13i table.  All
+three runs are the healthy path, so every fault counter must read 0
+(and E13i's ``hits`` must be nonzero); a nonzero total flags the
+record's timings as contaminated by deadline retries (E13g), limit
+trips (E13h) or cache/crash recovery work (E13i).  Records predating
+a table simply skip that report.
 
 Timing on shared CI runners is noisy; 30% is deliberately far above
 run-to-run jitter (single-digit percents on these workloads) so the
@@ -193,6 +196,44 @@ def report_resource_counters(records: list[tuple[str, dict]]) -> None:
             "tripped during the benchmark run, so its governed timings "
             "include degraded transport or truncated results; the "
             "measured overhead is not the healthy-path cost"
+        )
+
+
+#: Durable-store health counters stamped into the E13i table since PR 8.
+STORE_COUNTER_COLUMNS = ("hits", "corrupt", "orphans")
+
+
+def report_store_counters(records: list[tuple[str, dict]]) -> None:
+    """Informational: the newest record's durable-store counters.
+
+    The E13i table registers each query once cold and once warm through
+    a fresh FileStore, so ``hits`` must equal the number of rows while
+    ``corrupt`` and ``orphans`` must read 0 — a nonzero ``corrupt``
+    means the benchmark revived (and silently recompiled past) a
+    damaged cache entry, and a nonzero ``orphans`` means the runner's
+    ``/dev/shm`` held leftovers of an earlier crashed run that the
+    startup sweep had to reap.  Either way the warm timings are
+    contaminated by recovery work.  A data-quality notice for the
+    trajectory reader — never an exit-code failure, and records
+    predating E13i stay silent.
+    """
+    newest_name, newest = records[-1]
+    totals = {
+        column: table_total(newest, "E13", "E13i", column)
+        for column in STORE_COUNTER_COLUMNS
+    }
+    if all(value is None for value in totals.values()):
+        return  # record predates the E13i table
+    rendered = ", ".join(
+        f"{column}={int(value or 0)}" for column, value in totals.items()
+    )
+    print(f"perf-trajectory [store-counters]: newest {newest_name}: {rendered}")
+    if totals.get("corrupt") or totals.get("orphans"):
+        print(
+            "  notice: nonzero store recovery counters — the benchmark "
+            "quarantined corrupt cache entries or swept crash-orphaned "
+            "shm segments mid-run, so its warm-register timings include "
+            "recovery work, not just the fingerprint-hit cost"
         )
 
 
@@ -395,6 +436,7 @@ def check(
     if records:
         report_fleet_counters(records)
         report_resource_counters(records)
+        report_store_counters(records)
     if len(records) < 2:
         print(
             f"perf-trajectory: {len(records)} record(s) in {results_dir} — "

@@ -32,16 +32,29 @@ Subcommands:
   queries included: workers run the fused per-document equality join
   against the one shipped static artifact;
 * ``info`` — parse a formula and report variables, functionality and
-  compiled-automaton size.
+  compiled-automaton size;
+* ``cache`` — inspect and maintain the durable runtime state:
+  ``cache ls --dir DIR`` lists a compiled-artifact cache's entries
+  (and quarantined corpses), ``cache verify --dir DIR`` integrity-
+  checks every entry without modifying anything (exit 1 when corrupt
+  entries exist), and ``cache gc [--dir DIR]`` sweeps shared-memory
+  segments orphaned by dead drivers plus (with ``--dir``) the cache's
+  quarantined files.  ``extract``/``query`` grow ``--artifact-cache
+  DIR``: fleet runs consult the cache before compiling each formula
+  (warm start across CLI invocations) and persist what they compile.
 
 Examples::
 
     spanner-join extract '(ε|.* )m{u{[a-z]+}@d{[a-z]+\\.[a-z]+}}( .*|ε)' \\
         --text 'write to ada@example.com today'
     spanner-join extract '.*x{[0-9]+}.*' --file a.log --file b.log
+    spanner-join extract '.*x{[0-9]+}.*' --file a.log --workers 4 \\
+        --artifact-cache ~/.cache/spanner-join
     spanner-join query --atom '.*x{[0-9]+}.*' --atom '.*y{ERROR}.*' \\
         --head x --file app.log
     spanner-join info 'a*x{a*}a*'
+    spanner-join cache verify --dir ~/.cache/spanner-join
+    spanner-join cache gc --dir ~/.cache/spanner-join
 """
 
 from __future__ import annotations
@@ -177,7 +190,23 @@ def _fleet_opts(args: argparse.Namespace) -> dict:
         "max_result_bytes": args.max_result_bytes,
         "on_result_limit": args.on_result_limit,
         "worker_memory_limit": args.worker_memory_limit,
+        "artifact_store": _artifact_store(args),
     }
+
+
+def _artifact_store(args: argparse.Namespace):
+    """The ``--artifact-cache`` FileStore, or ``None`` when unset."""
+    if getattr(args, "artifact_cache", None) is None:
+        return None
+    from .runtime.store import FileStore
+
+    try:
+        return FileStore(os.path.expanduser(args.artifact_cache))
+    except OSError as err:
+        raise SpannerError(
+            f"cannot open artifact cache {args.artifact_cache}: "
+            f"{err.strerror or err}"
+        ) from err
 
 
 def _admission_opts(args: argparse.Namespace) -> dict:
@@ -291,8 +320,12 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             from .runtime.parallel import ParallelSpanner
 
             _stat_inputs(args.file)
+            # Hand over the syntax, not a pre-wrapped CompiledSpanner:
+            # the session keys its --artifact-cache entry by the source
+            # fingerprint, so warm runs (and the multi-file fleet path,
+            # which registers the same syntax) share one cache entry.
             engine = ParallelSpanner(
-                CompiledSpanner(formulas[0]),
+                formulas[0],
                 workers=args.workers,
                 transport=args.transport,
                 encoding=args.encoding,
@@ -464,6 +497,57 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect/maintain the artifact cache and orphaned shm segments."""
+    from .runtime.store import FileStore
+
+    store = None
+    if args.dir is not None:
+        try:
+            store = FileStore(os.path.expanduser(args.dir))
+        except OSError as err:
+            raise SpannerError(
+                f"cannot open artifact cache {args.dir}: "
+                f"{err.strerror or err}"
+            ) from err
+    if args.action in ("ls", "verify") and store is None:
+        raise SpannerError(f"cache {args.action} needs --dir DIR")
+    if args.action == "ls":
+        for key, size, _mtime in store.entries():
+            print(f"{key}\t{size}")
+        for name in store.quarantined():
+            print(f"{name}\tquarantined")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        corrupt = 0
+        for key in sorted(report):
+            print(f"{key}\t{report[key]}")
+            corrupt += report[key] == "corrupt"
+        if corrupt:
+            print(
+                f"# {corrupt} corrupt entries (cache gc --dir removes "
+                "their quarantined corpses after the next read "
+                "quarantines them)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    # gc: shm orphans always; quarantined cache files only with --dir.
+    from .runtime.transport import sweep_orphaned_segments
+
+    swept = sweep_orphaned_segments()
+    for name in swept:
+        print(f"{name}\tswept")
+    removed = store.gc_quarantined() if store is not None else 0
+    print(
+        f"# swept {len(swept)} orphaned shm segments, "
+        f"removed {removed} quarantined cache files",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="spanner-join",
@@ -611,6 +695,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "formula rejected; default: unbounded)"
             ),
         )
+        p.add_argument(
+            "--artifact-cache",
+            metavar="DIR",
+            help=(
+                "directory of compiled-artifact blobs consulted by "
+                "--workers fleets before compiling and updated after "
+                "(warm starts across invocations; corrupt entries are "
+                "quarantined and recompiled; default: no cache)"
+            ),
+        )
 
     p_extract = sub.add_parser(
         "extract", help="evaluate one or more regex formulas"
@@ -680,6 +774,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="inspect a regex formula")
     p_info.add_argument("formula")
     p_info.set_defaults(func=_cmd_info)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help=(
+            "inspect/maintain durable runtime state: artifact caches "
+            "and orphaned shared-memory segments"
+        ),
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("ls", "verify", "gc"),
+        help=(
+            "ls: list cache entries and quarantined corpses; verify: "
+            "integrity-check every entry read-only (exit 1 on "
+            "corruption); gc: unlink shm segments whose driver is dead "
+            "and, with --dir, delete quarantined cache files"
+        ),
+    )
+    p_cache.add_argument(
+        "--dir",
+        metavar="DIR",
+        help="artifact-cache directory (required for ls/verify)",
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     return parser
 

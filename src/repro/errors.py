@@ -14,7 +14,10 @@ resource-governance errors (:class:`ResultLimitError`,
 :class:`QueryRejectedError`), which exist because output relations can
 be combinatorially large (Theorem 5.4) and automaton size is only
 polynomially bounded per query — a serving fleet must be able to say
-"no" before memory or compile time runs out.
+"no" before memory or compile time runs out.  The persistence layer
+adds :class:`ArtifactCorruptError` for torn or bit-flipped entries in
+the compiled-artifact store — recoverable by recompiling, because the
+paper's preprocessing (Theorem 3.3) is a pure function of the query.
 """
 
 from __future__ import annotations
@@ -116,6 +119,43 @@ class ResultLimitError(EvaluationError):
             f"against a max of {self.limit} "
             "(raise the cap, or set on_result_limit='truncate' for the "
             "bounded prefix)"
+        )
+
+
+class ArtifactCorruptError(SpannerError):
+    """A stored compiled artifact failed its integrity check on read.
+
+    Raised by :class:`~repro.runtime.store.FileStore` /
+    :class:`~repro.runtime.store.MemoryStore` when an entry's header is
+    torn (truncated write), its checksum does not match the payload, or
+    its format version is one this build does not speak.  The store
+    quarantines the offending file to ``<key>.corrupt`` before raising,
+    so the next read is a clean miss.  Callers treat it as a cache
+    miss: the artifact is a pure function of the query (Theorem 3.3),
+    so the recovery is always "recompile and re-put" — this error is
+    recorded in the store's counters but is never fatal to a query.
+
+    Picklable by construction: ``args`` is exactly the constructor
+    signature, mirroring :class:`ResultLimitError`.
+
+    Attributes:
+        key: the store key of the corrupt entry.
+        reason: which check failed — ``"truncated"``, ``"bad-magic"``,
+            ``"bad-version"`` or ``"bad-checksum"``.
+        detail: human-readable specifics (sizes, versions, digests).
+    """
+
+    def __init__(self, key: str, reason: str, detail: str = ""):
+        super().__init__(key, reason, detail)
+        self.key = key
+        self.reason = reason
+        self.detail = detail
+
+    def __str__(self) -> str:
+        tail = f": {self.detail}" if self.detail else ""
+        return (
+            f"stored artifact {self.key!r} is corrupt ({self.reason}){tail} "
+            "— quarantined; the caller should recompile"
         )
 
 

@@ -27,10 +27,16 @@
   channel, per-query quarantine breakers, overload shedding policies,
   an asyncio front-end and transport negotiation
   (``transport={"auto","shm","pipe"}``);
+* :mod:`.store` — :class:`ArtifactStore` / :class:`MemoryStore` /
+  :class:`FileStore`, the crash-safe fingerprint-keyed store of
+  compiled artifacts behind warm ``register()`` starts and
+  :meth:`SpannerService.restore` (atomic durable writes, checksummed
+  versioned headers, corrupt-entry quarantine, LRU byte budgets);
 * :mod:`.faults` — :class:`FaultPlan` / :class:`FaultSpec`, the
   deterministic fault-injection harness the chaos suite threads into
   fleet workers (hangs, crashes, slow decodes, shm attach failures at
-  chosen task indices);
+  chosen task indices; since PR 8 also torn/corrupt store writes and
+  driver kills for the crash-recovery suite);
 * :mod:`.parallel` — :class:`ParallelSpanner`, multiprocess corpus
   sharding over one pickled/rebuilt artifact (``AutomatonTables`` or a
   ``CompiledEqualityQuery``) — since PR 4 a thin single-query session
@@ -63,8 +69,13 @@ __all__ = [
     "SharedMemoryTransport",
     "TransportUnavailableError",
     "shm_available",
+    "sweep_orphaned_segments",
     "FaultPlan",
     "FaultSpec",
+    "ArtifactStore",
+    "MemoryStore",
+    "FileStore",
+    "STORE_FORMAT_VERSION",
 ]
 
 
@@ -90,7 +101,7 @@ def __getattr__(name: str):
 
         return equality_join
     if name in ("SharedMemoryTransport", "TransportUnavailableError",
-                "shm_available"):
+                "shm_available", "sweep_orphaned_segments"):
         from . import transport
 
         return getattr(transport, name)
@@ -98,4 +109,9 @@ def __getattr__(name: str):
         from . import faults
 
         return getattr(faults, name)
+    if name in ("ArtifactStore", "MemoryStore", "FileStore",
+                "STORE_FORMAT_VERSION"):
+        from . import store
+
+        return getattr(store, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

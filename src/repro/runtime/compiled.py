@@ -43,10 +43,18 @@ def estimate_compile_states(
     Thompson-style construction of Lemma 3.4 emits at most two states
     per syntax-tree node (plus the start/accept pair), so for formula
     inputs the bound ``2*|alpha| + 2`` costs one linear parse — never a
-    compile.  Already-built inputs report their actual state count, and
-    inputs whose cost this function cannot bound cheaply (e.g. a
-    :class:`~repro.runtime.equality.CompiledEqualityQuery`, which is
-    already compiled anyway) return ``None``, meaning "admit".
+    compile.  Already-built inputs report their actual state count —
+    including a :class:`~repro.runtime.equality.CompiledEqualityQuery`,
+    whose static operands are already compiled and report the sum of
+    their table sizes (the fused equality runtime never materializes
+    the product, so the statics *are* its state inventory).  Inputs
+    whose cost this function cannot bound cheaply return ``None``,
+    meaning "admit".
+
+    Beyond first registration, ``SpannerService.restore()`` re-runs
+    this estimate on artifacts revived from the store — current limits
+    apply to yesterday's fleet, so the function must price compiled
+    objects, not just source.
 
     The estimate is an upper bound on the *pre-compaction* automaton;
     trimming only removes states, so a query admitted by its estimate
@@ -62,6 +70,13 @@ def estimate_compile_states(
         query = parse(query)
     if isinstance(query, RegexFormula):
         return 2 * query.size() + 2
+    # Imported lazily: equality.py imports from this module at load.
+    from .equality import CompiledEqualityQuery
+
+    if isinstance(query, CompiledEqualityQuery):
+        return sum(
+            tables.automaton.n_states for tables, _groups in query.disjuncts
+        )
     return None
 
 

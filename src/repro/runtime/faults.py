@@ -52,6 +52,27 @@ PR 7 adds the *resource* faults the governance layer defends against:
     *driver-side*: every ``register()`` compilation sleeps first, so a
     ``compile_timeout`` fires deterministically.
 
+PR 8 adds the *durability* faults the persistence layer defends
+against:
+
+``store_torn_write``
+    *driver-side*: chosen artifact-store put sequence numbers leave
+    their entry half-written on disk
+    (:meth:`~repro.runtime.store.ArtifactStore.inject_torn_write`) —
+    the state a crash mid-write would leave without the store's atomic
+    rename, and what a reader must detect as truncation.
+``store_corrupt``
+    *driver-side*: chosen puts land with a flipped payload byte
+    (:meth:`~repro.runtime.store.ArtifactStore.inject_corrupt`), so the
+    checksum path — quarantine to ``*.corrupt``, recompile, never fail
+    the query — is exercised deterministically.
+``driver_kill``
+    *driver-side*: the **driver itself** takes ``SIGKILL`` after a
+    chosen number of completed tasks — mid-stream, with segments in
+    flight and futures unresolved.  This is the fault
+    ``SpannerService.restore()`` and the orphan janitor exist for; it
+    necessarily runs in a sacrificial subprocess.
+
 Each spec may be limited to specific *attempts* (1-based), so a plan
 can express "fail transiently on the first two attempts, succeed on
 the third" and the retry/backoff path is exercised end to end.
@@ -172,16 +193,24 @@ class FaultPlan:
     The plan is pickled into each worker at spawn; mutating it after
     the service starts has no effect on already-running workers.
 
-    The two driver-side resource faults live on the plan itself rather
-    than in ``specs``: ``enospc_packs`` names transport pack indices
-    whose segment allocation fails (consulted when the service wires
-    its transport), and ``compile_delay`` makes every ``register()``
-    compilation sleep first (consulted by the admission-control path).
+    The driver-side faults live on the plan itself rather than in
+    ``specs``: ``enospc_packs`` names transport pack indices whose
+    segment allocation fails (consulted when the service wires its
+    transport), ``compile_delay`` makes every ``register()``
+    compilation sleep first (consulted by the admission-control path),
+    ``store_torn_puts``/``store_corrupt_puts`` name artifact-store put
+    sequence numbers left torn / bit-flipped (wired into the service's
+    ``artifact_store``), and ``kill_after_tasks`` SIGKILLs the driver
+    itself once that many tasks have completed (consulted by the
+    collector — run it in a sacrificial subprocess).
     """
 
     specs: dict[int, FaultSpec] = field(default_factory=dict)
     enospc_packs: frozenset = frozenset()
     compile_delay: float | None = None
+    store_torn_puts: frozenset = frozenset()
+    store_corrupt_puts: frozenset = frozenset()
+    kill_after_tasks: int | None = None
 
     # -- builders ------------------------------------------------------
 
@@ -250,6 +279,35 @@ class FaultPlan:
         self.compile_delay = seconds
         return self
 
+    def store_torn_write(self, *puts: int) -> "FaultPlan":
+        """Leave these artifact-store puts (0-based, in put order)
+        half-written — a torn entry the next read must quarantine."""
+        if any(p < 0 for p in puts):
+            raise ValueError(f"put indices must be >= 0, got {puts}")
+        self.store_torn_puts = self.store_torn_puts | frozenset(puts)
+        return self
+
+    def store_corrupt(self, *puts: int) -> "FaultPlan":
+        """Flip a payload byte of these artifact-store puts — a
+        checksum mismatch the next read must quarantine."""
+        if any(p < 0 for p in puts):
+            raise ValueError(f"put indices must be >= 0, got {puts}")
+        self.store_corrupt_puts = self.store_corrupt_puts | frozenset(puts)
+        return self
+
+    def driver_kill(self, after_tasks: int) -> "FaultPlan":
+        """SIGKILL the driver once ``after_tasks`` tasks have completed.
+
+        The kill is unceremonious by design — no close(), no atexit, no
+        finalizers — so only what was made durable *before* it (the
+        manifest, the artifact store) survives for ``restore()``, and
+        only the janitor can reclaim the session's segments.
+        """
+        if after_tasks < 1:
+            raise ValueError(f"after_tasks must be >= 1, got {after_tasks}")
+        self.kill_after_tasks = after_tasks
+        return self
+
     # -- worker side ---------------------------------------------------
 
     def flood_amount(self, task_id: int, attempt: int) -> int | None:
@@ -285,6 +343,9 @@ class FaultPlan:
             bool(self.specs)
             or bool(self.enospc_packs)
             or self.compile_delay is not None
+            or bool(self.store_torn_puts)
+            or bool(self.store_corrupt_puts)
+            or self.kill_after_tasks is not None
         )
 
 

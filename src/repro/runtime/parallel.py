@@ -81,6 +81,7 @@ from .transport import DEFAULT_SHM_THRESHOLD, create_transport, read_document
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..regex.ast import RegexFormula
+    from .store import ArtifactStore
 
 __all__ = ["ParallelSpanner"]
 
@@ -154,6 +155,13 @@ class ParallelSpanner:
         worker_memory_limit / worker_memory_hard_limit: RSS bounds for
             the fleet's memory watchdog (drain-recycle / hard-kill);
             see :class:`SpannerService`.
+        artifact_store: an
+            :class:`~repro.runtime.store.ArtifactStore` the underlying
+            fleet consults before compiling at registration — sessions
+            sharing a store (e.g. a ``FileStore`` directory across
+            process restarts) warm-start instead of recompiling; see
+            :class:`SpannerService`.  Not consulted on the
+            ``workers=1`` serial path, which registers nothing.
     """
 
     def __init__(
@@ -179,9 +187,17 @@ class ParallelSpanner:
         on_result_limit: str = "error",
         worker_memory_limit: int | None = None,
         worker_memory_hard_limit: int | None = None,
+        artifact_store: "ArtifactStore | None" = None,
     ):
         if not isinstance(spanner, (CompiledSpanner, CompiledEqualityQuery)):
+            # Remember the compilable origin: the compiled artifact's
+            # pickle bytes aren't stable across processes, so the store
+            # can only warm-hit a cache written by an earlier driver
+            # when the registration is keyed by the source fingerprint.
+            self._source = spanner
             spanner = CompiledSpanner(spanner)
+        else:
+            self._source = None
         self.spanner = spanner
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
@@ -253,6 +269,7 @@ class ParallelSpanner:
                 f"worker_memory_limit, got {worker_memory_hard_limit}"
             )
         self.worker_memory_hard_limit = worker_memory_hard_limit
+        self.artifact_store = artifact_store
         self._pool: "SpannerService | None" = None
         self._query_id: str | None = None
 
@@ -286,9 +303,10 @@ class ParallelSpanner:
             on_result_limit=self.on_result_limit,
             worker_memory_limit=self.worker_memory_limit,
             worker_memory_hard_limit=self.worker_memory_hard_limit,
+            artifact_store=self.artifact_store,
         )
         service.start()
-        self._query_id = service.register(self.spanner)
+        self._query_id = service.register(self.spanner, source=self._source)
         return service
 
     def __enter__(self) -> "ParallelSpanner":

@@ -110,24 +110,30 @@ the worker count, chunking, recycling or crash history.
 from __future__ import annotations
 
 import asyncio
+import base64
 import hashlib
+import json
 import multiprocessing
 from multiprocessing import connection as mp_connection
 import os
 import pickle
+import signal
 import threading
 import time
 from collections import deque
 from concurrent.futures import CancelledError, Future, InvalidStateError, wait
 from itertools import count, islice
+from pathlib import Path
 from typing import TYPE_CHECKING, Awaitable, Iterable, Sequence
 
 from ..errors import (
+    ArtifactCorruptError,
     OverloadedError,
     QueryQuarantinedError,
     QueryRejectedError,
     ResultLimitError,
     ServiceClosedError,
+    SpannerError,
     TaskTimeoutError,
     TransientTaskError,
 )
@@ -136,6 +142,12 @@ from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner, estimate_compile_states
 from .equality import CompiledEqualityQuery
 from .faults import FaultPlan, _FloodingEngine
+from .store import (
+    ArtifactStore,
+    FileStore,
+    MemoryStore,
+    atomic_write_bytes,
+)
 from .tables import AutomatonTables
 from .transport import (
     DEFAULT_SHM_THRESHOLD,
@@ -152,7 +164,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from ..regex.ast import RegexFormula
 
-__all__ = ["SpannerService"]
+__all__ = ["SpannerService", "MANIFEST_FORMAT_VERSION"]
 
 #: Documents per dispatched task (same granularity ParallelSpanner uses).
 DEFAULT_CHUNK_SIZE = 16
@@ -191,6 +203,10 @@ DEFAULT_QUARANTINE_COOLDOWN = 30.0
 #: Distinguishes "caller passed None" (disable the deadline) from
 #: "caller passed nothing" (inherit the query/service default).
 _UNSET = object()
+
+#: Bump when the restart-manifest layout changes; ``restore()`` rejects
+#: other versions rather than guessing at field meanings.
+MANIFEST_FORMAT_VERSION = 1
 
 #: Tasks a worker may hold (one running + prefetch) before dispatch
 #: falls back to the service backlog.  Keeping per-worker queues this
@@ -703,6 +719,24 @@ class SpannerService:
         fault_plan: a :class:`~repro.runtime.faults.FaultPlan` shipped
             to every worker — deterministic chaos for the test suite;
             leave ``None`` in production.
+        artifact_store: an :class:`~repro.runtime.store.ArtifactStore`
+            consulted by ``register()`` before compiling — a hit revives
+            the stored artifact bytes verbatim (warm start, results
+            byte-identical to a cold compile), a miss compiles and
+            ``put``\\ s the artifact for the next driver.  A corrupt
+            entry is quarantined by the store and treated as a miss;
+            it can degrade a warm start to a compile but never fails a
+            registration.  ``None`` (the default) disables the store —
+            unless ``manifest_path`` is set, which derives a
+            :class:`~repro.runtime.store.FileStore` under
+            ``<manifest dir>/artifacts``.
+        manifest_path: when set, the service journals a restart
+            manifest (registered queries, their store keys and
+            recompilable sources, open quarantines, the constructor
+            config) to this JSON file — atomically rewritten on every
+            ``register()`` and on quarantine changes — so
+            :meth:`SpannerService.restore` can rebuild an equivalent
+            fleet after a crash (``kill -9`` included).
 
     The service starts lazily on first use (or explicitly via
     :meth:`start` / ``with service:``) and must be closed —
@@ -736,6 +770,8 @@ class SpannerService:
         max_compile_states: int | None = None,
         compile_timeout: float | None = None,
         fault_plan: "FaultPlan | None" = None,
+        artifact_store: "ArtifactStore | None" = None,
+        manifest_path: "str | os.PathLike | None" = None,
     ):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
@@ -821,6 +857,8 @@ class SpannerService:
         self.encoding = encoding
         self.errors = errors
         self.transport = transport
+        self.shm_threshold = shm_threshold
+        self.shm_budget = shm_budget
         # None = pure pipe; otherwise the owning side of the
         # shared-memory document transport (validates the mode string
         # and the budget).
@@ -833,6 +871,25 @@ class SpannerService:
             and self._doc_transport is not None
         ):
             self._doc_transport.inject_enospc(fault_plan.enospc_packs)
+        self.manifest_path = (
+            Path(manifest_path) if manifest_path is not None else None
+        )
+        if artifact_store is None and self.manifest_path is not None:
+            # A manifest without a store would journal queries it can
+            # only revive from source; defaulting the store next to the
+            # manifest makes restore() warm for every registration.
+            artifact_store = FileStore(self.manifest_path.parent / "artifacts")
+        self.artifact_store = artifact_store
+        if fault_plan is not None and artifact_store is not None:
+            if fault_plan.store_torn_puts:
+                artifact_store.inject_torn_write(fault_plan.store_torn_puts)
+            if fault_plan.store_corrupt_puts:
+                artifact_store.inject_corrupt(fault_plan.store_corrupt_puts)
+        #: qid -> its manifest record; insertion order mirrors _registry.
+        self._manifest_entries: dict[str, dict] = {}
+        #: Quarantine state changed since the last manifest write; the
+        #: collector flushes this outside its hot path.
+        self._manifest_dirty = False
 
         self._lock = threading.RLock()
         self._registry: dict[str, bytes] = {}  # query id -> pickled artifact
@@ -952,19 +1009,27 @@ class SpannerService:
         — and the last RSS sample the worker stamped.  Fleet-wide:
         backlog depth, outstanding tasks, open quarantines, the
         lifetime fault counters, and a ``resources`` section (shm bytes
-        against the budget, degraded-to-pipe episodes, per-worker RSS
-        and the truncation/rejection/recycle counters of the
-        governance layer).
+        against the budget, degraded-to-pipe episodes, orphaned
+        segments swept at startup, the artifact store's counters when
+        one is configured, per-worker RSS and the
+        truncation/rejection/recycle counters of the governance layer).
+
+        The snapshot survives ``json.dumps`` unchanged — every value is
+        a JSON scalar, list or string-keyed dict — so it can be logged
+        or shipped to a metrics pipe verbatim.
         """
         with self._lock:
             now = time.monotonic()
             workers = []
-            worker_rss: dict[int, float | None] = {}
+            # str keys: the snapshot must survive a json.dumps round
+            # trip unchanged (operators log it), and JSON object keys
+            # are strings.
+            worker_rss: dict[str, float | None] = {}
             for w in self._workers:
                 hb_task, hb_stamp, hb_rss = w.read_heartbeat()
                 running = hb_task >= 0
                 rss = hb_rss if hb_rss > 0 else None  # None = never stamped
-                worker_rss[w.worker_id] = rss
+                worker_rss[str(w.worker_id)] = rss
                 workers.append(
                     {
                         "worker_id": w.worker_id,
@@ -986,12 +1051,19 @@ class SpannerService:
                     "bytes_pooled": 0,
                     "budget": None,
                     "degraded_to_pipe": 0,
+                    "orphans_swept": 0,
                 }
             resources = {
                 "shm_bytes_in_flight": shm["bytes_in_flight"],
                 "shm_bytes_pooled": shm["bytes_pooled"],
                 "shm_budget": shm["budget"],
                 "degraded_to_pipe": shm["degraded_to_pipe"],
+                "orphans_swept": shm.get("orphans_swept", 0),
+                "store": (
+                    self.artifact_store.stats()
+                    if self.artifact_store is not None
+                    else None
+                ),
                 "worker_rss_bytes": worker_rss,
                 "docs_truncated": self._truncated_docs,
                 "tasks_result_limited": self._result_limited,
@@ -1043,7 +1115,13 @@ class SpannerService:
         """
         with self._lock:
             breaker = self._breakers.pop(query_id, None)
-            return breaker is not None and breaker.opened_at is not None
+            was_open = breaker is not None and breaker.opened_at is not None
+            if was_open and self.manifest_path is not None:
+                # An operator decision deserves immediate durability —
+                # a crash right after reinstate() must not resurrect
+                # the quarantine.
+                self._write_manifest_locked()
+            return was_open
 
     def __repr__(self) -> str:
         return (
@@ -1078,6 +1156,7 @@ class SpannerService:
         ),
         *,
         query_id: str | None = None,
+        source: "VSetAutomaton | RegexFormula | str | None" = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
         max_tuples: int | None = _UNSET,  # type: ignore[assignment]
         max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
@@ -1104,6 +1183,26 @@ class SpannerService:
         itself runs in a throwaway process under that deadline and a
         timeout rejects the query the same way.  Either rejection
         leaves the fleet and every registered query untouched.
+
+        With an ``artifact_store`` configured, the store is consulted
+        between admission and compilation: a hit skips the compile
+        entirely and registers the stored bytes verbatim (warm start —
+        the payload IS the fingerprint, so results and query ids are
+        byte-identical to the cold path); a miss compiles and ``put``\\ s
+        the artifact; a corrupt entry is quarantined by the store and
+        recompiled — counted, never fatal.
+
+        ``source`` names the compilable origin of an *already compiled*
+        ``query``.  Precompiled artifacts have no stable fingerprint —
+        their pickle bytes differ across processes — so without it a
+        pre-wrapped query is keyed by its own bytes and never warm-hits
+        a cache written by another driver.  Passing the original
+        syntax/formula/automaton keys the store entry (and the manifest
+        journal) by the source fingerprint instead, at no extra compile:
+        on a hit the stored bytes replace the local artifact, on a miss
+        the local artifact is stored under the source key.  The caller
+        asserts that ``source`` compiles to ``query`` — the pairing is
+        not checked.  Ignored when ``query`` is itself compilable.
         """
         if timeout is not _UNSET and timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
@@ -1128,12 +1227,65 @@ class SpannerService:
                     estimated_states=estimate,
                     max_compile_states=self.max_compile_states,
                 )
-        payload = self._compile_payload(query)
+        store = self.artifact_store
+        spec = self._source_spec(query)
+        if spec is None and source is not None:
+            # Precompiled query with a declared origin: fingerprint by
+            # the origin so warm starts work across driver processes.
+            spec = self._source_spec(source)
+        store_key = (
+            self._source_key(spec)
+            if store is not None and spec is not None
+            else None
+        )
+        payload = None
+        if store is not None and store_key is not None:
+            try:
+                payload = store.get(store_key)
+            except ArtifactCorruptError:
+                payload = None  # quarantined by the store; recompile
+        if payload is None:
+            payload = self._compile_payload(query)
+            if store is not None:
+                if store_key is None:
+                    # Precompiled input: no source to fingerprint, so
+                    # key by the artifact bytes themselves.
+                    store_key = (
+                        "a" + hashlib.sha256(payload).hexdigest()[:24]
+                    )
+                store.put(store_key, payload)
         qid = (
             query_id
             if query_id is not None
             else "q" + hashlib.sha256(payload).hexdigest()[:16]
         )
+        return self._commit_registration(
+            qid,
+            payload,
+            timeout,
+            max_tuples,
+            max_result_bytes,
+            store_key=store_key,
+            source_json=self._source_json(spec),
+        )
+
+    def _commit_registration(
+        self,
+        qid: str,
+        payload: bytes,
+        timeout,
+        max_tuples,
+        max_result_bytes,
+        *,
+        store_key: str | None,
+        source_json: dict | None,
+    ) -> str:
+        """The locked tail of registration (shared with ``restore()``).
+
+        Installs the payload in the registry, records the per-query
+        overrides, and — with a manifest configured — journals the
+        registration atomically before returning.
+        """
         with self._lock:
             if self._closing:
                 raise ServiceClosedError("SpannerService is closed")
@@ -1148,7 +1300,310 @@ class SpannerService:
                 self._query_timeouts[qid] = timeout
             if max_tuples is not _UNSET or max_result_bytes is not _UNSET:
                 self._query_caps[qid] = (max_tuples, max_result_bytes)
+            if self.manifest_path is not None:
+                options: dict = {}
+                if timeout is not _UNSET:
+                    options["timeout"] = timeout
+                if max_tuples is not _UNSET:
+                    options["max_tuples"] = max_tuples
+                if max_result_bytes is not _UNSET:
+                    options["max_result_bytes"] = max_result_bytes
+                self._manifest_entries[qid] = {
+                    "query_id": qid,
+                    "store_key": store_key,
+                    "payload_sha256": hashlib.sha256(payload).hexdigest(),
+                    "source": source_json,
+                    "options": options,
+                }
+                self._write_manifest_locked()
         return qid
+
+    # -- Durable state: source specs, the manifest, restore ------------------
+    @staticmethod
+    def _source_spec(query: object) -> tuple[str, object] | None:
+        """A restorable description of a compilable input, or ``None``.
+
+        Concrete syntax survives as itself; formula/automaton inputs as
+        their (deterministic, pure-data) pickle.  Precompiled inputs
+        return ``None`` — there is nothing cheaper than the artifact to
+        record, so the store entry is their only revival path.
+        """
+        if isinstance(query, str):
+            return ("syntax", query)
+        if isinstance(
+            query, (CompiledSpanner, CompiledEqualityQuery, AutomatonTables)
+        ):
+            return None
+        return (
+            "pickle",
+            pickle.dumps(query, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    @staticmethod
+    def _source_key(source: tuple[str, object]) -> str:
+        """The store key of a source spec: ``s`` + a sha256 prefix.
+
+        Keyed on the *source*, not the artifact, so a warm ``register``
+        can look up the compiled bytes before any compilation happens —
+        the whole point of the warm start.
+        """
+        kind, data = source
+        raw = data.encode("utf-8") if isinstance(data, str) else data
+        digest = hashlib.sha256(kind.encode("ascii") + b"\x00" + raw)
+        return "s" + digest.hexdigest()[:24]
+
+    @staticmethod
+    def _source_json(source: tuple[str, object] | None) -> dict | None:
+        if source is None:
+            return None
+        kind, data = source
+        if kind == "syntax":
+            return {"kind": "syntax", "data": data}
+        return {"kind": "pickle", "data": base64.b64encode(data).decode("ascii")}
+
+    @staticmethod
+    def _query_from_source(source_json: dict) -> object:
+        if source_json["kind"] == "syntax":
+            return source_json["data"]
+        return pickle.loads(base64.b64decode(source_json["data"]))
+
+    def _store_descriptor(self) -> dict | None:
+        """How to rebuild (or at least name) the configured store."""
+        store = self.artifact_store
+        if store is None:
+            return None
+        if isinstance(store, FileStore):
+            return {
+                "kind": "file",
+                "root": str(store.root),
+                "budget": store.budget,
+            }
+        if isinstance(store, MemoryStore):
+            return {"kind": "memory", "budget": store.budget}
+        return {"kind": "custom"}
+
+    @staticmethod
+    def _store_from_descriptor(desc: dict | None) -> "ArtifactStore | None":
+        if not desc:
+            return None
+        kind = desc.get("kind")
+        if kind == "file":
+            return FileStore(desc["root"], budget=desc.get("budget"))
+        if kind == "memory":
+            # A MemoryStore died with its driver; restoring builds an
+            # empty one and every query revives from source.
+            return MemoryStore(budget=desc.get("budget"))
+        return None  # custom stores cannot be rebuilt from a manifest
+
+    def _manifest_config(self) -> dict:
+        """The constructor kwargs ``restore()`` replays (JSON-safe)."""
+        return {
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "max_tasks_per_worker": self.max_tasks_per_worker,
+            "max_in_flight": self.max_in_flight,
+            "mp_context": self.mp_context,
+            "transport": self.transport,
+            "shm_threshold": self.shm_threshold,
+            "encoding": self.encoding,
+            "errors": self.errors,
+            "task_timeout": self.task_timeout,
+            "quarantine_after": self.quarantine_after,
+            "quarantine_cooldown": self.quarantine_cooldown,
+            "on_overload": self.on_overload,
+            "shm_budget": self.shm_budget,
+            "max_tuples": self.max_tuples,
+            "max_result_bytes": self.max_result_bytes,
+            "on_result_limit": self.on_result_limit,
+            "worker_memory_limit": self.worker_memory_limit,
+            "worker_memory_hard_limit": self.worker_memory_hard_limit,
+            "max_compile_states": self.max_compile_states,
+            "compile_timeout": self.compile_timeout,
+        }
+
+    def _write_manifest_locked(self) -> None:
+        """Atomically rewrite the restart manifest (self._lock held).
+
+        The write is the same tmp + fsync + rename primitive the
+        ``FileStore`` uses, so a crash at any instant leaves the old
+        manifest or the new one — never a torn JSON document.
+        """
+        if self.manifest_path is None:
+            return
+        doc = {
+            "format": MANIFEST_FORMAT_VERSION,
+            "config": self._manifest_config(),
+            "store": self._store_descriptor(),
+            "queries": [
+                self._manifest_entries[qid]
+                for qid in self._registry
+                if qid in self._manifest_entries
+            ],
+            "quarantined": {
+                qid: {"failures": b.failures}
+                for qid, b in self._breakers.items()
+                if b.opened_at is not None
+            },
+        }
+        atomic_write_bytes(
+            self.manifest_path, json.dumps(doc, indent=2).encode("utf-8")
+        )
+
+    def _flush_manifest(self) -> None:
+        """Write the manifest if quarantine state changed (collector tick).
+
+        Best-effort: a full disk must not take the fleet down with it —
+        queries keep serving and the next tick retries.
+        """
+        if self.manifest_path is None or not self._manifest_dirty:
+            return
+        try:
+            with self._lock:
+                if not self._manifest_dirty:
+                    return
+                self._manifest_dirty = False
+                self._write_manifest_locked()
+        except OSError:
+            with self._lock:
+                self._manifest_dirty = True
+
+    @classmethod
+    def restore(
+        cls,
+        manifest_path: "str | os.PathLike",
+        *,
+        artifact_store: "ArtifactStore | None" = None,
+        **overrides,
+    ) -> "SpannerService":
+        """Rebuild a fleet from its restart manifest after a crash.
+
+        Reconstructs the service with the manifest's constructor config
+        (``overrides`` win key-by-key), re-registers every journaled
+        query — reviving the compiled artifact from the store when its
+        bytes verify against the recorded fingerprint (no
+        recompilation; the store's hit counter proves it), recompiling
+        from the recorded source otherwise — and re-arms quarantines
+        that were open at the crash.  Admission control runs again on
+        every query: today's ``max_compile_states`` applies to
+        yesterday's fleet, so a query that no longer fits raises
+        :class:`~repro.errors.QueryRejectedError` exactly as a fresh
+        ``register()`` would.
+
+        Results are byte-identical to the original fleet's: a revived
+        artifact is the *same bytes* the crashed driver shipped, and a
+        recompiled one is the output of the same deterministic
+        preprocessing (Theorem 3.3 is a pure function of the query).
+
+        Raises :class:`~repro.errors.SpannerError` when the manifest is
+        unreadable, from an unknown format version, or names a query
+        whose artifact is gone *and* that has no recompilable source.
+        """
+        path = Path(manifest_path)
+        try:
+            doc = json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError) as err:
+            raise SpannerError(
+                f"cannot restore fleet: unreadable manifest {path}: {err}"
+            ) from err
+        if doc.get("format") != MANIFEST_FORMAT_VERSION:
+            raise SpannerError(
+                f"manifest {path} is format {doc.get('format')!r}; this "
+                f"build speaks v{MANIFEST_FORMAT_VERSION}"
+            )
+        config = dict(doc.get("config") or {})
+        config.update(overrides)
+        if artifact_store is None:
+            artifact_store = cls._store_from_descriptor(doc.get("store"))
+        service = cls(
+            artifact_store=artifact_store, manifest_path=path, **config
+        )
+        try:
+            for entry in doc.get("queries") or ():
+                service._restore_entry(entry)
+            now = time.monotonic()
+            with service._lock:
+                for qid, rec in (doc.get("quarantined") or {}).items():
+                    if qid not in service._registry:
+                        continue
+                    breaker = _Breaker()
+                    breaker.failures = int(
+                        rec.get("failures", service.quarantine_after)
+                    )
+                    breaker.opened_at = now
+                    service._breakers[qid] = breaker
+                service._write_manifest_locked()
+        except BaseException:
+            service.close(drain=False)
+            raise
+        return service
+
+    def _restore_entry(self, entry: dict) -> None:
+        """Re-register one journaled query: store-first, source-second."""
+        qid = entry.get("query_id")
+        if not isinstance(qid, str) or not qid:
+            raise SpannerError(f"manifest query entry without an id: {entry!r}")
+        opts = entry.get("options") or {}
+        timeout = opts["timeout"] if "timeout" in opts else _UNSET
+        max_tuples = opts["max_tuples"] if "max_tuples" in opts else _UNSET
+        max_result_bytes = (
+            opts["max_result_bytes"] if "max_result_bytes" in opts else _UNSET
+        )
+        store = self.artifact_store
+        key = entry.get("store_key")
+        recorded_sha = entry.get("payload_sha256")
+        payload = None
+        if store is not None and key:
+            try:
+                payload = store.get(key)
+            except ArtifactCorruptError:
+                payload = None  # quarantined; fall back to the source
+            if (
+                payload is not None
+                and recorded_sha
+                and hashlib.sha256(payload).hexdigest() != recorded_sha
+            ):
+                # Internally consistent entry, but not the artifact the
+                # manifest promised (e.g. a source-key collision after
+                # an eviction/re-put cycle): not safe to revive.
+                payload = None
+        if payload is not None:
+            if self.max_compile_states is not None:
+                estimate = estimate_compile_states(pickle.loads(payload))
+                if estimate is not None and estimate > self.max_compile_states:
+                    with self._lock:
+                        self._rejected += 1
+                    raise QueryRejectedError(
+                        f"restored query {qid!r}: automaton size {estimate} "
+                        f"exceeds max_compile_states={self.max_compile_states}",
+                        estimated_states=estimate,
+                        max_compile_states=self.max_compile_states,
+                    )
+            self._commit_registration(
+                qid,
+                payload,
+                timeout,
+                max_tuples,
+                max_result_bytes,
+                store_key=key,
+                source_json=entry.get("source"),
+            )
+            return
+        source_json = entry.get("source")
+        if source_json is None:
+            raise SpannerError(
+                f"cannot restore query {qid!r}: artifact {key!r} is not in "
+                "the store and the manifest records no recompilable source"
+            )
+        kwargs: dict = {}
+        if "timeout" in opts:
+            kwargs["timeout"] = opts["timeout"]
+        if "max_tuples" in opts:
+            kwargs["max_tuples"] = opts["max_tuples"]
+        if "max_result_bytes" in opts:
+            kwargs["max_result_bytes"] = opts["max_result_bytes"]
+        self.register(
+            self._query_from_source(source_json), query_id=qid, **kwargs
+        )
 
     def _compile_payload(self, query: object) -> bytes:
         """The pickled ship-to-workers artifact, under the compile deadline.
@@ -1753,6 +2208,7 @@ class SpannerService:
                 stopping = self._stop_event.is_set()
             for task, exc, value in resolutions:
                 self._finish(task, exc, value)
+            self._flush_manifest()
         except Exception as err:  # pragma: no cover - defensive
             for task, _exc, _value in resolutions:
                 self._finish(
@@ -1838,6 +2294,18 @@ class SpannerService:
         self._tasks.pop(task_id, None)
         task.done = True
         self._completed += 1
+        plan = self.fault_plan
+        if (
+            plan is not None
+            and plan.kill_after_tasks is not None
+            and self._completed >= plan.kill_after_tasks
+        ):
+            # Chaos: die as a crash would — no cleanup, no atexit, no
+            # flushed manifest beyond what is already durable.  SIGKILL
+            # on ourselves is the closest in-process stand-in for the
+            # operator's `kill -9` that the recovery suite restores
+            # from.
+            os.kill(os.getpid(), signal.SIGKILL)
         if kind == "done":
             # Only clean completions reset the breaker: ordinary task
             # exceptions say nothing fleet-level either way.
@@ -2011,11 +2479,19 @@ class SpannerService:
             breaker.probe_at = None
         elif breaker.failures >= self.quarantine_after:
             breaker.opened_at = now
+        if breaker.opened_at is not None and self.manifest_path is not None:
+            self._manifest_dirty = True  # journaled at the next tick
 
     def _record_success_locked(self, query_id: str) -> None:
         # Consecutive-failure semantics: any clean completion (probe or
         # otherwise) clears the query's whole failure history.
-        self._breakers.pop(query_id, None)
+        breaker = self._breakers.pop(query_id, None)
+        if (
+            breaker is not None
+            and breaker.opened_at is not None
+            and self.manifest_path is not None
+        ):
+            self._manifest_dirty = True  # a quarantine closed
 
     def _recycle_retiring(self) -> None:
         for worker in list(self._workers):

@@ -32,14 +32,24 @@ Segment lifetime is explicit — **no reliance on GC**:
   unlinked when the pool is full;
 * :meth:`SharedMemoryTransport.close` unlinks everything — pooled and
   in-flight alike — so no ``/dev/shm`` entry survives a fleet close, a
-  worker crash/recycle, or an abandoned streaming session;
-* worker-side attachments are excluded from Python's
-  ``resource_tracker`` (``track=False`` where available, registration
-  suppressed before), so a *worker* exiting — cleanly, recycled, or
-  killed — can never unlink a segment other tasks still read
-  (the well-known spawn-mode tracker bug); workers cache a bounded
-  number of attachments, so a recycled segment name re-arrives already
-  mapped.
+  worker crash/recycle, or an abandoned streaming session; a
+  ``weakref.finalize`` hook runs the same sweep on GC and at normal
+  interpreter exit, so a driver that never calls ``close()`` still
+  leaves ``/dev/shm`` clean;
+* the one exit no in-process hook covers — ``kill -9`` of the driver —
+  is handled by attribution instead: segment names carry a per-driver
+  *session tag* backed by a pidfile, and the **orphan janitor**
+  (:func:`sweep_orphaned_segments`, run at transport startup and by
+  ``spanner-join cache gc``) unlinks segments whose owning driver is
+  dead, never a live session's;
+* both sides opt out of Python's ``resource_tracker`` (``track=False``
+  where available, registration suppressed/retracted before): a
+  *worker* exiting — cleanly, recycled, or killed — can never unlink a
+  segment other tasks still read (the well-known spawn-mode tracker
+  bug), and the *driver's* tracker — which outlives a SIGKILLed driver
+  — can never race the janitor by unlinking crash orphans itself;
+  workers cache a bounded number of attachments, so a recycled segment
+  name re-arrives already mapped.
 
 Negotiation (:func:`create_transport` + :meth:`pack`): ``"pipe"``
 disables the layer, ``"shm"`` forces it (raising
@@ -70,7 +80,9 @@ from __future__ import annotations
 import errno
 import mmap
 import os
+import tempfile
 import threading
+import weakref
 from itertools import count
 from typing import Iterator, NamedTuple, Sequence
 
@@ -91,6 +103,7 @@ __all__ = [
     "create_transport",
     "read_document",
     "shm_available",
+    "sweep_orphaned_segments",
 ]
 
 #: "auto" negotiation: chunks whose encoded payload is smaller than this
@@ -111,6 +124,11 @@ TRANSPORT_MODES = ("auto", "shm", "pipe")
 #: segments in ``/dev/shm`` unambiguously.
 _SEGMENT_PREFIX = "sjdoc"
 
+#: Where ``/dev/shm`` lives when POSIX shm is file-backed (Linux).  The
+#: orphan janitor can only *enumerate* segments through the filesystem,
+#: so sweeping is a Linux capability; elsewhere it is a clean no-op.
+_DEV_SHM = "/dev/shm"
+
 #: How many released segments a transport keeps mapped for reuse, and
 #: how many attachments a worker keeps cached.  Small on purpose: one
 #: fleet rarely has more than ``workers * prefetch`` chunks in any
@@ -128,6 +146,171 @@ class TransportUnavailableError(SpannerError):
 def shm_available() -> bool:
     """Whether ``multiprocessing.shared_memory`` is usable here."""
     return _shared_memory is not None
+
+
+# -- The orphan janitor --------------------------------------------------------
+#
+# A SIGKILLed driver gets no chance to run close(), finalizers or atexit
+# hooks, so its segments survive in /dev/shm forever — the one leak the
+# in-process lifetime contract cannot cover.  The fix is attribution:
+# every transport mints a *session tag* (embedded in each segment name)
+# and records its pid in a pidfile under <tmp>/sjdoc-sessions/, written
+# before the first segment can exist.  Any process can then decide, for
+# any sjdoc segment, whether the owning driver is still alive — and
+# reap it when it is not.  Sweeps run at transport startup and from
+# `spanner-join cache gc`.
+
+
+def _session_dir() -> str:
+    path = os.path.join(tempfile.gettempdir(), f"{_SEGMENT_PREFIX}-sessions")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _new_session_tag() -> str:
+    # Leading letter on purpose: a legacy segment name embedded the pid
+    # where the tag now sits, and the sweeper falls back to "tag is a
+    # pid" for all-digit tags without a pidfile — a random tag must
+    # never be mistakable for one.
+    return "s" + os.urandom(4).hex()
+
+
+def _start_ticks(pid: int) -> int | None:
+    """The process's kernel start time (clock ticks since boot), or
+    ``None`` where /proc is unavailable.  Stable across the process's
+    lifetime and different for a reused pid — the disambiguator that
+    keeps a pidfile from vouching for a stranger."""
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read()
+        # Fields after the parenthesized comm (which may itself contain
+        # spaces); starttime is overall field 22 == post-comm index 19.
+        return int(stat.rsplit(b") ", 1)[1].split()[19])
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _pid_alive(pid: int, ticks: int | None) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        pass  # exists, owned by someone else
+    except OSError:  # pragma: no cover - unknown failure: never reap
+        return True
+    if ticks is not None:
+        current = _start_ticks(pid)
+        if current is not None and current != ticks:
+            return False  # the pid was reused by a different process
+    return True
+
+
+def _write_pidfile(tag: str) -> str:
+    path = os.path.join(_session_dir(), f"{tag}.pid")
+    ticks = _start_ticks(os.getpid())
+    data = f"{os.getpid()} {'' if ticks is None else ticks}".strip() + "\n"
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _remove_pidfile(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _session_alive(tag: str) -> bool:
+    """Whether the driver that owns session ``tag`` is still running.
+
+    The pidfile is the liveness record; without one, an all-digit tag
+    is treated as a legacy pid-embedded name and checked directly, and
+    anything else is an orphan (its driver wrote a pidfile once — only
+    death or ``cache gc`` removes it).
+    """
+    pidfile = os.path.join(_session_dir(), f"{tag}.pid")
+    try:
+        with open(pidfile) as handle:
+            fields = handle.read().split()
+        pid = int(fields[0])
+        ticks = int(fields[1]) if len(fields) > 1 else None
+    except (OSError, ValueError, IndexError):
+        if tag.isdigit():
+            return _pid_alive(int(tag), None)
+        return False
+    return _pid_alive(pid, ticks)
+
+
+def sweep_orphaned_segments() -> list[str]:
+    """Unlink sjdoc segments whose owning driver is dead.
+
+    Returns the names swept.  Runs from transport startup and from the
+    ``cache gc`` CLI; a platform without a filesystem-backed
+    ``/dev/shm`` cannot enumerate segments and sweeps nothing.  Live
+    sessions are never touched: a segment is reaped only when its
+    session's pidfile names a dead (or reused) pid, or when it has no
+    pidfile at all — and every live driver writes its pidfile before
+    creating its first segment.  Stale pidfiles of dead sessions are
+    pruned in the same pass.
+    """
+    if not os.path.isdir(_DEV_SHM):
+        return []
+    swept = []
+    alive: dict[str, bool] = {}
+    for name in sorted(os.listdir(_DEV_SHM)):
+        if not name.startswith(_SEGMENT_PREFIX + "-"):
+            continue
+        parts = name.split("-")
+        if len(parts) < 3:
+            continue
+        tag = parts[1]
+        if tag not in alive:
+            alive[tag] = _session_alive(tag)
+        if alive[tag]:
+            continue
+        try:
+            os.unlink(os.path.join(_DEV_SHM, name))
+        except OSError:  # pragma: no cover - raced another sweeper
+            continue
+        swept.append(name)
+    try:
+        session_dir = _session_dir()
+        for entry in os.listdir(session_dir):
+            if not entry.endswith(".pid"):
+                continue
+            tag = entry[: -len(".pid")]
+            if tag not in alive:
+                alive[tag] = _session_alive(tag)
+            if not alive[tag]:
+                _remove_pidfile(os.path.join(session_dir, entry))
+    except OSError:  # pragma: no cover - tempdir raced away
+        pass
+    return swept
+
+
+def _finalize_session(segments: dict, pool: dict, pidfile: str) -> None:
+    """Unlink whatever the transport still owns; runs via
+    ``weakref.finalize`` on GC *and* at normal interpreter exit, so a
+    driver that forgets ``close()`` still leaves ``/dev/shm`` clean.
+    ``close()`` empties the dicts, making a later call a no-op."""
+    leftovers = [entry[0] for entry in segments.values()]
+    segments.clear()
+    for bucket in pool.values():
+        leftovers.extend(bucket)
+    pool.clear()
+    for segment in leftovers:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:
+            pass
+    _remove_pidfile(pidfile)
 
 
 def create_transport(
@@ -189,6 +372,42 @@ def _attach_untracked(name: str):
             return _shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original
+
+
+def _create_untracked(name: str, size: int):
+    """Create a segment the owner's ``resource_tracker`` will not adopt.
+
+    The transport owns segment lifetime explicitly — release refcounts,
+    ``weakref.finalize``/``atexit`` on clean exits, and the pidfile
+    janitor after a crash.  Python's tracker is a *second*, competing
+    owner: it outlives a SIGKILLed driver and unlinks every registered
+    segment the moment its pipe hits EOF, racing the janitor and
+    spraying "leaked shared_memory objects" warnings on every crash.
+    Unregistering from our *own* tracker right after create is safe
+    (unlike on the worker borrow path, where under fork it would strip
+    the owner's registration — here we are the owner, and stripping it
+    is the point).
+    """
+    try:
+        segment = _shared_memory.SharedMemory(
+            create=True, size=size, name=name, track=False
+        )
+    except TypeError:
+        # Python < 3.13: create tracked, then take the registration
+        # back.  The tracker registers the raw POSIX name (with the
+        # leading slash), kept in the private ``_name`` attribute.
+        segment = _shared_memory.SharedMemory(
+            create=True, size=size, name=name
+        )
+        from multiprocessing import resource_tracker
+
+        try:
+            resource_tracker.unregister(
+                getattr(segment, "_name", "/" + name), "shared_memory"
+            )
+        except Exception:  # pragma: no cover - tracker already gone
+            pass
+    return segment
 
 
 #: The *wire* codec for shared-memory chunks.  Deliberately fixed and
@@ -360,6 +579,23 @@ class SharedMemoryTransport:
         #: allocation must fail with a synthetic ``ENOSPC``.
         self._pack_seq = 0
         self._fault_packs: frozenset[int] = frozenset()
+        #: Per-driver session identity: tag in every segment name, pid
+        #: in a pidfile written *before* any segment exists — the
+        #: attribution the orphan janitor sweeps by.  Startup is also
+        #: sweep time: a fleet coming up reaps what a SIGKILLed
+        #: predecessor stranded.
+        try:
+            self._orphans_swept = len(sweep_orphaned_segments())
+        except Exception:  # pragma: no cover - sweeping is best-effort
+            self._orphans_swept = 0
+        self.session = _new_session_tag()
+        try:
+            self._pidfile = _write_pidfile(self.session)
+        except OSError:  # pragma: no cover - unwritable tempdir
+            self._pidfile = ""
+        self._finalizer = weakref.finalize(
+            self, _finalize_session, self._segments, self._pool, self._pidfile
+        )
 
     # -- Introspection (tests assert leak-freedom through this) -------------
     def live_segments(self) -> tuple[str, ...]:
@@ -395,6 +631,7 @@ class SharedMemoryTransport:
                 "bytes_pooled": pooled,
                 "budget": self.budget,
                 "degraded_to_pipe": self._degraded,
+                "orphans_swept": self._orphans_swept,
             }
 
     def inject_enospc(self, packs: "frozenset[int] | set[int]") -> None:
@@ -528,16 +765,15 @@ class SharedMemoryTransport:
         return segment
 
     def _create_segment(self, size: int):
-        # Explicit names (prefix + pid + counter) so operators and the
-        # cleanup tests can attribute /dev/shm entries; retry on the
-        # (unlikely) collision with a leftover from a previous pid.
+        # Explicit names (prefix + session tag + counter) so operators,
+        # the cleanup tests *and the orphan janitor* can attribute
+        # /dev/shm entries to a driver; retry on the (unlikely)
+        # collision with a leftover from a previous session.
         while True:
-            name = f"{_SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_ids)}"
+            name = f"{_SEGMENT_PREFIX}-{self.session}-{next(_segment_ids)}"
             try:
-                return _shared_memory.SharedMemory(
-                    create=True, size=size, name=name
-                )
-            except FileExistsError:  # pragma: no cover - pid reuse
+                return _create_untracked(name, size)
+            except FileExistsError:  # pragma: no cover - tag collision
                 continue
 
     # -- The release handshake ----------------------------------------------
@@ -589,6 +825,7 @@ class SharedMemoryTransport:
             self._allocated = 0
         for segment in leftovers:
             self._destroy(segment)
+        _remove_pidfile(self._pidfile)
 
     @staticmethod
     def _destroy(segment) -> None:
@@ -599,12 +836,6 @@ class SharedMemoryTransport:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
-
-    def __del__(self):  # pragma: no cover - last-resort, not the contract
-        try:
-            self.close()
-        except Exception:
-            pass
 
 
 # -- Worker side --------------------------------------------------------------

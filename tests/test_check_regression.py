@@ -32,14 +32,16 @@ def make_record(
     rss_children_kb: int | None = 20_000,
     fleet_counters: tuple[int, int] | None = None,
     resource_counters: tuple[int, int] | None = None,
+    store_counters: tuple[int, int, int] | None = None,
     unix_time: float = 0.0,
 ) -> dict:
     """A BENCH_*.json payload shaped like the harness writes it.
 
     ``fleet_counters=(timeouts, quarantines)`` adds an E13g table with
     those counter totals; ``resource_counters=(degraded, truncated)``
-    adds an E13h table the same way; ``None`` (the default) models a
-    record from before the respective work, with no such table at all.
+    adds an E13h table the same way; ``store_counters=(hits, corrupt,
+    orphans)`` an E13i table; ``None`` (the default) models a record
+    from before the respective work, with no such table at all.
     """
     experiments = []
     if fused_s is not None:
@@ -100,6 +102,22 @@ def make_record(
                     "rows": [
                         [800, 0.45, 0.45, 0.4, degraded, truncated],
                         [1600, 0.91, 0.91, 0.3, 0, 0],
+                    ],
+                }
+            )
+        if store_counters is not None:
+            hits, corrupt, orphans = store_counters
+            tables.append(
+                {
+                    "title": "E13i  durable artifact store (FileStore)",
+                    "headers": [
+                        "source", "cold (s)", "warm (s)", "speedup",
+                        "hits", "corrupt", "orphans",
+                    ],
+                    "rows": [
+                        ["dictionary", 0.011, 0.002, 4.8,
+                         hits, corrupt, orphans],
+                        ["capitalized", 0.004, 0.001, 4.6, 1, 0, 0],
                     ],
                 }
             )
@@ -373,6 +391,52 @@ class TestResourceCounters:
         out = capsys.readouterr().out
         assert "resource-counters" not in out
         assert "fleet-counters" in out  # the older report still prints
+
+
+class TestStoreCounters:
+    """The informational hits/corrupt/orphans report (PR 8 E13i)."""
+
+    def test_table_total_sums_counter_rows(self):
+        record = make_record(store_counters=(1, 2, 3))
+        assert table_total(record, "E13", "E13i", "hits") == 2  # 1 + 1
+        assert table_total(record, "E13", "E13i", "corrupt") == 2
+        assert table_total(record, "E13", "E13i", "orphans") == 3
+        assert table_total(make_record(), "E13", "E13i", "hits") is None
+
+    def test_clean_counters_reported_without_notice(self, tmp_path, capsys):
+        write_history(
+            tmp_path,
+            [make_record(), make_record(store_counters=(1, 0, 0))],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "store-counters" in out
+        assert "hits=2, corrupt=0, orphans=0" in out
+        assert "notice" not in out
+
+    def test_recovery_counters_warn_but_do_not_fail(self, tmp_path, capsys):
+        # A run that revived a corrupt entry or swept crash leftovers:
+        # its warm-register timings include recovery work — a
+        # data-quality notice, never an exit-code failure.
+        write_history(
+            tmp_path,
+            [make_record() for _ in range(3)]
+            + [make_record(store_counters=(1, 1, 2))],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "hits=2, corrupt=1, orphans=2" in out
+        assert "notice: nonzero store recovery counters" in out
+
+    def test_records_predating_e13i_stay_silent(self, tmp_path, capsys):
+        write_history(
+            tmp_path,
+            [make_record(resource_counters=(0, 0)) for _ in range(3)],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "store-counters" not in out
+        assert "resource-counters" in out  # the older report still prints
 
 
 class TestCli:

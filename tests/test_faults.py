@@ -102,6 +102,21 @@ class TestFaultPlan:
         assert FaultPlan().slow_compile(0.1)
         assert FaultPlan().shm_enospc(0).shm_enospc(2).enospc_packs == {0, 2}
 
+    def test_durability_builders_validate(self):
+        with pytest.raises(ValueError):
+            FaultPlan().store_torn_write(-1)
+        with pytest.raises(ValueError):
+            FaultPlan().store_corrupt(1, -2)
+        with pytest.raises(ValueError):
+            FaultPlan().driver_kill(after_tasks=0)
+        # Each durability fault makes an otherwise-empty plan live.
+        assert FaultPlan().store_torn_write(0)
+        assert FaultPlan().store_corrupt(2)
+        assert FaultPlan().driver_kill(after_tasks=1)
+        plan = FaultPlan().store_torn_write(0).store_torn_write(3)
+        assert plan.store_torn_puts == {0, 3}
+        assert FaultPlan().driver_kill(after_tasks=5).kill_after_tasks == 5
+
     def test_flood_amount_scoping(self):
         from repro.runtime.faults import FLOOD_TUPLES
 

@@ -342,6 +342,24 @@ class TestHealth:
             assert counters["worker_restarts"] == 0
             assert busy["tasks_outstanding"] == 0
 
+    def test_health_snapshot_survives_json_round_trip(self, word_serial):
+        # Operators ship health() to log pipelines: every snapshot —
+        # idle, after traffic, with memory sampling on — must be
+        # json.dumps-able and come back equal through loads.
+        import json
+
+        with SpannerService(
+            workers=2, chunk_size=3, worker_memory_limit=1 << 30
+        ) as service:
+            qid = service.register(CompiledSpanner(WORD_FORMULA))
+            idle = service.health()
+            assert json.loads(json.dumps(idle)) == idle
+            assert service.submit(qid, DOCS).result() == word_serial
+            busy = service.health()
+            assert json.loads(json.dumps(busy)) == busy
+            rss = busy["resources"]["worker_rss_bytes"]
+            assert all(isinstance(k, str) for k in rss)
+
     def test_health_reflects_crash_restarts(self, word_serial):
         service = SpannerService(workers=2, chunk_size=2)
         try:

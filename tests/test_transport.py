@@ -276,6 +276,164 @@ class TestBudgetGovernance:
         assert stats["bytes_pooled"] == 0
 
 
+class TestOrphanJanitor:
+    """Session attribution + the crash-orphan sweep: segments name
+    their owning driver, a pidfile backs the liveness check, the sweep
+    reaps only dead sessions, and the ``weakref.finalize`` hook keeps
+    clean-but-forgetful exits off the janitor's plate entirely."""
+
+    def test_segments_carry_session_tag_backed_by_pidfile(self):
+        t = SharedMemoryTransport(force=True)
+        try:
+            ref = t.pack(["payload"] * 4)
+            assert ref.segment.startswith(f"sjdoc-{t.session}-")
+            pidfile = os.path.join(
+                transport_module._session_dir(), f"{t.session}.pid"
+            )
+            with open(pidfile) as handle:
+                assert int(handle.read().split()[0]) == os.getpid()
+            t.release(ref)
+        finally:
+            t.close()
+        # close() retires the liveness record along with the segments.
+        assert not os.path.exists(pidfile)
+
+    def test_sweep_never_reaps_a_live_session(self):
+        from repro.runtime.transport import sweep_orphaned_segments
+
+        t = SharedMemoryTransport(force=True)
+        try:
+            ref = t.pack(["payload"] * 4)  # in flight, owner alive
+            swept = sweep_orphaned_segments()
+            assert ref.segment not in swept
+            assert ref.segment in dev_shm_segments()
+            view = open_chunk(ref)  # still attachable and intact
+            assert list(view) == ["payload"] * 4
+            release_chunk(view)
+            t.release(ref)
+        finally:
+            t.close()
+
+    def test_orphan_without_pidfile_is_swept(self):
+        from repro.runtime.transport import (
+            _create_untracked,
+            sweep_orphaned_segments,
+        )
+
+        # A segment tagged with a session that never wrote a pidfile is
+        # by definition a crash leftover (drivers write the pidfile
+        # before their first segment).
+        name = "sjdoc-sdeadbeef-999"
+        segment = _create_untracked(name, 64)
+        segment.close()
+        try:
+            swept = sweep_orphaned_segments()
+            assert name in swept
+            assert name not in dev_shm_segments()
+        finally:
+            if name in dev_shm_segments():  # pragma: no cover - cleanup
+                segment.unlink()
+
+    def test_dead_pid_session_swept_and_pidfile_pruned(self):
+        import subprocess
+        import sys
+
+        from repro.runtime.transport import (
+            _create_untracked,
+            sweep_orphaned_segments,
+        )
+
+        # Borrow a genuinely dead pid from a finished child.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        tag = "s0feedbeef"
+        pidfile = os.path.join(
+            transport_module._session_dir(), f"{tag}.pid"
+        )
+        with open(pidfile, "w") as handle:
+            handle.write(f"{child.pid}\n")
+        name = f"sjdoc-{tag}-1"
+        segment = _create_untracked(name, 64)
+        segment.close()
+        try:
+            swept = sweep_orphaned_segments()
+            assert name in swept
+            assert not os.path.exists(pidfile)  # stale record pruned
+        finally:
+            if name in dev_shm_segments():  # pragma: no cover - cleanup
+                segment.unlink()
+
+    def test_startup_sweep_counts_in_stats(self):
+        from repro.runtime.transport import _create_untracked
+
+        name = "sjdoc-scafef00d-7"
+        segment = _create_untracked(name, 64)
+        segment.close()
+        t = SharedMemoryTransport(force=True)
+        try:
+            assert name not in dev_shm_segments()
+            assert t.stats()["orphans_swept"] >= 1
+        finally:
+            t.close()
+
+    def test_finalizer_unlinks_on_interpreter_exit_without_close(self):
+        import subprocess
+        import sys
+
+        # A driver that packs and exits normally without ever calling
+        # close(): weakref.finalize/atexit must unlink its segments —
+        # the janitor is for kill -9, not for forgetfulness.
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        script = (
+            "import sys; sys.path.insert(0, %r)\n"
+            "from repro.runtime.transport import SharedMemoryTransport\n"
+            "t = SharedMemoryTransport(force=True)\n"
+            "ref = t.pack(['payload'] * 8)\n"
+            "print(ref.segment, flush=True)\n"
+            # no t.close(), no release: fall off the end.
+        ) % os.path.abspath(src)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        name = out.stdout.strip()
+        assert name.startswith("sjdoc-")
+        assert name not in dev_shm_segments()
+
+    def test_sigkilled_driver_strands_then_sweep_reaps(self):
+        import signal
+        import subprocess
+        import sys
+
+        from repro.runtime.transport import sweep_orphaned_segments
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        script = (
+            "import os, signal, sys; sys.path.insert(0, %r)\n"
+            "from repro.runtime.transport import SharedMemoryTransport\n"
+            "t = SharedMemoryTransport(force=True)\n"
+            "ref = t.pack(['payload'] * 8)\n"
+            "print(ref.segment, flush=True)\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        ) % os.path.abspath(src)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert out.returncode == -signal.SIGKILL
+        name = out.stdout.strip()
+        # No hook could run: the segment is stranded...
+        assert name in dev_shm_segments()
+        # ...until the janitor attributes it to a dead session.
+        assert name in sweep_orphaned_segments()
+        assert name not in dev_shm_segments()
+
+
 class TestReadDocument:
     def test_mmap_and_plain_reads_agree(self, tmp_path):
         path = tmp_path / "doc.txt"
