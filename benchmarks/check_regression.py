@@ -14,6 +14,10 @@ Default gates:
 * ``e10d-fused-seconds`` — median ``fused (s)`` of the E10d table
   (lower is better): the fused equality join must not silently slide
   back toward materializing ``A_eq``.
+* ``e13j-fused-speedup`` — median ``fused speedup`` of the E13j table
+  (higher is better): fused multi-query serving must keep beating Q
+  sequential scans; a slide toward 1.0 means the one-pass sweep lost
+  its sharing advantage.
 * ``peak-rss-kib`` / ``peak-rss-children-kib`` — the run's peak
   resident-set high-water marks (max over the recorded experiments;
   lower is better): the memory trajectory PR 3 started stamping.
@@ -319,6 +323,12 @@ def default_gates() -> list[Gate]:
             LOWER,
             lambda r: table_metric(r, "E10", "E10d", "fused (s)"),
             unit="s",
+        ),
+        Gate(
+            "e13j-fused-speedup",
+            HIGHER,
+            lambda r: table_metric(r, "E13", "E13j", "fused speedup"),
+            unit="x",
         ),
         Gate(
             "peak-rss-kib",

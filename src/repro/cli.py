@@ -30,7 +30,12 @@ Subcommands:
   ``--file`` arguments the per-query compilation is shared across the
   documents, and ``--workers N`` shards them — string-equality
   queries included: workers run the fused per-document equality join
-  against the one shipped static artifact;
+  against the one shipped static artifact; ``--next-query`` separates
+  several CQs in one invocation (each group of ``--atom``/``--head``/
+  ``--equal`` before the next separator is one query), served like
+  ``extract``'s multi-formula path: with ``--workers N`` all of them
+  register on one fleet and output is grouped per query (q0, q1, ...)
+  with bytes identical to running each query serially;
 * ``info`` — parse a formula and report variables, functionality and
   compiled-automaton size;
 * ``cache`` — inspect and maintain the durable runtime state:
@@ -43,6 +48,12 @@ Subcommands:
   DIR``: fleet runs consult the cache before compiling each formula
   (warm start across CLI invocations) and persist what they compile.
 
+Multi-query fleet runs (``extract`` with several formulas, ``query``
+with ``--next-query``) default to **fused serving**: one document scan
+answers every query, demultiplexed per query with output bytes
+identical to the sequential scans; ``--no-fuse`` forces one scan per
+query (same bytes, more passes).
+
 Examples::
 
     spanner-join extract '(ε|.* )m{u{[a-z]+}@d{[a-z]+\\.[a-z]+}}( .*|ε)' \\
@@ -52,6 +63,8 @@ Examples::
         --artifact-cache ~/.cache/spanner-join
     spanner-join query --atom '.*x{[0-9]+}.*' --atom '.*y{ERROR}.*' \\
         --head x --file app.log
+    spanner-join query --atom '.*x{[0-9]+}.*' --head x --next-query \\
+        --atom '.*y{WARN|ERROR}.*' --head y --file app.log --workers 4
     spanner-join info 'a*x{a*}a*'
     spanner-join cache verify --dir ~/.cache/spanner-join
     spanner-join cache gc --dir ~/.cache/spanner-join
@@ -72,6 +85,36 @@ from .spans import SpanRelation, SpanTuple
 from .vset import compile_regex
 
 __all__ = ["main"]
+
+
+class _GroupedAppend(argparse.Action):
+    """``append`` that tags each value with the current query group.
+
+    ``query`` accepts several CQs in one invocation, separated by
+    ``--next-query``; every ``--atom``/``--head``/``--equal`` belongs
+    to the group open when it appears.  The tag is the group index, so
+    ``_grouped_queries`` can reassemble the per-query argument sets
+    without argparse needing nested parsers.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        items = list(getattr(namespace, self.dest) or ())
+        items.append((getattr(namespace, "_query_group", 0), values))
+        setattr(namespace, self.dest, items)
+
+
+class _NextQuery(argparse.Action):
+    """The ``--next-query`` separator: open the next query group."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(
+            namespace,
+            "_query_group",
+            getattr(namespace, "_query_group", 0) + 1,
+        )
 
 
 def _read_documents(args: argparse.Namespace) -> list[tuple[str, str]]:
@@ -231,10 +274,12 @@ def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
     """Serve several formulas over one worker fleet (``--workers N``).
 
     Every formula is registered on one :class:`SpannerService`, so the
-    workers hold each compiled artifact at most once, and all queries'
-    file batches are dispatched before any result is rendered — the
-    queries genuinely share the fleet concurrently.  Output is grouped
-    query-major then file-major, exactly as the serial loop prints it.
+    workers hold each compiled artifact at most once, and the whole
+    batch goes through one :meth:`submit_all` — with ``--fuse`` (the
+    default) that is a single fused document scan answering every
+    formula at once; ``--no-fuse`` dispatches one scan per formula.
+    Output is grouped query-major then file-major, exactly as the
+    serial loop prints it, fused or not.
     """
     from .runtime.service import SpannerService
 
@@ -254,13 +299,18 @@ def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
         # is identical either way).  A rejection surfaces as
         # ``error: query rejected: ...`` before any worker time.
         query_ids = [service.register(formula) for formula in formulas]
-        futures = [
-            service.submit_files(qid, args.file, limit=args.limit)
-            for qid in query_ids
-        ]
-        for i, future in enumerate(futures):
+        # One submit_all for the whole batch (deduplicated: repeating a
+        # formula repeats its rendering below, not its evaluation).
+        futures = service.submit_all(
+            args.file,
+            queries=list(dict.fromkeys(query_ids)),
+            kind="files",
+            limit=args.limit,
+            fuse=args.fuse,
+        )
+        for i, qid in enumerate(query_ids):
             try:
-                per_file = future.result()
+                per_file = futures[qid].result()
             except OSError as err:
                 failed = getattr(err, "filename", None)
                 raise SpannerError(
@@ -330,6 +380,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 transport=args.transport,
                 encoding=args.encoding,
                 errors=args.errors,
+                fuse=args.fuse,
                 **_fleet_opts(args),
             )
             # Push --limit into the workers: a capped extraction must
@@ -410,6 +461,7 @@ def _query_parallel(
         transport=args.transport,
         encoding=args.encoding,
         errors=args.errors,
+        fuse=args.fuse,
         **_fleet_opts(args),
     ) as pool:
         streams = pool.evaluate_many(
@@ -444,37 +496,160 @@ def _query_parallel(
     return 0
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    docs = _read_documents(args)
-    head = args.head or []
-    equalities = [group.split(",") for group in (args.equal or [])]
-    query = RegexCQ(head, args.atom, equalities=equalities)
-    if args.workers > 1 and len(docs) > 1:
-        return _query_parallel(args, query, docs)
-    # One evaluator for all documents: its compilation caches (static
-    # join folds, equality-free compiled spanners) amortize across them.
-    evaluator = QueryEvaluator()
-    label_docs = len(docs) > 1
-    for name, text in docs:
-        relation = evaluator.evaluate(query, text, strategy=args.strategy)
-        decision = evaluator.last_decision
-        if decision is not None and args.explain:
-            print(
-                f"# strategy: {decision.strategy} — {decision.reason}",
-                file=sys.stderr,
+def _grouped_queries(args: argparse.Namespace) -> list[RegexCQ]:
+    """The CQs of one invocation, reassembled from ``--next-query`` groups.
+
+    ``--atom``/``--head``/``--equal`` values carry the index of the
+    query group open when they appeared (:class:`_GroupedAppend`); this
+    rebuilds one :class:`RegexCQ` per group, validating that every
+    group has at least one atom and at most one ``--head``.
+    """
+    n_groups = getattr(args, "_query_group", 0) + 1
+    atoms: list[list[str]] = [[] for _ in range(n_groups)]
+    heads: list[list[str] | None] = [None] * n_groups
+    equalities: list[list[list[str]]] = [[] for _ in range(n_groups)]
+    for group, atom in args.atom or ():
+        atoms[group].append(atom)
+    for group, head in args.head or ():
+        if heads[group] is not None:
+            raise SpannerError(f"query q{group}: --head given twice")
+        heads[group] = head
+    for group, spec in args.equal or ():
+        equalities[group].append(spec.split(","))
+    queries = []
+    for g in range(n_groups):
+        if not atoms[g]:
+            raise SpannerError(
+                f"query q{g} needs at least one --atom (each "
+                "--next-query group is a separate CQ)"
             )
-        if query.is_boolean:
-            verdict = "true" if relation else "false"
-            print(f"{name}: {verdict}" if label_docs else verdict)
-            continue
-        _print_tuples(
-            relation.sorted(),
-            text,
-            args.format,
-            args.limit,
-            prefix=name if label_docs else None,
+        queries.append(
+            RegexCQ(heads[g] or [], atoms[g], equalities=equalities[g])
         )
+    return queries
+
+
+def _query_serial(
+    args: argparse.Namespace,
+    queries: list[RegexCQ],
+    docs: list[tuple[str, str]],
+) -> int:
+    # One evaluator for all queries and documents: its compilation
+    # caches (static join folds, equality-free compiled spanners)
+    # amortize across them.
+    evaluator = QueryEvaluator()
+    label_queries = len(queries) > 1
+    label_docs = len(docs) > 1
+    for i, query in enumerate(queries):
+        for name, text in docs:
+            relation = evaluator.evaluate(query, text, strategy=args.strategy)
+            decision = evaluator.last_decision
+            if decision is not None and args.explain:
+                print(
+                    f"# strategy: {decision.strategy} — {decision.reason}",
+                    file=sys.stderr,
+                )
+            prefix = _extract_prefix(i, name, label_queries, label_docs)
+            if query.is_boolean:
+                verdict = "true" if relation else "false"
+                print(f"{prefix}: {verdict}" if prefix else verdict)
+                continue
+            _print_tuples(
+                relation.sorted(),
+                text,
+                args.format,
+                args.limit,
+                prefix=prefix,
+            )
     return 0
+
+
+def _query_fleet(
+    args: argparse.Namespace,
+    queries: list[RegexCQ],
+    docs: list[tuple[str, str]],
+) -> int:
+    """Serve several CQs over one worker fleet (``--workers N``).
+
+    The ``query`` twin of :func:`_extract_fleet`: every CQ's compiled
+    engine (fused equality artifact or plain spanner) registers on one
+    :class:`SpannerService`, the document batch goes through one
+    :meth:`submit_all` — a single fused scan with ``--fuse`` (default),
+    one scan per query with ``--no-fuse`` — and output is grouped
+    query-major (q0, q1, ...) then document-major, byte-identical to
+    running each query serially.
+    """
+    if args.strategy == "canonical":
+        raise SpannerError(
+            "--workers shards the compiled strategy; drop "
+            "--strategy canonical or run with --workers 1"
+        )
+    from .queries.compiled import CompiledEvaluator
+    from .runtime.service import SpannerService
+
+    evaluator = CompiledEvaluator()
+    engines = [
+        evaluator.equality_runtime(q) or evaluator.runtime(q)
+        for q in queries
+    ]
+    label_docs = len(docs) > 1
+    # The serial path sorts the *full* relation before applying
+    # --limit, so workers must not cap enumeration early; only an
+    # all-Boolean batch can stop at the one tuple that decides it.
+    limit = 1 if all(q.is_boolean for q in queries) else None
+    with SpannerService(
+        workers=args.workers,
+        transport=args.transport,
+        encoding=args.encoding,
+        errors=args.errors,
+        **_fleet_opts(args),
+        **_admission_opts(args),
+    ) as service:
+        query_ids = [service.register(engine) for engine in engines]
+        futures = service.submit_all(
+            [text for _name, text in docs],
+            queries=list(dict.fromkeys(query_ids)),
+            limit=limit,
+            fuse=args.fuse,
+        )
+        for i, (query, qid) in enumerate(zip(queries, query_ids)):
+            per_doc = futures[qid].result()
+            if args.explain:
+                print(
+                    f"# strategy: compiled — q{i} served on a "
+                    f"{args.workers}-worker fleet"
+                    + (
+                        " (fused equality runtime)"
+                        if query.equality_atoms
+                        else ""
+                    ),
+                    file=sys.stderr,
+                )
+            for (name, text), answers in zip(docs, per_doc):
+                prefix = _extract_prefix(i, name, True, label_docs)
+                if query.is_boolean:
+                    verdict = "true" if answers else "false"
+                    print(f"{prefix}: {verdict}")
+                    continue
+                relation = SpanRelation(query.head, answers)
+                _print_tuples(
+                    relation.sorted(),
+                    text,
+                    args.format,
+                    args.limit,
+                    prefix=prefix,
+                )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    queries = _grouped_queries(args)
+    docs = _read_documents(args)
+    if len(queries) > 1 and args.workers > 1:
+        return _query_fleet(args, queries, docs)
+    if len(queries) == 1 and args.workers > 1 and len(docs) > 1:
+        return _query_parallel(args, queries[0], docs)
+    return _query_serial(args, queries, docs)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -696,6 +871,17 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         p.add_argument(
+            "--fuse",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help=(
+                "serve multi-query --workers batches through one fused "
+                "document scan answering every query at once (default); "
+                "--no-fuse forces one scan per query — output bytes are "
+                "identical either way"
+            ),
+        )
+        p.add_argument(
             "--artifact-cache",
             metavar="DIR",
             help=(
@@ -735,20 +921,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_extract.set_defaults(func=_cmd_extract)
 
-    p_query = sub.add_parser("query", help="evaluate a regex CQ")
+    p_query = sub.add_parser(
+        "query", help="evaluate one or more regex CQs"
+    )
     p_query.add_argument(
         "--atom",
-        action="append",
+        action=_GroupedAppend,
         required=True,
         help="a regex-formula atom (repeatable)",
     )
     p_query.add_argument(
-        "--head", nargs="*", help="projection variables (default: Boolean)"
+        "--head",
+        nargs="*",
+        action=_GroupedAppend,
+        help="projection variables (default: Boolean)",
     )
     p_query.add_argument(
         "--equal",
-        action="append",
+        action=_GroupedAppend,
         help="comma-separated string-equality group (repeatable)",
+    )
+    p_query.add_argument(
+        "--next-query",
+        action=_NextQuery,
+        dest="_query_group",
+        default=0,
+        help=(
+            "start another CQ: the --atom/--head/--equal before each "
+            "--next-query form one query; several queries print q0-, "
+            "q1-, ... prefixed rows and share one fleet with --workers "
+            "(fused into a single document scan unless --no-fuse)"
+        ),
     )
     p_query.add_argument(
         "--strategy",
@@ -765,7 +968,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "shard documents across N worker processes (compiled "
             "strategy; equality queries run the fused per-document "
-            "join worker-side against one shipped static artifact)"
+            "join worker-side against one shipped static artifact); "
+            "with several --next-query CQs all of them are served "
+            "concurrently by one SpannerService fleet"
         ),
     )
     add_io(p_query)

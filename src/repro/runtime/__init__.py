@@ -32,6 +32,12 @@
   compiled artifacts behind warm ``register()`` starts and
   :meth:`SpannerService.restore` (atomic durable writes, checksummed
   versioned headers, corrupt-entry quarantine, LRU byte budgets);
+* :mod:`.fusion` — :class:`FusedQuery` / :class:`FusedEngine` and
+  :func:`plan_submission`, the one-pass multi-query fusion layer: a
+  registered query set unioned into a single tagged sweep per document
+  (the Theorem 3.11 union-in-one-pass shape, generalized to arbitrary
+  members) with per-member tuple streams byte-identical to sequential
+  serving, behind :meth:`SpannerService.extract_all`;
 * :mod:`.faults` — :class:`FaultPlan` / :class:`FaultSpec`, the
   deterministic fault-injection harness the chaos suite threads into
   fleet workers (hangs, crashes, slow decodes, shm attach failures at
@@ -61,6 +67,10 @@ __all__ = [
     "CompiledEqualityQuery",
     "ParallelSpanner",
     "SpannerService",
+    "QueryHandle",
+    "FusedQuery",
+    "FusedEngine",
+    "plan_submission",
     "equality_join",
     "CacheStats",
     "LRUCache",
@@ -88,10 +98,14 @@ def __getattr__(name: str):
         from .parallel import ParallelSpanner
 
         return ParallelSpanner
-    if name == "SpannerService":
-        from .service import SpannerService
+    if name in ("SpannerService", "QueryHandle"):
+        from . import service
 
-        return SpannerService
+        return getattr(service, name)
+    if name in ("FusedQuery", "FusedEngine", "plan_submission"):
+        from . import fusion
+
+        return getattr(fusion, name)
     if name == "CompiledEqualityQuery":
         from .equality import CompiledEqualityQuery
 

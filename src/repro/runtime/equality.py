@@ -578,9 +578,19 @@ class CompiledEqualityQuery:
         )
 
     # -- Per-document compilation -------------------------------------------
-    def compile_for(self, s: str) -> VSetAutomaton:
-        """The fully-compiled automaton for ``s`` (fused equality joins)."""
-        index = SubstringIndex(s)
+    def compile_for(
+        self, s: str, *, index: SubstringIndex | None = None
+    ) -> VSetAutomaton:
+        """The fully-compiled automaton for ``s`` (fused equality joins).
+
+        Pass ``index`` to share one per-document
+        :class:`SubstringIndex` across several equality queries hitting
+        the same document — the fused serving path does, so the
+        rolling-hash preprocessing is paid once per document instead of
+        once per (query, document) pair.
+        """
+        if index is None:
+            index = SubstringIndex(s)
         per_disjunct = []
         for tables, groups in self.disjuncts:
             automaton = tables.automaton
@@ -596,10 +606,12 @@ class CompiledEqualityQuery:
         return union(per_disjunct)
 
     # -- Evaluation ---------------------------------------------------------
-    def evaluator(self, s: str) -> "SpannerEvaluator":
+    def evaluator(
+        self, s: str, *, index: SubstringIndex | None = None
+    ) -> "SpannerEvaluator":
         from ..enumeration.enumerator import SpannerEvaluator
 
-        return SpannerEvaluator(self.compile_for(s), s)
+        return SpannerEvaluator(self.compile_for(s, index=index), s)
 
     def stream(self, s: str) -> Iterator[SpanTuple]:
         yield from self.evaluator(s)

@@ -136,12 +136,19 @@ class FaultSpec:
         amount: size parameter for the resource faults — leaked bytes
             for ``rss_bloat``, padded tuples per document for
             ``tuple_flood``.
+        member: for *fused* tasks, the member query id whose per-member
+            phase triggers the fault (via :meth:`FaultPlan.apply_member`
+            rather than :meth:`FaultPlan.apply`) — this is how the
+            chaos suite proves a fused-task failure indicts exactly the
+            offending member's circuit breaker.  ``None`` (the default)
+            fires at task start, whatever the task's shape.
     """
 
     kind: str
     seconds: float | None = None
     attempts: tuple[int, ...] | None = None
     amount: int | None = None
+    member: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -220,16 +227,27 @@ class FaultPlan:
         self.specs[task] = spec
         return self
 
-    def crash(self, task: int, attempts: tuple[int, ...] | None = None) -> "FaultPlan":
-        return self.add(task, FaultSpec("crash", attempts=attempts))
+    def crash(
+        self,
+        task: int,
+        attempts: tuple[int, ...] | None = None,
+        member: str | None = None,
+    ) -> "FaultPlan":
+        return self.add(
+            task, FaultSpec("crash", attempts=attempts, member=member)
+        )
 
     def hang(
         self,
         task: int,
         seconds: float | None = None,
         attempts: tuple[int, ...] | None = None,
+        member: str | None = None,
     ) -> "FaultPlan":
-        return self.add(task, FaultSpec("hang", seconds=seconds, attempts=attempts))
+        return self.add(
+            task,
+            FaultSpec("hang", seconds=seconds, attempts=attempts, member=member),
+        )
 
     def slow(
         self,
@@ -333,9 +351,29 @@ class FaultPlan:
         before touching the payload, so injected faults model failures
         *during* task execution.  May crash the process, sleep, or
         raise :class:`~repro.errors.TransientTaskError`.
+
+        Member-scoped specs (``member=...``) are skipped here — they
+        fire from :meth:`apply_member` inside the named member's phase
+        of a fused task.
         """
         spec = self.specs.get(task_id)
-        if spec is not None and spec.applies_to(attempt):
+        if spec is not None and spec.member is None and spec.applies_to(attempt):
+            spec.trigger()
+
+    def apply_member(self, task_id: int, attempt: int, query_id: str) -> None:
+        """Trigger a member-scoped fault inside a fused task's phase.
+
+        Called by the fused-task runner just after stamping the member
+        ordinal into the heartbeat and before evaluating that member,
+        so the injected failure lands where a real per-member failure
+        would — attributable to exactly one query.
+        """
+        spec = self.specs.get(task_id)
+        if (
+            spec is not None
+            and spec.member == query_id
+            and spec.applies_to(attempt)
+        ):
             spec.trigger()
 
     def __bool__(self) -> bool:

@@ -72,6 +72,7 @@ from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
+from .fusion import plan_submission
 from .service import (
     OVERLOAD_POLICIES,
     RESULT_LIMIT_POLICIES,
@@ -162,6 +163,14 @@ class ParallelSpanner:
             process restarts) warm-start instead of recompiling; see
             :class:`SpannerService`.  Not consulted on the
             ``workers=1`` serial path, which registers nothing.
+        fuse: whether this session participates in multi-query fusion
+            planning (:func:`repro.runtime.fusion.plan_submission`).
+            A ``ParallelSpanner`` serves exactly one query, and the
+            planner never fuses a single member, so the plan is always
+            ``"sequential"`` here — the knob exists so the session and
+            :meth:`SpannerService.submit_all` share one decision point
+            and the byte-identity guarantee is anchored to it rather
+            than to two code paths that merely happen to agree.
     """
 
     def __init__(
@@ -188,6 +197,7 @@ class ParallelSpanner:
         worker_memory_limit: int | None = None,
         worker_memory_hard_limit: int | None = None,
         artifact_store: "ArtifactStore | None" = None,
+        fuse: bool = True,
     ):
         if not isinstance(spanner, (CompiledSpanner, CompiledEqualityQuery)):
             # Remember the compilable origin: the compiled artifact's
@@ -270,6 +280,7 @@ class ParallelSpanner:
             )
         self.worker_memory_hard_limit = worker_memory_hard_limit
         self.artifact_store = artifact_store
+        self.fuse = fuse
         self._pool: "SpannerService | None" = None
         self._query_id: str | None = None
 
@@ -410,10 +421,17 @@ class ParallelSpanner:
         extra: int | None,
     ) -> Iterator:
         assert self._query_id is not None
+        # One decision point for fused-vs-sequential serving, shared
+        # with SpannerService.submit_all: a single-member session always
+        # plans "sequential", so workers=1, pipe and shm stay
+        # byte-identical whether fusion is enabled or not — guaranteed
+        # by the planner, not by this module happening to agree with it.
+        mode, (query_id,) = plan_submission([self._query_id], fuse=self.fuse)
+        assert mode == "sequential", mode
         pending: deque = deque()
         try:
             pending.append(
-                pool.submit_chunk(self._query_id, first, op=op, extra=extra)
+                pool.submit_chunk(query_id, first, op=op, extra=extra)
             )
             exhausted = False
             while pending:
@@ -424,7 +442,7 @@ class ParallelSpanner:
                         break
                     pending.append(
                         pool.submit_chunk(
-                            self._query_id, chunk, op=op, extra=extra
+                            query_id, chunk, op=op, extra=extra
                         )
                     )
                 yield from pending.popleft().result()

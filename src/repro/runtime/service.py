@@ -78,6 +78,16 @@ fleet:
   runs the compilation under the fleet's deadline pattern —
   :class:`~repro.errors.QueryRejectedError` instead of an unbounded
   compile.  ``health()['resources']`` reports all of it.
+* **One-pass multi-query fusion.**  ``submit_all(docs)`` (and the
+  ``await``-able ``extract_all``) serves one batch to *every*
+  registered query in a single document scan: the members'
+  vset-automata are fused into one tagged engine
+  (:mod:`repro.runtime.fusion`) whose shared leveled-NFA sweep answers
+  all of them per document, demultiplexed per query — per-query
+  streams byte-identical (content and order) to Q sequential
+  submissions.  Fused tasks ride the same deadline / result-cap /
+  breaker machinery; the heartbeat's member slot lets a fused failure
+  indict exactly the offending query's breaker.
 * **Asyncio front-end.**  ``await service.extract(query_id, docs)``
   evaluates a batch without blocking the event loop;
   :meth:`submit` returns a :class:`concurrent.futures.Future` usable
@@ -120,6 +130,7 @@ import pickle
 import signal
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import CancelledError, Future, InvalidStateError, wait
 from itertools import count, islice
@@ -142,6 +153,13 @@ from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner, estimate_compile_states
 from .equality import CompiledEqualityQuery
 from .faults import FaultPlan, _FloodingEngine
+from .fusion import (
+    FUSED_ID_PREFIX,
+    FusedQuery,
+    fused_fingerprint,
+    fused_query_id,
+    plan_submission,
+)
 from .store import (
     ArtifactStore,
     FileStore,
@@ -164,7 +182,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
     from ..regex.ast import RegexFormula
 
-__all__ = ["SpannerService", "MANIFEST_FORMAT_VERSION"]
+__all__ = ["SpannerService", "QueryHandle", "MANIFEST_FORMAT_VERSION"]
 
 #: Documents per dispatched task (same granularity ParallelSpanner uses).
 DEFAULT_CHUNK_SIZE = 16
@@ -330,6 +348,9 @@ def _materialize(artifact: object) -> object:
         # The equality-free contract: one tables object, rebuilt into a
         # spanner without rerunning any preprocessing.
         return CompiledSpanner.from_tables(artifact)
+    if isinstance(artifact, FusedQuery):
+        # A fused member set: plan cohorts once, serve many documents.
+        return artifact.materialize()
     # A self-contained engine (CompiledEqualityQuery, CompiledSpanner):
     # its pickle contract already ships everything it needs.
     return artifact
@@ -390,6 +411,94 @@ def _run_op(
         release_chunk(docs)
 
 
+def _stamp_member(heartbeat, ordinal: float) -> None:
+    """Publish which fused member this worker is serving (-1 = shared)."""
+    if heartbeat is not None:
+        with heartbeat.get_lock():
+            heartbeat[3] = ordinal
+
+
+def _run_fused(
+    engine,
+    op: str,
+    items: "list[str] | ShmChunk",
+    extra: int | None,
+    encoding: str,
+    errors: str,
+    caps: "tuple | None" = None,
+    heartbeat=None,
+    fault_ctx: "tuple | None" = None,
+) -> tuple[list, int]:
+    """One fused task: every member's answer from one pass per document.
+
+    ``engine`` is a :class:`~repro.runtime.fusion.FusedEngine`; per
+    document its shared sweep runs once and each member's stream is then
+    enumerated under that *member's* resolved result cap (``caps`` is a
+    per-member tuple here, index-aligned with ``engine.member_ids``).
+    The return payload is one entry per member: ``("ok", per_doc_lists,
+    truncated_docs)`` for members that completed, ``("err", exc)`` for
+    members whose enumeration raised — an ordinary per-member exception
+    fails exactly that member's future driver-side and, like every
+    ordinary worker exception, never charges a breaker.
+
+    Attribution: before each member phase the worker stamps the member
+    ordinal into the heartbeat's fourth slot (and fires that member's
+    injected faults via ``FaultPlan.apply_member``), so a worker killed
+    mid-member — deadline, crash, memory — indicts exactly the member it
+    was serving; the shared sweep phase is stamped ``-1`` (unattributed:
+    a failure there charges every member, since all of them asked for
+    that pass).
+    """
+    docs = open_chunk(items)
+    member_ids = engine.member_ids
+    m_count = len(member_ids)
+    member_caps = caps if caps is not None else (None,) * m_count
+    per_doc: list[list] = [[] for _ in range(m_count)]
+    errs: list = [None] * m_count
+    truncated = [0] * m_count
+    try:
+        for item in docs:
+            _stamp_member(heartbeat, -1.0)
+            if op == "fused_files":
+                doc = read_document(item, encoding=encoding, errors=errors)
+            else:
+                doc = item
+            streams = engine.streams(doc)  # the one shared pass
+            for m, stream in enumerate(streams):
+                if errs[m] is not None:
+                    continue
+                _stamp_member(heartbeat, float(m))
+                if fault_ctx is not None:
+                    plan, task_id, attempt = fault_ctx
+                    plan.apply_member(task_id, attempt, member_ids[m])
+                try:
+                    tuples, cut = _enumerate_capped(
+                        stream, extra, member_caps[m]
+                    )
+                except Exception as err:
+                    try:  # ship the real exception when it pickles
+                        pickle.dumps(err)
+                    except Exception:
+                        err = RuntimeError(f"{type(err).__name__}: {err}")
+                    errs[m] = err
+                    continue
+                per_doc[m].append(tuples)
+                truncated[m] += cut
+        _stamp_member(heartbeat, -1.0)
+        out = [
+            ("err", errs[m])
+            if errs[m] is not None
+            else ("ok", per_doc[m], truncated[m])
+            for m in range(m_count)
+        ]
+        total_truncated = sum(
+            truncated[m] for m in range(m_count) if errs[m] is None
+        )
+        return out, total_truncated
+    finally:
+        release_chunk(docs)
+
+
 def _fleet_worker(
     worker_id: int,
     task_queue,
@@ -415,9 +524,13 @@ def _fleet_worker(
     pipes a dying writer can only tear its own channel, which the
     driver detects (EOF / torn frame) and retires.
 
-    ``heartbeat`` is a shared ``Array('d', 3)`` the worker stamps with
-    ``(task_id, monotonic start time, rss_bytes)`` when a task begins
-    and ``(-1, now, rss_bytes)`` when it ends — the driver's only
+    ``heartbeat`` is a shared ``Array('d', 4)`` the worker stamps with
+    ``(task_id, monotonic start time, rss_bytes, member_ordinal)`` when
+    a task begins and ``(-1, now, rss_bytes, -1)`` when it ends — the
+    fourth slot names which fused member a fused task is currently
+    enumerating (``-1`` = shared/unattributed phase, or a non-fused
+    task), so the watchdogs can indict exactly the member a kill
+    interrupted.  The heartbeat is the driver's only
     window into a worker that has stopped answering, and (since PR 7)
     into its memory footprint: the end-of-task RSS sample is what the
     memory watchdog reads, so a task that bloated the worker is seen at
@@ -449,6 +562,7 @@ def _fleet_worker(
                 heartbeat[0] = float(task_id)
                 heartbeat[1] = time.monotonic()
                 heartbeat[2] = rss
+                heartbeat[3] = -1.0
         try:
             # Materialize a shipped artifact *before* any injected
             # fault: the driver marks the query shipped the moment the
@@ -463,16 +577,30 @@ def _fleet_worker(
                     )
                 engine = _materialize(pickle.loads(payload))
                 engines[query_id] = engine
+            fused = op in ("fused", "fused_files")
             if fault_plan is not None:
                 fault_plan.apply(task_id, attempt)
                 flood = fault_plan.flood_amount(task_id, attempt)
-                if flood is not None:
+                if flood is not None and not fused:
                     # Wrap for this task only; the cached engine stays
-                    # clean for every other task of the query.
+                    # clean for every other task of the query.  Fused
+                    # engines are never wrapped — their members flood
+                    # individually via member-scoped specs.
                     engine = _FloodingEngine(engine, flood)
-            out, truncated = _run_op(
-                engine, op, items, extra, encoding, errors, caps
-            )
+            if fused:
+                out, truncated = _run_fused(
+                    engine, op, items, extra, encoding, errors, caps,
+                    heartbeat=heartbeat,
+                    fault_ctx=(
+                        (fault_plan, task_id, attempt)
+                        if fault_plan is not None
+                        else None
+                    ),
+                )
+            else:
+                out, truncated = _run_op(
+                    engine, op, items, extra, encoding, errors, caps
+                )
         except Exception as err:
             try:  # ship the real exception when it pickles
                 pickle.dumps(err)
@@ -487,6 +615,7 @@ def _fleet_worker(
                 heartbeat[0] = -1.0
                 heartbeat[1] = time.monotonic()
                 heartbeat[2] = rss
+                heartbeat[3] = -1.0
         try:
             result_conn.send(result)
         except (BrokenPipeError, OSError):
@@ -536,7 +665,7 @@ class _Task:
     __slots__ = (
         "task_id", "query_id", "op", "items", "extra", "caps",
         "future", "worker", "attempts", "done", "bounded",
-        "deadline", "not_before",
+        "deadline", "not_before", "members", "indicted",
     )
 
     def __init__(
@@ -549,6 +678,7 @@ class _Task:
         bounded: bool,
         deadline: float | None = None,
         caps: "tuple[int | None, int | None, str] | None" = None,
+        members: "tuple[str, ...] | None" = None,
     ):
         self.task_id = task_id
         self.query_id = query_id
@@ -563,6 +693,12 @@ class _Task:
         self.bounded = bounded  # holds one max_in_flight slot
         self.deadline = deadline  # seconds of *execution* per attempt
         self.not_before = 0.0  # monotonic re-dispatch eligibility (backoff)
+        #: Fused tasks only: member query ids, index-aligned with the
+        #: engine's member order (and hence the heartbeat ordinal).
+        self.members = members
+        #: The member a fleet-level failure was attributed to (from the
+        #: heartbeat's member slot); None = unattributed, charge all.
+        self.indicted: str | None = None
 
 
 class _WorkerHandle:
@@ -596,11 +732,18 @@ class _WorkerHandle:
         self.memory_flagged = False  # retiring because of the watchdog
         self.stopped = False  # stop sent (or crash/kill observed)
 
-    def read_heartbeat(self) -> tuple[int, float, float]:
-        """The (running task id, stamp, rss bytes) triple; task id is
-        -1 when idle, rss is 0.0 until the worker's first stamp."""
+    def read_heartbeat(self) -> tuple[int, float, float, int]:
+        """The (running task id, stamp, rss bytes, member ordinal)
+        quadruple; task id is -1 when idle, rss is 0.0 until the
+        worker's first stamp, and the member ordinal is -1 outside a
+        fused task's per-member enumeration phases."""
         with self.heartbeat.get_lock():
-            return int(self.heartbeat[0]), self.heartbeat[1], self.heartbeat[2]
+            return (
+                int(self.heartbeat[0]),
+                self.heartbeat[1],
+                self.heartbeat[2],
+                int(self.heartbeat[3]),
+            )
 
 
 class _Breaker:
@@ -622,6 +765,51 @@ class _Breaker:
         self.failures = 0
         self.opened_at: float | None = None
         self.probe_at: float | None = None
+
+
+class QueryHandle(str):
+    """A registered query's id with its registration facts attached.
+
+    Returned by :meth:`SpannerService.register`.  It *is* the query id
+    — a ``str`` subclass, so every pre-existing call form
+    (``submit(qid, ...)``, dict keys, manifest entries) keeps working
+    unchanged — but it additionally carries the artifact fingerprint
+    and the effective per-task limits the query was registered with:
+
+    * ``fingerprint`` — sha256 hex digest of the pickled artifact (the
+      same bytes the manifest journals as ``payload_sha256``);
+    * ``timeout`` / ``max_tuples`` / ``max_result_bytes`` — the
+      *effective* values after query-over-service inheritance, i.e.
+      what a ``submit`` without call-level overrides will enforce.
+
+    Handles compare and hash as plain strings, and the driver
+    normalizes them back to ``str`` at the submission boundary so the
+    worker wire protocol never carries the subclass.
+    """
+
+    # str is a variable-length builtin, so no __slots__: the attributes
+    # live in a per-instance dict like any ordinary class.
+    def __new__(
+        cls,
+        query_id: str,
+        *,
+        fingerprint: str | None = None,
+        timeout: float | None = None,
+        max_tuples: int | None = None,
+        max_result_bytes: int | None = None,
+    ) -> "QueryHandle":
+        self = super().__new__(cls, query_id)
+        self.fingerprint = fingerprint
+        self.timeout = timeout
+        self.max_tuples = max_tuples
+        self.max_result_bytes = max_result_bytes
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryHandle({str.__repr__(self)}, "
+            f"fingerprint={self.fingerprint!r})"
+        )
 
 
 class SpannerService:
@@ -935,9 +1123,18 @@ class SpannerService:
     # -- Introspection ------------------------------------------------------
     @property
     def queries(self) -> tuple[str, ...]:
-        """The registered query ids, in registration order."""
+        """The registered query ids, in registration order.
+
+        Fused pseudo-entries (internal engines the fleet builds to
+        serve ``submit_all`` in one pass) are plumbing, not registered
+        queries, and are filtered out here as everywhere public.
+        """
         with self._lock:
-            return tuple(self._registry)
+            return tuple(
+                qid
+                for qid in self._registry
+                if not qid.startswith(FUSED_ID_PREFIX)
+            )
 
     @property
     def tasks_completed(self) -> int:
@@ -1026,7 +1223,7 @@ class SpannerService:
             # are strings.
             worker_rss: dict[str, float | None] = {}
             for w in self._workers:
-                hb_task, hb_stamp, hb_rss = w.read_heartbeat()
+                hb_task, hb_stamp, hb_rss, hb_member = w.read_heartbeat()
                 running = hb_task >= 0
                 rss = hb_rss if hb_rss > 0 else None  # None = never stamped
                 worker_rss[str(w.worker_id)] = rss
@@ -1038,6 +1235,9 @@ class SpannerService:
                         "tasks_in_flight": len(w.in_flight),
                         "tasks_assigned": w.assigned,
                         "running_task": hb_task if running else None,
+                        "running_member": (
+                            hb_member if running and hb_member >= 0 else None
+                        ),
                         "heartbeat_age": (now - hb_stamp) if running else None,
                         "retiring": w.retiring,
                         "rss_bytes": rss,
@@ -1083,7 +1283,11 @@ class SpannerService:
                 "workers": workers,
                 "backlog_depth": len(self._backlog),
                 "tasks_outstanding": len(self._tasks),
-                "queries_registered": len(self._registry),
+                "queries_registered": sum(
+                    1
+                    for qid in self._registry
+                    if not qid.startswith(FUSED_ID_PREFIX)
+                ),
                 "quarantined_queries": quarantined,
                 "resources": resources,
                 "counters": {
@@ -1144,7 +1348,7 @@ class SpannerService:
         """
         if isinstance(query, CompiledSpanner):
             return query.tables
-        if isinstance(query, (CompiledEqualityQuery, AutomatonTables)):
+        if isinstance(query, (CompiledEqualityQuery, AutomatonTables, FusedQuery)):
             return query
         return CompiledSpanner(query).tables  # automaton / formula / syntax
 
@@ -1160,8 +1364,12 @@ class SpannerService:
         timeout: float | None = _UNSET,  # type: ignore[assignment]
         max_tuples: int | None = _UNSET,  # type: ignore[assignment]
         max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
-    ) -> str:
-        """Register a query with the fleet; returns its id.
+    ) -> "QueryHandle":
+        """Register a query with the fleet; returns its handle.
+
+        The returned :class:`QueryHandle` *is* the query id (a ``str``
+        subclass usable everywhere an id is) and additionally carries
+        the artifact fingerprint and the effective per-task limits.
 
         The id is a fingerprint of the pickled compiled artifact, so
         registering the same compiled query twice dedupes to one entry
@@ -1255,11 +1463,11 @@ class SpannerService:
                     )
                 store.put(store_key, payload)
         qid = (
-            query_id
+            str(query_id)
             if query_id is not None
             else "q" + hashlib.sha256(payload).hexdigest()[:16]
         )
-        return self._commit_registration(
+        self._commit_registration(
             qid,
             payload,
             timeout,
@@ -1267,6 +1475,18 @@ class SpannerService:
             max_result_bytes,
             store_key=store_key,
             source_json=self._source_json(spec),
+        )
+        with self._lock:
+            eff_timeout = self._query_timeouts.get(qid, self.task_timeout)
+            q_tuples, q_bytes = self._query_caps.get(qid, (_UNSET, _UNSET))
+        return QueryHandle(
+            qid,
+            fingerprint=hashlib.sha256(payload).hexdigest(),
+            timeout=eff_timeout,
+            max_tuples=self.max_tuples if q_tuples is _UNSET else q_tuples,
+            max_result_bytes=(
+                self.max_result_bytes if q_bytes is _UNSET else q_bytes
+            ),
         )
 
     def _commit_registration(
@@ -1331,7 +1551,8 @@ class SpannerService:
         if isinstance(query, str):
             return ("syntax", query)
         if isinstance(
-            query, (CompiledSpanner, CompiledEqualityQuery, AutomatonTables)
+            query,
+            (CompiledSpanner, CompiledEqualityQuery, AutomatonTables, FusedQuery),
         ):
             return None
         return (
@@ -1619,7 +1840,8 @@ class SpannerService:
         plan = self.fault_plan
         delay = plan.compile_delay if plan is not None else None
         precompiled = isinstance(
-            query, (CompiledSpanner, CompiledEqualityQuery, AutomatonTables)
+            query,
+            (CompiledSpanner, CompiledEqualityQuery, AutomatonTables, FusedQuery),
         )
         if self.compile_timeout is None or (precompiled and not delay):
             if delay:
@@ -1800,6 +2022,9 @@ class SpannerService:
         before consuming an in-flight slot or any worker time — while
         the query's circuit breaker is open.
         """
+        # Normalize QueryHandle (a str subclass) back to plain str so
+        # the worker wire protocol never pickles the handle type.
+        query_id = str(query_id)
         items = list(items)
         if timeout is not _UNSET and timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
@@ -1953,7 +2178,7 @@ class SpannerService:
         wire codec — ``self.encoding`` only governs how workers read
         *files*.
         """
-        if self._doc_transport is None or op == "files":
+        if self._doc_transport is None or op in ("files", "fused_files"):
             return items
         ref = self._doc_transport.pack(items)
         return items if ref is None else ref
@@ -1963,56 +2188,395 @@ class SpannerService:
         if self._doc_transport is not None and isinstance(wire, ShmChunk):
             self._doc_transport.release(wire)
 
+    #: ``kind`` values the unified :meth:`submit` core accepts, and the
+    #: worker op each maps to.
+    _SUBMIT_KINDS = {"docs": "evaluate", "files": "files", "counts": "count"}
+
+    @staticmethod
+    def _legacy_shim_warning(old: str, new: str) -> None:
+        warnings.warn(
+            f"{old} is deprecated; use {new} instead "
+            "(see the README migration table)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def submit(
         self,
-        query_id: str,
-        docs: Iterable[str],
+        work,
+        docs: "Iterable[str] | None" = None,
         *,
+        queries=None,
+        kind: str = "docs",
         limit: int | None = None,
+        cap: int | None = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
         max_tuples: int | None = _UNSET,  # type: ignore[assignment]
         max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
-    ) -> Future:
-        """Evaluate a batch; the future resolves to one list per doc.
+        fuse: bool = True,
+    ):
+        """Evaluate a batch of work against one or many queries.
+
+        The unified submission core every other entry point is a thin
+        wrapper over.  ``work`` is the batch (documents for
+        ``kind="docs"``/``"counts"``, file paths for ``kind="files"``);
+        ``queries`` selects what runs against it:
+
+        * a single query id (or :class:`QueryHandle`) — returns one
+          :class:`~concurrent.futures.Future` resolving to one result
+          per item, exactly the pre-redesign behavior;
+        * a sequence of ids — returns ``{query_id: Future}``, served
+          fused (one document scan answers every member, demultiplexed
+          per query) whenever ``fuse`` is true, at least two members
+          are admissible, and ``kind`` is not ``"counts"``; falls back
+          to per-query sequential submission otherwise.  Per-query
+          results are byte-identical (content *and* order) either way;
+        * ``None`` — every registered query, as a sequence.
 
         Documents are split into ``chunk_size`` tasks balanced across
-        the fleet; the combined result is concatenated in input order —
-        byte-identical to the serial ``evaluate_many``.  ``timeout``
-        overrides the per-task deadline for every chunk of this batch;
-        ``max_tuples`` / ``max_result_bytes`` the per-document result
-        caps likewise.
+        the fleet; each combined result is concatenated in input order —
+        byte-identical to the serial ``evaluate_many``.  ``limit``
+        bounds tuples per document (``cap`` likewise for ``"counts"``);
+        ``timeout`` overrides the per-task deadline for every chunk of
+        this batch, ``max_tuples`` / ``max_result_bytes`` the
+        per-document result caps.
+
+        The pre-redesign call form ``submit(query_id, docs, ...)`` (two
+        positionals) still works and emits a ``DeprecationWarning``.
         """
-        return self._submit_batch(
-            query_id, docs, "evaluate", limit, timeout,
-            max_tuples, max_result_bytes,
+        if docs is not None:
+            self._legacy_shim_warning(
+                "submit(query_id, docs, ...)",
+                "submit(docs, queries=query_id, ...)",
+            )
+            return self._submit_batch(
+                work, docs, "evaluate", limit, timeout,
+                max_tuples, max_result_bytes,
+            )
+        if kind not in self._SUBMIT_KINDS:
+            raise ValueError(
+                f"kind must be one of {tuple(self._SUBMIT_KINDS)}, "
+                f"got {kind!r}"
+            )
+        op = self._SUBMIT_KINDS[kind]
+        extra = cap if kind == "counts" else limit
+        if isinstance(queries, str):
+            if kind == "counts":
+                return self._submit_batch(queries, work, op, extra, timeout)
+            return self._submit_batch(
+                queries, work, op, extra, timeout,
+                max_tuples, max_result_bytes,
+            )
+        return self._submit_all(
+            work, queries, kind, limit, cap, timeout,
+            max_tuples, max_result_bytes, fuse,
         )
 
     def submit_files(
         self,
-        query_id: str,
-        paths: Iterable[str],
+        work,
+        paths: "Iterable[str] | None" = None,
         *,
+        queries=None,
         limit: int | None = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
         max_tuples: int | None = _UNSET,  # type: ignore[assignment]
         max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
-    ) -> Future:
-        """Like :meth:`submit`, but workers read the documents by path."""
-        return self._submit_batch(
-            query_id, paths, "files", limit, timeout,
-            max_tuples, max_result_bytes,
+        fuse: bool = True,
+    ):
+        """Like :meth:`submit` with ``kind="files"`` — workers read the
+        documents by path.  The pre-redesign form
+        ``submit_files(query_id, paths, ...)`` still works and emits a
+        ``DeprecationWarning``."""
+        if paths is not None:
+            self._legacy_shim_warning(
+                "submit_files(query_id, paths, ...)",
+                "submit_files(paths, queries=query_id, ...)",
+            )
+            return self._submit_batch(
+                work, paths, "files", limit, timeout,
+                max_tuples, max_result_bytes,
+            )
+        return self.submit(
+            work, queries=queries, kind="files", limit=limit,
+            timeout=timeout, max_tuples=max_tuples,
+            max_result_bytes=max_result_bytes, fuse=fuse,
         )
 
     def submit_counts(
         self,
-        query_id: str,
-        docs: Iterable[str],
+        work,
+        docs: "Iterable[str] | None" = None,
         *,
+        queries=None,
         cap: int | None = None,
         timeout: float | None = _UNSET,  # type: ignore[assignment]
+    ):
+        """Per-document distinct-tuple counts (no tuple decoding).
+
+        :meth:`submit` with ``kind="counts"`` — always sequential (a
+        count is one integer per document; there is no fused count op).
+        The pre-redesign form ``submit_counts(query_id, docs, ...)``
+        still works and emits a ``DeprecationWarning``."""
+        if docs is not None:
+            self._legacy_shim_warning(
+                "submit_counts(query_id, docs, ...)",
+                "submit_counts(docs, queries=query_id, ...)",
+            )
+            return self._submit_batch(work, docs, "count", cap, timeout)
+        return self.submit(work, queries=queries, kind="counts", cap=cap,
+                           timeout=timeout)
+
+    def submit_all(
+        self,
+        work,
+        *,
+        queries: "Sequence[str] | None" = None,
+        kind: str = "docs",
+        limit: int | None = None,
+        cap: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        max_tuples: int | None = _UNSET,  # type: ignore[assignment]
+        max_result_bytes: int | None = _UNSET,  # type: ignore[assignment]
+        fuse: bool = True,
+    ) -> "dict[str, Future]":
+        """Evaluate one batch against many queries; ``{query_id: Future}``.
+
+        The multi-query face of :meth:`submit`: ``queries=None`` means
+        every registered query.  With ``fuse=True`` (the default) and
+        at least two admissible members, the fleet serves the batch
+        through one *fused* engine — a single leveled-NFA sweep per
+        document answers every member, results demultiplexed per query
+        in the exact order (and bytes) Q sequential submissions would
+        produce.  Members whose circuit breaker is open fail their own
+        future with :class:`~repro.errors.QueryQuarantinedError`
+        without blocking the rest; a fleet-level failure of a fused
+        task charges only the member the heartbeat indicts (or all
+        members when it died in the shared sweep phase).
+        """
+        return self._submit_all(
+            work, queries, kind, limit, cap, timeout,
+            max_tuples, max_result_bytes, fuse,
+        )
+
+    def _submit_all(
+        self,
+        work,
+        queries,
+        kind: str,
+        limit,
+        cap,
+        timeout,
+        max_tuples,
+        max_result_bytes,
+        fuse: bool,
+    ) -> "dict[str, Future]":
+        if kind not in self._SUBMIT_KINDS:
+            raise ValueError(
+                f"kind must be one of {tuple(self._SUBMIT_KINDS)}, "
+                f"got {kind!r}"
+            )
+        items = list(work)
+        member_ids = (
+            list(self.queries)
+            if queries is None
+            else [str(q) for q in queries]
+        )
+        if len(set(member_ids)) != len(member_ids):
+            raise ValueError("duplicate query ids in submit_all")
+        op = self._SUBMIT_KINDS[kind]
+        extra = cap if kind == "counts" else limit
+        out: "dict[str, Future]" = {}
+        candidates: list[str] = []
+        with self._lock:
+            for qid in member_ids:
+                if qid not in self._registry:
+                    raise KeyError(f"unknown query id {qid!r}")
+            for qid in member_ids:
+                blocked = self._quarantine_error_locked(qid)
+                if blocked is not None:
+                    refused: Future = Future()
+                    refused.set_exception(blocked)
+                    out[qid] = refused
+                else:
+                    candidates.append(qid)
+        mode, ordered = plan_submission(
+            candidates, fuse=fuse and kind != "counts"
+        )
+        if mode == "fused" and not self._fused_admissible(ordered):
+            mode = "sequential"
+        if mode == "sequential":
+            for qid in ordered:
+                try:
+                    if kind == "counts":
+                        out[qid] = self._submit_batch(
+                            qid, items, op, extra, timeout
+                        )
+                    else:
+                        out[qid] = self._submit_batch(
+                            qid, items, op, extra, timeout,
+                            max_tuples, max_result_bytes,
+                        )
+                except QueryQuarantinedError as err:  # raced a breaker
+                    refused = Future()
+                    refused.set_exception(err)
+                    out[qid] = refused
+            return out
+        members = tuple(sorted(ordered))
+        with self._lock:
+            # Consume the members' half-open probes now: the fused
+            # batch IS the probe for any cooled-down breaker.
+            for qid in members:
+                self._admit_locked(qid)
+            if timeout is _UNSET:
+                # The fused task serves every member, so the most
+                # restrictive member deadline bounds it.
+                finite = [
+                    d
+                    for d in (
+                        self._query_timeouts.get(qid, self.task_timeout)
+                        for qid in members
+                    )
+                    if d is not None
+                ]
+                deadline = min(finite) if finite else None
+            else:
+                deadline = timeout
+            caps = tuple(
+                self._resolve_caps_locked(qid, max_tuples, max_result_bytes)
+                for qid in members
+            )
+            member_caps = None if all(c is None for c in caps) else caps
+        fused_qid = self._ensure_fused(members)
+        fused_op = "fused" if kind == "docs" else "fused_files"
+        chunk_futures = [
+            self._submit_fused_chunk(
+                fused_qid, members, items[i : i + self.chunk_size],
+                fused_op, extra, deadline, member_caps,
+            )
+            for i in range(0, len(items), self.chunk_size)
+        ]
+        out.update(_combine_fused(chunk_futures, members))
+        return out
+
+    def _quarantine_error_locked(
+        self, query_id: str
+    ) -> "QueryQuarantinedError | None":
+        """Like :meth:`_admit_locked`, but non-mutating: reports the
+        error an admission would raise without stamping a probe."""
+        breaker = self._breakers.get(query_id)
+        if breaker is None or breaker.opened_at is None:
+            return None
+        now = time.monotonic()
+        ready_at = breaker.opened_at + self.quarantine_cooldown
+        if breaker.probe_at is not None:
+            ready_at = max(ready_at, breaker.probe_at + self.quarantine_cooldown)
+        if now >= ready_at:
+            return None  # would admit (as the probe)
+        return QueryQuarantinedError(query_id, breaker.failures, ready_at - now)
+
+    def _fused_admissible(self, member_ids: "Sequence[str]") -> bool:
+        """Admission control for the fused engine (compile-time bound).
+
+        The fused engine's state inventory is the sum of its members';
+        when ``max_compile_states`` would refuse that sum, fusion is
+        skipped (sequential fallback) rather than refused — every
+        member already passed admission individually.
+        """
+        if self.max_compile_states is None:
+            return True
+        with self._lock:
+            payloads = [self._registry[qid] for qid in member_ids]
+        total = 0
+        for payload in payloads:
+            estimate = estimate_compile_states(pickle.loads(payload))
+            if estimate is None:
+                return True  # unboundable member: admit, as register() does
+            total += estimate
+        return total <= self.max_compile_states
+
+    def _ensure_fused(self, member_ids: "tuple[str, ...]") -> str:
+        """The registry id of the fused engine over ``member_ids``.
+
+        Built at most once per member set: the registry entry is keyed
+        by :func:`~repro.runtime.fusion.fused_query_id` over the sorted
+        member payload fingerprints, and the artifact store (when
+        configured) caches the fused payload under
+        :func:`~repro.runtime.fusion.fused_fingerprint` — so a warm
+        restart that re-registers the same member set revives the fused
+        engine without re-pickling a single member.  Fused entries
+        never reach the manifest or the public ``queries`` tuple.
+        """
+        with self._lock:
+            shas = [
+                hashlib.sha256(self._registry[qid]).hexdigest()
+                for qid in member_ids
+            ]
+        fused_qid = fused_query_id(shas)
+        store_key = fused_fingerprint(shas)
+        with self._lock:
+            if fused_qid in self._registry:
+                return fused_qid
+        store = self.artifact_store
+        payload = None
+        if store is not None:
+            try:
+                payload = store.get(store_key)
+            except ArtifactCorruptError:
+                payload = None  # quarantined by the store; rebuild
+        if payload is None:
+            with self._lock:
+                members = [
+                    (qid, pickle.loads(self._registry[qid]))
+                    for qid in member_ids
+                ]
+            payload = pickle.dumps(
+                FusedQuery(members), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            if store is not None:
+                store.put(store_key, payload)
+        with self._lock:
+            if self._closing:
+                raise ServiceClosedError("SpannerService is closed")
+            self._registry.setdefault(fused_qid, payload)
+        return fused_qid
+
+    def _submit_fused_chunk(
+        self,
+        fused_qid: str,
+        members: "tuple[str, ...]",
+        items: "Sequence[str]",
+        op: str,
+        extra: int | None,
+        deadline: float | None,
+        caps: "tuple | None",
     ) -> Future:
-        """Per-document distinct-tuple counts (no tuple decoding)."""
-        return self._submit_batch(query_id, docs, "count", cap, timeout)
+        """Dispatch one fused chunk (admission already done per member).
+
+        The tail of :meth:`submit_chunk` without the per-query
+        admission/resolution steps — those ran per *member* in
+        :meth:`_submit_all`; the fused pseudo-id itself has no breaker,
+        no per-query caps and no manifest entry.
+        """
+        items = list(items)
+        self.start()
+        bounded = self._inflight_slots is not None
+        if bounded:
+            self._acquire_slot()
+        wire = self._pack(items, op)
+        with self._lock:
+            if self._closing:
+                if bounded:
+                    self._inflight_slots.release()
+                self._release_wire(wire)
+                raise ServiceClosedError("SpannerService is closed")
+            task = _Task(
+                next(self._task_ids), fused_qid, op, wire, extra, bounded,
+                deadline, caps, members=members,
+            )
+            self._tasks[task.task_id] = task
+            self._dispatch_or_backlog(task)
+        return task.future
 
     def _submit_batch(
         self,
@@ -2076,6 +2640,54 @@ class SpannerService:
         )
         return await asyncio.wrap_future(future)
 
+    async def extract_all(
+        self,
+        docs: Iterable[str],
+        *,
+        queries: "Sequence[str] | None" = None,
+        limit: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        fuse: bool = True,
+    ) -> "dict[str, list[list[SpanTuple]]]":
+        """``await``-able :meth:`submit_all`: every query's answer to one
+        batch, ``{query_id: [per-doc tuple lists]}``, from one fused
+        document scan whenever fusion applies.  Per-query results are
+        byte-identical to awaiting Q separate :meth:`extract` calls.
+        """
+        docs = list(docs)
+        futures = await asyncio.to_thread(
+            lambda: self.submit_all(
+                docs, queries=queries, limit=limit, timeout=timeout,
+                fuse=fuse,
+            )
+        )
+        results = await asyncio.gather(
+            *(asyncio.wrap_future(f) for f in futures.values())
+        )
+        return dict(zip(futures.keys(), results))
+
+    async def extract_all_files(
+        self,
+        paths: Iterable[str],
+        *,
+        queries: "Sequence[str] | None" = None,
+        limit: int | None = None,
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        fuse: bool = True,
+    ) -> "dict[str, list[list[SpanTuple]]]":
+        """``await``-able :meth:`submit_all` with ``kind="files"``."""
+        paths = list(paths)
+        futures = await asyncio.to_thread(
+            lambda: self.submit_all(
+                paths, queries=queries, kind="files", limit=limit,
+                timeout=timeout, fuse=fuse,
+            )
+        )
+        results = await asyncio.gather(
+            *(asyncio.wrap_future(f) for f in futures.values())
+        )
+        return dict(zip(futures.keys(), results))
+
     @staticmethod
     async def gather(*items: "Future | Awaitable") -> list:
         """Await a mix of coroutines and service futures, in order."""
@@ -2093,11 +2705,13 @@ class SpannerService:
         # why results must not share one queue (a SIGKILLed writer
         # would wedge the shared lock for every survivor).
         result_reader, result_writer = self._mp_ctx.Pipe(duplex=False)
-        # [running task id (or -1.0), monotonic stamp, rss bytes] —
-        # three doubles under one lock so a reader never sees a torn
-        # set.  RSS rides the same channel the deadline scan reads:
-        # the memory watchdog costs no extra IPC.
-        heartbeat = self._mp_ctx.Array("d", [-1.0, 0.0, 0.0])
+        # [running task id (or -1.0), monotonic stamp, rss bytes,
+        # fused member ordinal (or -1.0)] — four doubles under one lock
+        # so a reader never sees a torn set.  RSS rides the same
+        # channel the deadline scan reads: the memory watchdog costs no
+        # extra IPC; the member slot is what lets a fused-task kill
+        # indict exactly the member being served.
+        heartbeat = self._mp_ctx.Array("d", [-1.0, 0.0, 0.0, -1.0])
         process = self._mp_ctx.Process(
             target=_fleet_worker,
             args=(
@@ -2151,6 +2765,7 @@ class SpannerService:
             payload = self._registry[task.query_id]
             worker.shipped.add(task.query_id)
         task.worker = worker
+        task.indicted = None  # attribution is per attempt
         worker.in_flight[task.task_id] = task
         worker.assigned += 1
         if (
@@ -2310,7 +2925,17 @@ class SpannerService:
             # Only clean completions reset the breaker: ordinary task
             # exceptions say nothing fleet-level either way.
             self._truncated_docs += truncated
-            self._record_success_locked(task.query_id)
+            if task.members is not None:
+                # Fused: per-member outcomes arrived in one payload —
+                # success clears a member's breaker exactly as a solo
+                # completion would, while a member-scoped ordinary
+                # exception (an "err" slot) charges nothing, matching
+                # the solo "fail" path.
+                for m, qid in enumerate(task.members):
+                    if payload[m][0] == "ok":
+                        self._record_success_locked(qid)
+            else:
+                self._record_success_locked(task.query_id)
             resolutions.append((task, None, payload))
         else:
             # Ordinary worker exception: fails exactly this future,
@@ -2338,7 +2963,7 @@ class SpannerService:
         for worker in list(self._workers):
             if worker.stopped or not worker.process.is_alive():
                 continue
-            hb_task, hb_stamp, _hb_rss = worker.read_heartbeat()
+            hb_task, hb_stamp, _hb_rss, hb_member = worker.read_heartbeat()
             if hb_task < 0:
                 continue
             task = worker.in_flight.get(hb_task)
@@ -2356,14 +2981,25 @@ class SpannerService:
             task.done = True
             task.worker = None
             self._timed_out += 1
-            self._record_failure_locked(task.query_id)
+            if task.members is not None and 0 <= hb_member < len(task.members):
+                # The heartbeat names the fused member being served
+                # when the deadline hit: only that member's breaker is
+                # charged (a hang in the shared sweep stays -1 and
+                # charges every member).
+                task.indicted = task.members[hb_member]
+            self._charge_failure_locked(task)
+            indicted = (
+                f" while serving member {task.indicted!r}"
+                if task.indicted is not None
+                else ""
+            )
             resolutions.append(
                 (
                     task,
                     TaskTimeoutError(
                         f"task for query {task.query_id!r} exceeded its "
                         f"{task.deadline}s deadline "
-                        f"(ran {now - hb_stamp:.2f}s); worker "
+                        f"(ran {now - hb_stamp:.2f}s){indicted}; worker "
                         f"{worker.worker_id} killed"
                     ),
                     None,
@@ -2392,7 +3028,7 @@ class SpannerService:
         for worker in list(self._workers):
             if worker.stopped or not worker.process.is_alive():
                 continue
-            _hb_task, _hb_stamp, rss = worker.read_heartbeat()
+            _hb_task, _hb_stamp, rss, _hb_member = worker.read_heartbeat()
             if rss <= 0:
                 continue
             if hard is not None and rss > hard:
@@ -2422,12 +3058,22 @@ class SpannerService:
 
     def _orphan_worker_tasks(self, worker: _WorkerHandle, resolutions) -> None:
         """Route a dead worker's in-flight tasks through retry/give-up."""
+        hb_task, _hb_stamp, _hb_rss, hb_member = worker.read_heartbeat()
         orphans = list(worker.in_flight.values())
         worker.in_flight.clear()
         for task in orphans:
             if task.done:
                 continue
             task.worker = None
+            if (
+                task.members is not None
+                and task.task_id == hb_task
+                and 0 <= hb_member < len(task.members)
+            ):
+                # The worker died mid-member: remember whom to indict
+                # if the retry budget runs out.  (Prefetched orphans
+                # never ran, so they stay unattributed.)
+                task.indicted = task.members[hb_member]
             self._retry_or_fail(
                 task,
                 resolutions,
@@ -2451,7 +3097,7 @@ class SpannerService:
         if task.attempts >= MAX_TASK_ATTEMPTS:
             task.done = True
             self._tasks.pop(task.task_id, None)
-            self._record_failure_locked(task.query_id)
+            self._charge_failure_locked(task)
             resolutions.append((task, give_up_exc, None))
             return
         self._retried += 1
@@ -2462,6 +3108,24 @@ class SpannerService:
         self._backlog.append(task)
 
     # -- Circuit breakers (self._lock held) -----------------------------------
+    def _charge_failure_locked(self, task: _Task) -> None:
+        """Charge a fleet-level failure to the right breaker(s).
+
+        Solo tasks charge their query.  Fused tasks charge the member
+        the heartbeat indicted (the one being enumerated when the
+        worker was killed or died) — the other members were innocent
+        bystanders sharing the scan; an unattributed failure (shared
+        sweep phase, or a worker that never stamped) charges every
+        member, since each of them asked for that pass.
+        """
+        if task.members is None:
+            self._record_failure_locked(task.query_id)
+        elif task.indicted is not None:
+            self._record_failure_locked(task.indicted)
+        else:
+            for qid in task.members:
+                self._record_failure_locked(qid)
+
     def _record_failure_locked(self, query_id: str) -> None:
         """A fleet-level failure: deadline kill, lost workers, or
         exhausted transient retries.  Ordinary worker exceptions (a bad
@@ -2616,3 +3280,60 @@ def _combine(chunk_futures: list[Future]) -> Future:
     for chunk in chunk_futures:
         chunk.add_done_callback(on_done)
     return aggregate
+
+
+def _combine_fused(
+    chunk_futures: "list[Future]", members: "tuple[str, ...]"
+) -> "dict[str, Future]":
+    """Demultiplex fused chunk results into one future per member.
+
+    Each chunk future resolves to one entry per member — ``("ok",
+    per_doc_lists, truncated)`` or ``("err", exc)``.  A member's future
+    concatenates its ``ok`` slices across chunks in submission order
+    (byte-identical to the member's sequential batch); the first
+    member-scoped ``err`` in chunk order fails that member's future
+    alone, and a chunk-level failure (deadline, lost workers, shed,
+    close) fails every member's future with that exception — exactly
+    what Q sequential submissions sharing the doomed fleet would see.
+    """
+    out: "dict[str, Future]" = {qid: Future() for qid in members}
+    if not chunk_futures:
+        for fut in out.values():
+            fut.set_result([])
+        return out
+    remaining = [len(chunk_futures)]
+    remaining_lock = threading.Lock()
+
+    def on_done(_f: Future) -> None:
+        with remaining_lock:
+            remaining[0] -= 1
+            if remaining[0]:
+                return
+        for m, qid in enumerate(members):
+            fut = out[qid]
+            if fut.cancelled():
+                continue
+            docs: list = []
+            exc: BaseException | None = None
+            for chunk in chunk_futures:
+                try:
+                    slots = chunk.result()
+                except BaseException as err:
+                    exc = err
+                    break
+                slot = slots[m]
+                if slot[0] == "err":
+                    exc = slot[1]
+                    break
+                docs.extend(slot[1])
+            try:
+                if exc is not None:
+                    fut.set_exception(exc)
+                else:
+                    fut.set_result(docs)
+            except InvalidStateError:  # cancelled concurrently
+                pass
+
+    for chunk in chunk_futures:
+        chunk.add_done_callback(on_done)
+    return out

@@ -481,6 +481,7 @@ class TestCli:
         assert [g.name for g in default_gates()] == [
             "e13-docs-per-sec",
             "e10d-fused-seconds",
+            "e13j-fused-speedup",
             "peak-rss-kib",
             "peak-rss-children-kib",
         ]
