@@ -241,6 +241,42 @@ def report_store_counters(records: list[tuple[str, dict]]) -> None:
         )
 
 
+def report_backend_comparison(records: list[tuple[str, dict]]) -> None:
+    """Informational: the newest record's E13k backend head-to-head.
+
+    Which compute backend wins the E13a workload depends on the
+    interpreter build (GIL vs free-threaded), the core count and the
+    document mix — machine-dependent by design, so this is surfaced
+    for the trajectory reader rather than gated (every cell is already
+    asserted byte-identical inside the benchmark itself).  Records
+    predating E13k stay silent.
+    """
+    newest_name, newest = records[-1]
+    for exp in newest.get("experiments", ()):
+        if exp.get("experiment") != "E13":
+            continue
+        for table in exp.get("tables", ()):
+            if not str(table.get("title", "")).startswith("E13k"):
+                continue
+            headers = list(table.get("headers", ()))
+            try:
+                cols = [headers.index(c) for c in
+                        ("backend", "workers", "docs/s")]
+            except ValueError:
+                return
+            cells = ", ".join(
+                f"{row[cols[0]]}@{row[cols[1]]}w="
+                f"{float(row[cols[2]]):.0f} docs/s"
+                for row in table.get("rows", ())
+                if isinstance(row[cols[2]], (int, float))
+            )
+            print(
+                f"perf-trajectory [backend-comparison]: newest "
+                f"{newest_name}: {cells}"
+            )
+            return
+
+
 def rss_metric(record: dict, field: str) -> float | None:
     """The run's peak RSS: max of ``field`` over the experiments.
 
@@ -447,6 +483,7 @@ def check(
         report_fleet_counters(records)
         report_resource_counters(records)
         report_store_counters(records)
+        report_backend_comparison(records)
     if len(records) < 2:
         print(
             f"perf-trajectory: {len(records)} record(s) in {results_dir} — "

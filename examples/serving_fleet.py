@@ -116,6 +116,11 @@ def main() -> None:
         # -- health snapshot: what a liveness endpoint would poll ----------
         health = service.health()
         print("\nhealth snapshot:")
+        backend = health["backend"]
+        print(
+            f"  backend: {backend['name']} "
+            f"(worker model: {backend['worker_model']})"
+        )
         for worker in health["workers"]:
             beat = worker["heartbeat_age"]
             print(

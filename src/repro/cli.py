@@ -288,6 +288,7 @@ def _extract_fleet(args: argparse.Namespace, formulas: list[str]) -> int:
     total = 0
     with SpannerService(
         workers=args.workers,
+        backend=args.backend,
         transport=args.transport,
         encoding=args.encoding,
         errors=args.errors,
@@ -377,6 +378,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             engine = ParallelSpanner(
                 formulas[0],
                 workers=args.workers,
+                backend=args.backend,
                 transport=args.transport,
                 encoding=args.encoding,
                 errors=args.errors,
@@ -458,6 +460,7 @@ def _query_parallel(
     with ParallelSpanner(
         engine,
         workers=args.workers,
+        backend=args.backend,
         transport=args.transport,
         encoding=args.encoding,
         errors=args.errors,
@@ -599,6 +602,7 @@ def _query_fleet(
     limit = 1 if all(q.is_boolean for q in queries) else None
     with SpannerService(
         workers=args.workers,
+        backend=args.backend,
         transport=args.transport,
         encoding=args.encoding,
         errors=args.errors,
@@ -777,6 +781,18 @@ def build_parser() -> argparse.ArgumentParser:
                 "(shared memory above a size threshold, pipe below), "
                 "shm (always shared memory), pipe (always the task "
                 "pipe); --file corpora ship paths either way"
+            ),
+        )
+        p.add_argument(
+            "--backend",
+            choices=("auto", "serial", "thread", "process"),
+            default="auto",
+            help=(
+                "compute substrate for --workers fleets: auto "
+                "(serial at --workers 1, threads on a free-threaded "
+                "interpreter, processes otherwise), serial (inline, "
+                "for debugging), thread (shared-memory workers, no "
+                "pickling), process (isolated OS processes)"
             ),
         )
         p.add_argument(

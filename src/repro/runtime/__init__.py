@@ -43,6 +43,12 @@
   fleet workers (hangs, crashes, slow decodes, shm attach failures at
   chosen task indices; since PR 8 also torn/corrupt store writes and
   driver kills for the crash-recovery suite);
+* :mod:`.backends` — the pluggable compute layer under the service:
+  :class:`ComputeBackend` (the mechanism contract — spawn/recycle
+  workers, ship artifacts once per worker lifetime, dispatch, collect,
+  heartbeat/RSS, kill-and-replace) with process, thread and serial
+  implementations selected by ``backend={"auto","serial","thread",
+  "process"}`` on :class:`SpannerService` / :class:`ParallelSpanner`;
 * :mod:`.parallel` — :class:`ParallelSpanner`, multiprocess corpus
   sharding over one pickled/rebuilt artifact (``AutomatonTables`` or a
   ``CompiledEqualityQuery``) — since PR 4 a thin single-query session
@@ -82,6 +88,12 @@ __all__ = [
     "sweep_orphaned_segments",
     "FaultPlan",
     "FaultSpec",
+    "BACKEND_NAMES",
+    "ComputeBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "default_backend_name",
     "ArtifactStore",
     "MemoryStore",
     "FileStore",
@@ -123,6 +135,11 @@ def __getattr__(name: str):
         from . import faults
 
         return getattr(faults, name)
+    if name in ("BACKEND_NAMES", "ComputeBackend", "ProcessBackend",
+                "SerialBackend", "ThreadBackend", "default_backend_name"):
+        from . import backends
+
+        return getattr(backends, name)
     if name in ("ArtifactStore", "MemoryStore", "FileStore",
                 "STORE_FORMAT_VERSION"):
         from . import store

@@ -91,6 +91,19 @@ from ..errors import TransientTaskError
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
 
+
+class _InjectedWorkerDeath(BaseException):
+    """An injected crash on a substrate that shares the driver's process.
+
+    ``os._exit`` would take the whole service down when the "worker" is
+    a thread or the inline caller, so crash faults on those backends
+    raise this instead (``trigger(inline=True)``).  Deliberately a
+    ``BaseException``: it must sail through the worker core's per-task
+    ``except Exception`` reporting exactly like a SIGKILL gives a
+    process worker no chance to report — the backend's dispatch loop
+    catches it, marks the worker dead, and produces no result.
+    """
+
 #: Recognised fault kinds, in the order the docstring introduces them.
 #: ``shm_enospc`` and ``slow_compile`` are consulted driver-side (plan
 #: fields, not task specs); the rest execute in the worker.
@@ -159,9 +172,19 @@ class FaultSpec:
     def applies_to(self, attempt: int) -> bool:
         return self.attempts is None or attempt in self.attempts
 
-    def trigger(self) -> None:
-        """Execute the fault in the worker process.  May not return."""
+    def trigger(self, inline: bool = False) -> None:
+        """Execute the fault in the worker.  May not return.
+
+        ``inline`` marks substrates sharing the driver's process
+        (thread / serial backends): a crash there raises
+        :class:`_InjectedWorkerDeath` for the backend to treat as
+        sudden worker death, instead of ``os._exit``-ing the service.
+        """
         if self.kind == "crash":
+            if inline:
+                raise _InjectedWorkerDeath(
+                    f"injected crash (inline worker, attempt spec {self.attempts})"
+                )
             # A real segfault gives the interpreter no chance to flush,
             # run atexit hooks, or release shm handles; _exit matches.
             os._exit(CRASH_EXIT_CODE)
@@ -344,7 +367,9 @@ class FaultPlan:
             return FLOOD_TUPLES if spec.amount is None else spec.amount
         return None
 
-    def apply(self, task_id: int, attempt: int) -> None:
+    def apply(
+        self, task_id: int, attempt: int, inline: bool = False
+    ) -> None:
         """Trigger the fault for (task_id, attempt), if any is planned.
 
         Called by the worker loop just after stamping the heartbeat and
@@ -358,9 +383,15 @@ class FaultPlan:
         """
         spec = self.specs.get(task_id)
         if spec is not None and spec.member is None and spec.applies_to(attempt):
-            spec.trigger()
+            spec.trigger(inline=inline)
 
-    def apply_member(self, task_id: int, attempt: int, query_id: str) -> None:
+    def apply_member(
+        self,
+        task_id: int,
+        attempt: int,
+        query_id: str,
+        inline: bool = False,
+    ) -> None:
         """Trigger a member-scoped fault inside a fused task's phase.
 
         Called by the fused-task runner just after stamping the member
@@ -374,7 +405,7 @@ class FaultPlan:
             and spec.member == query_id
             and spec.applies_to(attempt)
         ):
-            spec.trigger()
+            spec.trigger(inline=inline)
 
     def __bool__(self) -> bool:
         return (

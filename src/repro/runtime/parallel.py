@@ -28,8 +28,11 @@ API and guarantees it has had since PR 2:
   **identical** — same tuples, same radix order, same grouping — to
   the serial path's, whatever the worker count (and whatever crashes
   or recycles the underlying fleet absorbs along the way);
-* ``workers=1`` degrades to the serial ``CompiledSpanner`` path with no
-  fleet, no pickling and no subprocesses.
+* ``workers=1`` runs the **serial backend** — the same service policy
+  layer over inline execution, with no fleet, no pickling and no
+  subprocesses (and since PR 10 the *same* code path as every other
+  worker count, so result caps and file-backed reads behave
+  identically at every ``workers`` setting).
 
 A fleet is created per batch call by default; use the spanner as a
 context manager to keep one fleet (and its per-worker unpickled tables)
@@ -73,12 +76,13 @@ from ..vset.automaton import VSetAutomaton
 from .compiled import CompiledSpanner
 from .equality import CompiledEqualityQuery
 from .fusion import plan_submission
+from .backends.base import BACKEND_NAMES
 from .service import (
     OVERLOAD_POLICIES,
     RESULT_LIMIT_POLICIES,
     SpannerService,
 )
-from .transport import DEFAULT_SHM_THRESHOLD, create_transport, read_document
+from .transport import DEFAULT_SHM_THRESHOLD, create_transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..regex.ast import RegexFormula
@@ -92,18 +96,6 @@ __all__ = ["ParallelSpanner"]
 DEFAULT_CHUNK_SIZE = 16
 
 
-def _read_document(
-    path: str, encoding: str = "utf-8", errors: str = "strict"
-) -> str:
-    """One file-backed document, decoded with the session's codec.
-
-    Delegates to :func:`repro.runtime.transport.read_document`, so huge
-    files decode straight from an ``mmap`` window on the serial path
-    exactly as they do worker-side.
-    """
-    return read_document(path, encoding=encoding, errors=errors)
-
-
 class ParallelSpanner:
     """Shard document batches across worker processes (in-order results).
 
@@ -115,7 +107,13 @@ class ParallelSpanner:
 
     Args:
         workers: fleet size; defaults to the machine's CPU count.
-            ``workers=1`` is the serial fallback (no fleet at all).
+            ``workers=1`` with ``backend="auto"`` selects the serial
+            backend (inline execution, no subprocesses).
+        backend: the compute substrate under the session —
+            ``"auto"`` (serial at ``workers=1``, else threads on a
+            free-threaded interpreter, else processes), ``"serial"``,
+            ``"thread"`` or ``"process"``; see
+            :mod:`repro.runtime.backends`.
         chunk_size: documents per dispatched task.
         max_pending: chunks in flight before dispatch blocks; bounds
             read-ahead on the input iterable and result memory.
@@ -137,7 +135,7 @@ class ParallelSpanner:
             raises :class:`~repro.errors.TaskTimeoutError` out of the
             consuming iterator; the hung worker is killed and replaced
             underneath, so the session stays usable.  Not enforced on
-            the ``workers=1`` serial path — there is no worker to kill.
+            the serial backend — there is no worker to kill.
         on_overload: the fleet's load-shedding policy past its
             in-flight bound (``"block"``, ``"shed_oldest"``,
             ``"reject"``); see :class:`SpannerService`.  The session's
@@ -149,8 +147,8 @@ class ParallelSpanner:
             enforced inside the workers; a capped document fails its
             chunk with :class:`~repro.errors.ResultLimitError` (policy
             ``"error"``) or contributes exactly the serial prefix
-            (policy ``"truncate"``).  Not enforced on the ``workers=1``
-            serial path — the caps govern fleet resources.
+            (policy ``"truncate"``) — on every backend, the serial one
+            included.
         on_result_limit: ``"error"`` or ``"truncate"``; see
             :class:`SpannerService`.
         worker_memory_limit / worker_memory_hard_limit: RSS bounds for
@@ -161,8 +159,7 @@ class ParallelSpanner:
             fleet consults before compiling at registration — sessions
             sharing a store (e.g. a ``FileStore`` directory across
             process restarts) warm-start instead of recompiling; see
-            :class:`SpannerService`.  Not consulted on the
-            ``workers=1`` serial path, which registers nothing.
+            :class:`SpannerService`.
         fuse: whether this session participates in multi-query fusion
             planning (:func:`repro.runtime.fusion.plan_submission`).
             A ``ParallelSpanner`` serves exactly one query, and the
@@ -181,6 +178,7 @@ class ParallelSpanner:
         ),
         *,
         workers: int | None = None,
+        backend: str = "auto",
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_pending: int | None = None,
         mp_context: str | None = None,
@@ -212,6 +210,16 @@ class ParallelSpanner:
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {backend!r}"
+            )
+        # A one-worker "fleet" gains nothing from processes or threads;
+        # "auto" resolves it to inline execution (the old serial
+        # fallback, now just another backend under the same session).
+        if backend == "auto" and self.workers == 1:
+            backend = "serial"
+        self.backend = backend
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
@@ -300,6 +308,7 @@ class ParallelSpanner:
         """A started fleet with this session's one query registered."""
         service = SpannerService(
             workers=self.workers,
+            backend=self.backend,
             chunk_size=self.chunk_size,
             mp_context=self.mp_context,
             transport=self.transport,
@@ -321,7 +330,7 @@ class ParallelSpanner:
         return service
 
     def __enter__(self) -> "ParallelSpanner":
-        if self.workers > 1 and self._pool is None:
+        if self._pool is None:
             self._pool = self._make_pool()
         return self
 
@@ -347,22 +356,12 @@ class ParallelSpanner:
         after ``limit`` enumeration steps instead of materializing
         (and shipping back) the full result.
         """
-        if self.workers == 1:
-            if limit is None:
-                yield from self.spanner.evaluate_many(docs)
-            else:
-                for doc in docs:
-                    yield list(islice(self.spanner.stream(doc), limit))
-            return
         yield from self._shard(docs, "evaluate", limit)
 
     def count_many(
         self, docs: Iterable[str], cap: int | None = None
     ) -> Iterator[int]:
         """Per-document distinct-tuple counts across the worker fleet."""
-        if self.workers == 1:
-            yield from self.spanner.count_many(docs, cap=cap)
-            return
         yield from self._shard(docs, "count", cap)
 
     def evaluate_files(
@@ -379,12 +378,6 @@ class ParallelSpanner:
         decode failures raise ``UnicodeDecodeError`` unless an
         ``encoding``/``errors`` pair that accepts the bytes was set.
         """
-        if self.workers == 1:
-            for path in paths:
-                doc = _read_document(path, self.encoding, self.errors)
-                stream = self.spanner.stream(doc)
-                yield list(stream if limit is None else islice(stream, limit))
-            return
         yield from self._shard(paths, "files", limit)
 
     def _shard(

@@ -123,8 +123,6 @@ import asyncio
 import base64
 import hashlib
 import json
-import multiprocessing
-from multiprocessing import connection as mp_connection
 import os
 import pickle
 import signal
@@ -133,7 +131,7 @@ import time
 import warnings
 from collections import deque
 from concurrent.futures import CancelledError, Future, InvalidStateError, wait
-from itertools import count, islice
+from itertools import count
 from pathlib import Path
 from typing import TYPE_CHECKING, Awaitable, Iterable, Sequence
 
@@ -150,9 +148,10 @@ from ..errors import (
 )
 from ..spans import SpanTuple
 from ..vset.automaton import VSetAutomaton
+from .backends.base import WorkerHandle, resolve_backend
 from .compiled import CompiledSpanner, estimate_compile_states
 from .equality import CompiledEqualityQuery
-from .faults import FaultPlan, _FloodingEngine
+from .faults import FaultPlan
 from .fusion import (
     FUSED_ID_PREFIX,
     FusedQuery,
@@ -169,17 +168,12 @@ from .store import (
 from .tables import AutomatonTables
 from .transport import (
     DEFAULT_SHM_THRESHOLD,
+    TRANSPORT_MODES,
     ShmChunk,
     create_transport,
-    open_chunk,
-    read_document,
-    release_chunk,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from multiprocessing.context import BaseContext
-    from multiprocessing.process import BaseProcess
-
     from ..regex.ast import RegexFormula
 
 __all__ = ["SpannerService", "QueryHandle", "MANIFEST_FORMAT_VERSION"]
@@ -223,8 +217,14 @@ DEFAULT_QUARANTINE_COOLDOWN = 30.0
 _UNSET = object()
 
 #: Bump when the restart-manifest layout changes; ``restore()`` rejects
-#: other versions rather than guessing at field meanings.
-MANIFEST_FORMAT_VERSION = 1
+#: unknown versions rather than guessing at field meanings.
+#:
+#: v1 -> v2: the config records the resolved ``backend`` name, so
+#: ``restore()`` revives the fleet onto the same substrate.  v1
+#: manifests (which predate the backend seam and could only have been
+#: written by a process fleet) are still accepted: restore reads them
+#: as ``backend="process"``.
+MANIFEST_FORMAT_VERSION = 2
 
 #: Tasks a worker may hold (one running + prefetch) before dispatch
 #: falls back to the service backlog.  Keeping per-worker queues this
@@ -235,419 +235,6 @@ MANIFEST_FORMAT_VERSION = 1
 #: per-worker queues that make artifact shipment and recycling
 #: addressable.
 MAX_WORKER_PREFETCH = 2
-
-
-# -- Worker-process side ------------------------------------------------------
-#
-# Module-level so both fork and spawn start methods can address it.  A
-# worker is a plain loop over its task queue; its ``engines`` dict is
-# the per-process compile-at-most-once guarantee (artifacts arrive
-# pickled at most once per worker, keyed by query fingerprint, and the
-# process-wide caches of :mod:`repro.runtime.cache` back any further
-# compilation the engines do internally).
-
-
-try:  # POSIX only; the RSS probe degrades to 0.0 (never sampled) without it
-    import resource as _resource
-except ImportError:  # pragma: no cover - non-POSIX
-    _resource = None
-
-_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
-
-
-def _current_rss() -> float:
-    """This process's resident set size in bytes (0.0 when unknowable).
-
-    ``/proc/self/statm`` is the live value (Linux); the ``getrusage``
-    fallback is a high-water mark, which over-reports after a spike but
-    still moves monotonically toward any bloat — good enough for a
-    watchdog whose only action is a graceful drain-and-recycle.
-    """
-    try:
-        with open("/proc/self/statm", "rb") as fh:
-            return float(int(fh.read().split()[1]) * _PAGE_SIZE)
-    except (OSError, ValueError, IndexError):
-        pass
-    if _resource is not None:
-        try:
-            return float(
-                _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss * 1024
-            )
-        except Exception:  # pragma: no cover - defensive
-            pass
-    return 0.0
-
-
-#: Tuples consumed per accounting probe in :func:`_enumerate_capped`.
-#: Large enough that the capped path stays within ~1% of the uncapped
-#: ``list(stream)`` (the E13h target), small enough that a flood costs
-#: at most one probe batch past the cap before the verdict.
-_CAP_PROBE_BATCH = 64
-
-
-def _enumerate_capped(
-    stream,
-    extra: int | None,
-    caps: "tuple[int | None, int | None, str] | None",
-) -> tuple[list, bool]:
-    """One document's tuples under the result cap; (tuples, truncated).
-
-    Accounting is incremental over the polynomial-delay stream, so a
-    combinatorially large result (Theorem 5.4) costs at most one probe
-    batch past the cap before the verdict — never a materialization.
-    Tuples are consumed in :data:`_CAP_PROBE_BATCH` slices so the
-    healthy path runs at ``list()`` speed rather than a per-tuple
-    Python loop, and byte accounting pickles each batch *once* (what
-    the result pipe would actually carry) instead of every tuple
-    individually; a byte-cap truncation therefore cuts at a probe
-    boundary — still an exact serial-order prefix.  The caps and the
-    probe grid are per *document*, not per chunk, so verdicts are
-    byte-identical whatever the worker count or chunking.
-    """
-    if extra is not None:
-        stream = islice(stream, extra)
-    if caps is None:
-        return list(stream), False
-    max_tuples, max_bytes, policy = caps
-    out: list = []
-    used = 0
-    while True:
-        take = _CAP_PROBE_BATCH
-        if max_tuples is not None:
-            # One past the cap: distinguishes "exactly cap tuples
-            # exist" (complete, not truncated) from a genuine overrun.
-            take = min(take, max_tuples - len(out) + 1)
-        batch = list(islice(stream, take))
-        if max_tuples is not None and len(out) + len(batch) > max_tuples:
-            if policy == "truncate":
-                out.extend(batch[: max_tuples - len(out)])
-                return out, True
-            raise ResultLimitError(
-                "tuples", max_tuples, len(out) + len(batch)
-            )
-        if max_bytes is not None and batch:
-            used += len(
-                pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
-            )
-            if used > max_bytes:
-                if policy == "truncate":
-                    return out, True
-                raise ResultLimitError("bytes", max_bytes, used)
-        out.extend(batch)
-        if len(batch) < take:
-            # A short batch IS exhaustion — returning here instead of
-            # probing once more for an empty batch keeps the healthy
-            # path at list() speed (the extra probe re-enters the
-            # enumeration machinery just to hear "no more").
-            return out, False
-
-
-def _materialize(artifact: object) -> object:
-    """An unpickled shipped artifact, rebuilt into a serving engine."""
-    if isinstance(artifact, AutomatonTables):
-        # The equality-free contract: one tables object, rebuilt into a
-        # spanner without rerunning any preprocessing.
-        return CompiledSpanner.from_tables(artifact)
-    if isinstance(artifact, FusedQuery):
-        # A fused member set: plan cohorts once, serve many documents.
-        return artifact.materialize()
-    # A self-contained engine (CompiledEqualityQuery, CompiledSpanner):
-    # its pickle contract already ships everything it needs.
-    return artifact
-
-
-def _run_op(
-    engine,
-    op: str,
-    items: "list[str] | ShmChunk",
-    extra: int | None,
-    encoding: str,
-    errors: str,
-    caps: "tuple[int | None, int | None, str] | None" = None,
-) -> tuple[list, int]:
-    """One task's evaluation — exactly the serial per-document path.
-
-    ``items`` is either the plain document/path list the pipe carried,
-    or a :class:`ShmChunk` reference to a shared-memory segment the
-    driver packed; either way the evaluation loop sees a sequence of
-    strings (decoded lazily out of the shared buffer in the shm case),
-    and the attachment is released before the result ships back.
-
-    ``caps`` is the resolved ``(max_tuples, max_result_bytes, policy)``
-    result cap (or ``None``, the uncapped fast path — ``islice`` at the
-    caller's explicit ``limit`` only, as before the governance layer).
-    Returns ``(per_doc_results, truncated_docs)``; under the ``error``
-    policy a crossed cap raises :class:`~repro.errors.ResultLimitError`
-    out of here instead.  ``count`` tasks are never capped — a count is
-    one integer per document regardless of how many tuples it counts.
-    """
-    docs = open_chunk(items)
-    truncated = 0
-    try:
-        if op == "evaluate":
-            out: list[list[SpanTuple]] = []
-            for doc in docs:
-                # Enumeration stops (polynomial delay) at whichever
-                # bound bites first instead of materializing
-                # combinatorially many tuples only to discard them.
-                tuples, cut = _enumerate_capped(engine.stream(doc), extra, caps)
-                truncated += cut
-                out.append(tuples)
-            return out, truncated
-        if op == "count":
-            return [engine.count(doc, cap=extra) for doc in docs], 0
-        if op == "files":
-            # Only paths crossed the pipe; read the documents
-            # worker-side (huge files decode straight from mmap).
-            out = []
-            for path in docs:
-                doc = read_document(path, encoding=encoding, errors=errors)
-                tuples, cut = _enumerate_capped(engine.stream(doc), extra, caps)
-                truncated += cut
-                out.append(tuples)
-            return out, truncated
-        raise ValueError(f"unknown task op {op!r}")
-    finally:
-        release_chunk(docs)
-
-
-def _stamp_member(heartbeat, ordinal: float) -> None:
-    """Publish which fused member this worker is serving (-1 = shared)."""
-    if heartbeat is not None:
-        with heartbeat.get_lock():
-            heartbeat[3] = ordinal
-
-
-def _run_fused(
-    engine,
-    op: str,
-    items: "list[str] | ShmChunk",
-    extra: int | None,
-    encoding: str,
-    errors: str,
-    caps: "tuple | None" = None,
-    heartbeat=None,
-    fault_ctx: "tuple | None" = None,
-) -> tuple[list, int]:
-    """One fused task: every member's answer from one pass per document.
-
-    ``engine`` is a :class:`~repro.runtime.fusion.FusedEngine`; per
-    document its shared sweep runs once and each member's stream is then
-    enumerated under that *member's* resolved result cap (``caps`` is a
-    per-member tuple here, index-aligned with ``engine.member_ids``).
-    The return payload is one entry per member: ``("ok", per_doc_lists,
-    truncated_docs)`` for members that completed, ``("err", exc)`` for
-    members whose enumeration raised — an ordinary per-member exception
-    fails exactly that member's future driver-side and, like every
-    ordinary worker exception, never charges a breaker.
-
-    Attribution: before each member phase the worker stamps the member
-    ordinal into the heartbeat's fourth slot (and fires that member's
-    injected faults via ``FaultPlan.apply_member``), so a worker killed
-    mid-member — deadline, crash, memory — indicts exactly the member it
-    was serving; the shared sweep phase is stamped ``-1`` (unattributed:
-    a failure there charges every member, since all of them asked for
-    that pass).
-    """
-    docs = open_chunk(items)
-    member_ids = engine.member_ids
-    m_count = len(member_ids)
-    member_caps = caps if caps is not None else (None,) * m_count
-    per_doc: list[list] = [[] for _ in range(m_count)]
-    errs: list = [None] * m_count
-    truncated = [0] * m_count
-    try:
-        for item in docs:
-            _stamp_member(heartbeat, -1.0)
-            if op == "fused_files":
-                doc = read_document(item, encoding=encoding, errors=errors)
-            else:
-                doc = item
-            streams = engine.streams(doc)  # the one shared pass
-            for m, stream in enumerate(streams):
-                if errs[m] is not None:
-                    continue
-                _stamp_member(heartbeat, float(m))
-                if fault_ctx is not None:
-                    plan, task_id, attempt = fault_ctx
-                    plan.apply_member(task_id, attempt, member_ids[m])
-                try:
-                    tuples, cut = _enumerate_capped(
-                        stream, extra, member_caps[m]
-                    )
-                except Exception as err:
-                    try:  # ship the real exception when it pickles
-                        pickle.dumps(err)
-                    except Exception:
-                        err = RuntimeError(f"{type(err).__name__}: {err}")
-                    errs[m] = err
-                    continue
-                per_doc[m].append(tuples)
-                truncated[m] += cut
-        _stamp_member(heartbeat, -1.0)
-        out = [
-            ("err", errs[m])
-            if errs[m] is not None
-            else ("ok", per_doc[m], truncated[m])
-            for m in range(m_count)
-        ]
-        total_truncated = sum(
-            truncated[m] for m in range(m_count) if errs[m] is None
-        )
-        return out, total_truncated
-    finally:
-        release_chunk(docs)
-
-
-def _fleet_worker(
-    worker_id: int,
-    task_queue,
-    result_conn,
-    heartbeat=None,
-    encoding: str = "utf-8",
-    errors: str = "strict",
-    fault_plan: "FaultPlan | None" = None,
-) -> None:
-    """The worker loop: block on the task queue until told to stop.
-
-    Exceptions are reported per task (the worker stays alive and keeps
-    serving); only process death — crash, kill, recycle stop — ends the
-    loop.  Results and failures go back tagged with the task id, so the
-    driver resolves exactly the future that asked.
-
-    ``result_conn`` is this worker's *own* pipe to the driver — results
-    are deliberately NOT funneled through one shared queue.  A shared
-    ``multiprocessing.Queue`` serializes writers through one
-    cross-process lock, and the watchdogs kill workers with SIGKILL: a
-    kill landing mid-send would leave that lock held forever and
-    silently wedge every *surviving* worker's results.  With per-worker
-    pipes a dying writer can only tear its own channel, which the
-    driver detects (EOF / torn frame) and retires.
-
-    ``heartbeat`` is a shared ``Array('d', 4)`` the worker stamps with
-    ``(task_id, monotonic start time, rss_bytes, member_ordinal)`` when
-    a task begins and ``(-1, now, rss_bytes, -1)`` when it ends — the
-    fourth slot names which fused member a fused task is currently
-    enumerating (``-1`` = shared/unattributed phase, or a non-fused
-    task), so the watchdogs can indict exactly the member a kill
-    interrupted.  The heartbeat is the driver's only
-    window into a worker that has stopped answering, and (since PR 7)
-    into its memory footprint: the end-of-task RSS sample is what the
-    memory watchdog reads, so a task that bloated the worker is seen at
-    exactly the next task boundary — the earliest moment a drain-and-
-    recycle is safe.  ``time.monotonic`` is system-wide on the
-    platforms we support, so driver-side age arithmetic is valid.
-    The idle stamp lands *before* the result is enqueued: once a result
-    is visible, the heartbeat can no longer name its task, so the
-    deadline scan cannot kill a worker for work it already finished
-    (the reverse race — kill just after the stamp, result in flight —
-    is handled driver-side by at-most-once straggler dropping).
-
-    ``fault_plan`` is the deterministic chaos hook (tests only); it
-    runs after the heartbeat stamp so injected hangs age exactly like
-    real ones.
-    """
-    engines: dict[str, object] = {}
-    while True:
-        msg = task_queue.get()
-        if msg[0] == "stop":
-            break
-        (
-            _kind, task_id, attempt, query_id, payload, op, items, extra,
-            caps,
-        ) = msg
-        if heartbeat is not None:
-            rss = _current_rss()
-            with heartbeat.get_lock():
-                heartbeat[0] = float(task_id)
-                heartbeat[1] = time.monotonic()
-                heartbeat[2] = rss
-                heartbeat[3] = -1.0
-        try:
-            # Materialize a shipped artifact *before* any injected
-            # fault: the driver marks the query shipped the moment the
-            # message is enqueued, so a retry of this task may arrive
-            # with ``payload=None`` — the engine must already be here.
-            engine = engines.get(query_id)
-            if engine is None:
-                if payload is None:
-                    raise RuntimeError(
-                        f"worker {worker_id} has no artifact for query "
-                        f"{query_id!r}"
-                    )
-                engine = _materialize(pickle.loads(payload))
-                engines[query_id] = engine
-            fused = op in ("fused", "fused_files")
-            if fault_plan is not None:
-                fault_plan.apply(task_id, attempt)
-                flood = fault_plan.flood_amount(task_id, attempt)
-                if flood is not None and not fused:
-                    # Wrap for this task only; the cached engine stays
-                    # clean for every other task of the query.  Fused
-                    # engines are never wrapped — their members flood
-                    # individually via member-scoped specs.
-                    engine = _FloodingEngine(engine, flood)
-            if fused:
-                out, truncated = _run_fused(
-                    engine, op, items, extra, encoding, errors, caps,
-                    heartbeat=heartbeat,
-                    fault_ctx=(
-                        (fault_plan, task_id, attempt)
-                        if fault_plan is not None
-                        else None
-                    ),
-                )
-            else:
-                out, truncated = _run_op(
-                    engine, op, items, extra, encoding, errors, caps
-                )
-        except Exception as err:
-            try:  # ship the real exception when it pickles
-                pickle.dumps(err)
-            except Exception:
-                err = RuntimeError(f"{type(err).__name__}: {err}")
-            result = ("fail", worker_id, task_id, err, 0)
-        else:
-            result = ("done", worker_id, task_id, out, truncated)
-        if heartbeat is not None:
-            rss = _current_rss()
-            with heartbeat.get_lock():
-                heartbeat[0] = -1.0
-                heartbeat[1] = time.monotonic()
-                heartbeat[2] = rss
-                heartbeat[3] = -1.0
-        try:
-            result_conn.send(result)
-        except (BrokenPipeError, OSError):
-            break  # the driver is gone; nothing left to serve
-    result_conn.close()
-
-
-def _compile_child(conn, query: object, delay: float | None) -> None:
-    """Compile ``query`` to its pickled artifact in a throwaway process.
-
-    The parent polls the pipe under ``compile_timeout`` and kills this
-    process on expiry — the deadline pattern the fleet already uses for
-    hung tasks, applied to compilation, which otherwise runs
-    driver-side with nothing to bound it.  ``delay`` is the
-    ``slow_compile`` chaos hook.
-    """
-    try:
-        if delay:
-            time.sleep(delay)
-        payload = pickle.dumps(
-            SpannerService._artifact_for(query),
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        conn.send(("ok", payload))
-    except Exception as err:
-        try:  # ship the real exception when it pickles
-            pickle.dumps(err)
-        except Exception:
-            err = RuntimeError(f"{type(err).__name__}: {err}")
-        conn.send(("err", err))
-    finally:
-        conn.close()
 
 
 # -- Driver side --------------------------------------------------------------
@@ -687,7 +274,7 @@ class _Task:
         self.extra = extra
         self.caps = caps  # resolved (max_tuples, max_bytes, policy)
         self.future: Future = Future()
-        self.worker: "_WorkerHandle | None" = None
+        self.worker: "WorkerHandle | None" = None
         self.attempts = 0
         self.done = False
         self.bounded = bounded  # holds one max_in_flight slot
@@ -699,51 +286,6 @@ class _Task:
         #: The member a fleet-level failure was attributed to (from the
         #: heartbeat's member slot); None = unattributed, charge all.
         self.indicted: str | None = None
-
-
-class _WorkerHandle:
-    """Driver-side record of one worker process."""
-
-    __slots__ = (
-        "worker_id", "process", "task_queue", "result_reader", "heartbeat",
-        "shipped", "in_flight", "assigned", "retiring", "memory_flagged",
-        "stopped",
-    )
-
-    def __init__(
-        self,
-        worker_id: int,
-        process: "BaseProcess",
-        task_queue,
-        heartbeat,
-        result_reader,
-    ):
-        self.worker_id = worker_id
-        self.process = process
-        self.task_queue = task_queue
-        #: Driver end of this worker's result pipe; ``None`` once
-        #: retired (EOF observed, or handed to the zombie-drain list).
-        self.result_reader = result_reader
-        self.heartbeat = heartbeat  # shared (running task_id, stamp, rss)
-        self.shipped: set[str] = set()  # query ids this worker holds
-        self.in_flight: dict[int, _Task] = {}
-        self.assigned = 0  # lifetime task count (drives recycling)
-        self.retiring = False  # no new assignments; stop when drained
-        self.memory_flagged = False  # retiring because of the watchdog
-        self.stopped = False  # stop sent (or crash/kill observed)
-
-    def read_heartbeat(self) -> tuple[int, float, float, int]:
-        """The (running task id, stamp, rss bytes, member ordinal)
-        quadruple; task id is -1 when idle, rss is 0.0 until the
-        worker's first stamp, and the member ordinal is -1 outside a
-        fused task's per-member enumeration phases."""
-        with self.heartbeat.get_lock():
-            return (
-                int(self.heartbeat[0]),
-                self.heartbeat[1],
-                self.heartbeat[2],
-                int(self.heartbeat[3]),
-            )
 
 
 class _Breaker:
@@ -825,9 +367,19 @@ class SpannerService:
             default) never recycles.
         max_in_flight: chunks in flight across the whole service before
             :meth:`submit` blocks (backpressure); ``None`` = unbounded.
+        backend: the compute substrate the fleet runs on —
+            ``"process"`` (spawned worker processes; shm transport,
+            SIGKILL deadlines — the pre-seam behavior), ``"thread"``
+            (worker threads sharing one materialized engine per query;
+            no pickling, no shm — real parallelism on free-threaded
+            builds), ``"serial"`` (inline execution in the calling
+            thread; deadlines and the memory watchdog are inert — there
+            is no worker to kill) or ``"auto"`` (the default: thread on
+            free-threaded interpreters, process otherwise).  Results
+            are byte-identical across backends.
         mp_context: a :mod:`multiprocessing` start-method name
             ("fork", "spawn", "forkserver") or ``None`` for the
-            platform default.
+            platform default (process backend only).
         transport: how in-memory documents reach the workers —
             ``"auto"`` (shared-memory segments for chunks whose encoded
             payload reaches ``shm_threshold`` bytes, the task pipe
@@ -940,6 +492,7 @@ class SpannerService:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_tasks_per_worker: int | None = None,
         max_in_flight: int | None = None,
+        backend: str = "auto",
         mp_context: str | None = None,
         transport: str = "auto",
         shm_threshold: int = DEFAULT_SHM_THRESHOLD,
@@ -1047,12 +600,37 @@ class SpannerService:
         self.transport = transport
         self.shm_threshold = shm_threshold
         self.shm_budget = shm_budget
-        # None = pure pipe; otherwise the owning side of the
-        # shared-memory document transport (validates the mode string
-        # and the budget).
-        self._doc_transport = create_transport(
-            transport, shm_threshold=shm_threshold, shm_budget=shm_budget
+        #: The mechanism layer: everything process/thread/inline-specific
+        #: (spawn, dispatch, result collection, heartbeats, kill) lives
+        #: behind this seam; the service is pure policy over it.
+        self._backend = resolve_backend(
+            backend,
+            workers=self.workers,
+            mp_context=mp_context,
+            encoding=encoding,
+            errors=errors,
+            fault_plan=fault_plan,
         )
+        #: The *resolved* backend name ("auto" never survives
+        #: construction) — what health() and the manifest report.
+        self.backend = self._backend.name
+        if self._backend.uses_wire_transport:
+            # None = pure pipe; otherwise the owning side of the
+            # shared-memory document transport (validates the mode
+            # string and the budget).
+            self._doc_transport = create_transport(
+                transport, shm_threshold=shm_threshold, shm_budget=shm_budget
+            )
+        else:
+            # Same-address-space workers read the submitted documents
+            # directly — no wire, nothing to pack.  Still validate the
+            # mode string so a typo fails identically on every backend.
+            if transport not in TRANSPORT_MODES:
+                raise ValueError(
+                    f"transport must be one of {TRANSPORT_MODES}, "
+                    f"got {transport!r}"
+                )
+            self._doc_transport = None
         if (
             fault_plan is not None
             and fault_plan.enospc_packs
@@ -1087,16 +665,10 @@ class SpannerService:
         # (inherit the service default).
         self._query_caps: dict[str, tuple] = {}
         self._breakers: dict[str, _Breaker] = {}  # query id -> breaker
-        self._workers: list[_WorkerHandle] = []
-        self._all_processes: list["BaseProcess"] = []
+        self._workers: list[WorkerHandle] = []
         self._tasks: dict[int, _Task] = {}  # every unresolved task
         self._backlog: deque[_Task] = deque()  # awaiting an eligible worker
         self._task_ids = count()
-        self._worker_ids = count()
-        #: Result readers of workers no longer in the fleet (killed,
-        #: crashed, recycled): polled until EOF so results already in
-        #: the pipe still resolve their futures, then closed.
-        self._zombie_readers: list = []
         self._collector: threading.Thread | None = None
         self._stop_event = threading.Event()
         self._inflight_slots = (
@@ -1121,6 +693,13 @@ class SpannerService:
         self._memory_kills = 0  # workers killed past the hard ceiling
 
     # -- Introspection ------------------------------------------------------
+    @property
+    def _all_processes(self) -> list:
+        """Every worker process the backend has ever spawned (process
+        backend only; empty elsewhere).  Kept as a property so fleet
+        tests can bound its growth against the reap policy."""
+        return getattr(self._backend, "processes", [])
+
     @property
     def queries(self) -> tuple[str, ...]:
         """The registered query ids, in registration order.
@@ -1199,6 +778,8 @@ class SpannerService:
     def health(self) -> dict:
         """A point-in-time fleet health snapshot (plain dict, loggable).
 
+        The top-level ``backend`` entry names the compute substrate
+        serving the fleet (resolved name + worker model).
         Per-worker: liveness, tasks in flight, lifetime assignments,
         the task it is executing right now (from the heartbeat), how
         long ago that heartbeat was stamped — a large ``heartbeat_age``
@@ -1230,8 +811,8 @@ class SpannerService:
                 workers.append(
                     {
                         "worker_id": w.worker_id,
-                        "pid": w.process.pid,
-                        "alive": w.process.is_alive(),
+                        "pid": w.pid,
+                        "alive": w.alive(),
                         "tasks_in_flight": len(w.in_flight),
                         "tasks_assigned": w.assigned,
                         "running_task": hb_task if running else None,
@@ -1280,6 +861,10 @@ class SpannerService:
                 if b.opened_at is not None
             }
             return {
+                "backend": {
+                    "name": self._backend.name,
+                    "worker_model": self._backend.worker_model,
+                },
                 "workers": workers,
                 "backlog_depth": len(self._backlog),
                 "tasks_outstanding": len(self._tasks),
@@ -1623,6 +1208,10 @@ class SpannerService:
             "chunk_size": self.chunk_size,
             "max_tasks_per_worker": self.max_tasks_per_worker,
             "max_in_flight": self.max_in_flight,
+            # The *resolved* name: a fleet constructed with "auto"
+            # restores onto the substrate it actually ran on, not onto
+            # whatever "auto" means on the restoring interpreter.
+            "backend": self.backend,
             "mp_context": self.mp_context,
             "transport": self.transport,
             "shm_threshold": self.shm_threshold,
@@ -1726,12 +1315,17 @@ class SpannerService:
             raise SpannerError(
                 f"cannot restore fleet: unreadable manifest {path}: {err}"
             ) from err
-        if doc.get("format") != MANIFEST_FORMAT_VERSION:
+        fmt = doc.get("format")
+        if fmt not in (1, MANIFEST_FORMAT_VERSION):
             raise SpannerError(
-                f"manifest {path} is format {doc.get('format')!r}; this "
+                f"manifest {path} is format {fmt!r}; this "
                 f"build speaks v{MANIFEST_FORMAT_VERSION}"
             )
         config = dict(doc.get("config") or {})
+        if fmt == 1:
+            # v1 predates the backend seam: only the process fleet
+            # existed, so that is what the manifest implicitly records.
+            config.setdefault("backend", "process")
         config.update(overrides)
         if artifact_store is None:
             artifact_store = cls._store_from_descriptor(doc.get("store"))
@@ -1849,38 +1443,20 @@ class SpannerService:
             return pickle.dumps(
                 self._artifact_for(query), protocol=pickle.HIGHEST_PROTOCOL
             )
-        ctx = multiprocessing.get_context(self.mp_context)
-        recv, send = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_compile_child,
-            args=(send, query, delay),
-            name="spanner-service-compile",
-            daemon=True,
+        # The bounded compile is process-lifecycle mechanism, so it
+        # lives with the process backend — and is used *whatever* the
+        # serving backend, since a throwaway process is the only
+        # compile-bounding primitive Python offers.
+        from .backends.process import compile_in_subprocess
+
+        def on_timeout() -> None:
+            with self._lock:
+                self._rejected += 1
+
+        return compile_in_subprocess(
+            query, delay, self.compile_timeout, self.mp_context,
+            on_timeout=on_timeout,
         )
-        proc.start()
-        send.close()
-        try:
-            if not recv.poll(self.compile_timeout):
-                with self._lock:
-                    self._rejected += 1
-                raise QueryRejectedError(
-                    f"compilation exceeded compile_timeout="
-                    f"{self.compile_timeout}s and was killed"
-                )
-            try:
-                status, result = recv.recv()
-            except (EOFError, OSError):
-                raise QueryRejectedError(
-                    "compilation process died before producing an artifact"
-                ) from None
-        finally:
-            if proc.is_alive():
-                proc.kill()
-            proc.join(timeout=5)
-            recv.close()
-        if status == "err":
-            raise result
-        return result
 
     # -- Lifecycle ----------------------------------------------------------
     def start(self) -> "SpannerService":
@@ -1890,8 +1466,7 @@ class SpannerService:
                 raise ServiceClosedError("SpannerService is closed")
             if self._started:
                 return self
-            ctx = multiprocessing.get_context(self.mp_context)
-            self._mp_ctx: "BaseContext" = ctx
+            self._backend.start()
             for _ in range(self.workers):
                 self._spawn_worker()
             self._collector = threading.Thread(
@@ -1946,11 +1521,7 @@ class SpannerService:
             self._tasks.clear()
             self._backlog.clear()
             for w in self._workers:
-                if not w.stopped:
-                    if drain:
-                        w.task_queue.put(("stop",))
-                    w.stopped = True
-                self._orphan_reader(w)
+                self._backend.stop_worker(w, graceful=drain)
             self._workers.clear()
         # A drain that gave up (timeout expired with work unresolved)
         # FAILS the leftovers — a pending future after close() returns
@@ -1971,23 +1542,7 @@ class SpannerService:
         self._stop_event.set()
         if self._collector is not None:
             self._collector.join(timeout=budget(10))
-        for proc in self._all_processes:
-            if drain:
-                proc.join(timeout=budget(10))
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=budget(10))
-            if proc.is_alive():  # stuck past the budget: no mercy
-                proc.kill()
-                proc.join(timeout=1)
-        with self._lock:
-            stale_readers = list(self._zombie_readers)
-            self._zombie_readers.clear()
-        for conn in stale_readers:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - close is best-effort
-                pass
+        self._backend.close(drain=drain, budget=budget)
         if self._doc_transport is not None:
             # Belt over the per-task handshake: whatever segments are
             # somehow still owned (e.g. a collector that died mid-
@@ -2076,6 +1631,8 @@ class SpannerService:
             )
             self._tasks[task.task_id] = task
             self._dispatch_or_backlog(task)
+        if self._backend.inline:
+            self._drain_inline()
         return task.future
 
     def _resolve_caps_locked(
@@ -2576,6 +2133,8 @@ class SpannerService:
             )
             self._tasks[task.task_id] = task
             self._dispatch_or_backlog(task)
+        if self._backend.inline:
+            self._drain_inline()
         return task.future
 
     def _submit_batch(
@@ -2698,50 +2257,19 @@ class SpannerService:
         return await asyncio.gather(*aws)
 
     # -- Scheduling (driver internals; self._lock held throughout) ----------
-    def _spawn_worker(self) -> _WorkerHandle:
-        worker_id = next(self._worker_ids)
-        task_queue = self._mp_ctx.Queue()
-        # Per-worker result pipe — see the _fleet_worker docstring for
-        # why results must not share one queue (a SIGKILLed writer
-        # would wedge the shared lock for every survivor).
-        result_reader, result_writer = self._mp_ctx.Pipe(duplex=False)
-        # [running task id (or -1.0), monotonic stamp, rss bytes,
-        # fused member ordinal (or -1.0)] — four doubles under one lock
-        # so a reader never sees a torn set.  RSS rides the same
-        # channel the deadline scan reads: the memory watchdog costs no
-        # extra IPC; the member slot is what lets a fused-task kill
-        # indict exactly the member being served.
-        heartbeat = self._mp_ctx.Array("d", [-1.0, 0.0, 0.0, -1.0])
-        process = self._mp_ctx.Process(
-            target=_fleet_worker,
-            args=(
-                worker_id, task_queue, result_writer, heartbeat,
-                self.encoding, self.errors, self.fault_plan,
-            ),
-            name=f"spanner-service-worker-{worker_id}",
-            daemon=True,
-        )
-        process.start()
-        # Drop the driver's copy of the write end NOW: the worker must
-        # hold the only one, so its death (clean or killed) reads as
-        # EOF on the driver side — and later forks can never inherit a
-        # stray writer that would mask that EOF.
-        result_writer.close()
-        handle = _WorkerHandle(
-            worker_id, process, task_queue, heartbeat, result_reader
-        )
+    def _spawn_worker(self) -> WorkerHandle:
+        handle = self._backend.spawn_worker()
         self._workers.append(handle)
-        self._all_processes.append(process)
         return handle
 
-    def _pick_worker(self) -> _WorkerHandle | None:
+    def _pick_worker(self) -> WorkerHandle | None:
         eligible = [
             w
             for w in self._workers
             if not w.retiring
             and not w.stopped
             and len(w.in_flight) < MAX_WORKER_PREFETCH
-            and w.process.is_alive()
+            and w.alive()
         ]
         if not eligible:
             return None
@@ -2757,12 +2285,18 @@ class SpannerService:
             return
         self._assign(worker, task)
 
-    def _assign(self, worker: _WorkerHandle, task: _Task) -> None:
+    def _assign(self, worker: WorkerHandle, task: _Task) -> None:
         # Ship the artifact with the first task that needs it on this
         # worker — at most one shipment per (worker, query) lifetime.
+        # What "ship" means is the backend's business: the process
+        # fleet sends the registry's pickled bytes over the task queue;
+        # shared-memory backends hand back a reference to the one
+        # materialized engine.
         payload = None
         if task.query_id not in worker.shipped:
-            payload = self._registry[task.query_id]
+            payload = self._backend.prepare_payload(
+                task.query_id, self._registry[task.query_id]
+            )
             worker.shipped.add(task.query_id)
         task.worker = worker
         task.indicted = None  # attribution is per attempt
@@ -2773,11 +2307,12 @@ class SpannerService:
             and worker.assigned >= self.max_tasks_per_worker
         ):
             worker.retiring = True
-        worker.task_queue.put(
+        self._backend.dispatch(
+            worker,
             (
                 "task", task.task_id, task.attempts + 1, task.query_id,
                 payload, task.op, task.items, task.extra, task.caps,
-            )
+            ),
         )
 
     # -- The collector thread -----------------------------------------------
@@ -2795,31 +2330,20 @@ class SpannerService:
         """One collector pass; True when the loop should stop."""
         resolutions: list[tuple[_Task, BaseException | None, object]] = []
         try:
+            # Poll outside the service lock: the backend blocks up to
+            # one tick waiting for results, and submitters must not
+            # stall behind that wait.
+            msgs = self._backend.poll(0.05)
             with self._lock:
-                readers = [
-                    w.result_reader
-                    for w in self._workers
-                    if w.result_reader is not None
-                ]
-                readers.extend(self._zombie_readers)
-            if readers:
-                try:
-                    ready = mp_connection.wait(readers, timeout=0.05)
-                except OSError:  # a reader closed mid-shutdown
-                    ready = []
-            else:  # no fleet yet (spawn failures): keep the tick rate
-                time.sleep(0.05)
-                ready = []
-            with self._lock:
-                for conn in ready:
-                    self._drain_reader(conn, resolutions)
+                for msg in msgs:
+                    self._handle_result(msg, resolutions)
                 self._check_deadlines(resolutions)
                 self._check_memory(resolutions)
                 self._reap_crashed(resolutions)
                 self._recycle_retiring()
                 self._ensure_fleet()
                 self._drain_backlog()
-                self._prune_processes()
+                self._backend.reap()
                 stopping = self._stop_event.is_set()
             for task, exc, value in resolutions:
                 self._finish(task, exc, value)
@@ -2850,44 +2374,21 @@ class SpannerService:
                 None,
             )
 
-    def _drain_reader(self, conn, resolutions) -> None:
-        """Pull every complete result already in one worker's pipe.
+    def _drain_inline(self) -> None:
+        """Resolve results an inline backend produced during dispatch.
 
-        EOF (the worker exited) or a torn frame (the worker was killed
-        mid-send) retires just this reader: with per-worker pipes a
-        dying writer can only poison its own channel, never the
-        fleet's.  Results the worker flushed before dying are still
-        drained first — at-most-once resolution drops any that a
-        re-dispatch has since superseded.
+        On the serial backend the result exists the moment
+        ``_dispatch_or_backlog`` returns; draining it here (on the
+        submitting thread) instead of waiting for the collector tick
+        keeps a serial service's latency at bare-loop levels.
         """
-        while True:
-            try:
-                if not conn.poll():
-                    return
-                msg = conn.recv()
-            except (EOFError, OSError, pickle.UnpicklingError):
-                self._retire_reader(conn)
-                return
-            self._handle_result(msg, resolutions)
-
-    def _retire_reader(self, conn) -> None:
-        try:
-            conn.close()
-        except OSError:  # pragma: no cover - close is best-effort
-            pass
-        for worker in self._workers:
-            if worker.result_reader is conn:
-                worker.result_reader = None
-        try:
-            self._zombie_readers.remove(conn)
-        except ValueError:
-            pass
-
-    def _orphan_reader(self, worker: _WorkerHandle) -> None:
-        """Keep polling a removed worker's result pipe until EOF."""
-        if worker.result_reader is not None:
-            self._zombie_readers.append(worker.result_reader)
-            worker.result_reader = None
+        resolutions: list[tuple[_Task, BaseException | None, object]] = []
+        msgs = self._backend.poll(0)
+        with self._lock:
+            for msg in msgs:
+                self._handle_result(msg, resolutions)
+        for task, exc, value in resolutions:
+            self._finish(task, exc, value)
 
     def _handle_result(self, msg, resolutions) -> None:
         kind, _worker_id, task_id, payload, truncated = msg
@@ -2959,9 +2460,14 @@ class SpannerService:
         this same collector pass, so detection-to-replacement is one
         0.05s tick past the deadline.
         """
+        if not self._backend.supports_kill:
+            # The serial backend's "worker" is the calling thread:
+            # there is nothing to kill, so deadlines are not enforced
+            # (documented as the serial trade-off).
+            return
         now = time.monotonic()
         for worker in list(self._workers):
-            if worker.stopped or not worker.process.is_alive():
+            if worker.stopped or not worker.alive():
                 continue
             hb_task, hb_stamp, _hb_rss, hb_member = worker.read_heartbeat()
             if hb_task < 0:
@@ -2971,10 +2477,10 @@ class SpannerService:
                 continue
             if now - hb_stamp <= task.deadline:
                 continue
-            worker.stopped = True  # _reap_crashed must not double-count
             self._workers.remove(worker)
-            self._orphan_reader(worker)
-            worker.process.kill()
+            # kill_worker marks the handle stopped, so _reap_crashed
+            # never double-counts this death as a crash.
+            self._backend.kill_worker(worker)
             self._timeout_kills += 1
             worker.in_flight.pop(task.task_id, None)
             self._tasks.pop(task.task_id, None)
@@ -3025,17 +2531,23 @@ class SpannerService:
         hard = self.worker_memory_hard_limit
         if soft is None and hard is None:
             return
+        if self._backend.worker_model != "process":
+            # Thread and inline workers share the driver's address
+            # space: their heartbeat RSS is the whole process, so the
+            # per-worker limits would misfire.  The watchdog only
+            # means something where a worker owns its memory.
+            return
         for worker in list(self._workers):
-            if worker.stopped or not worker.process.is_alive():
+            if worker.stopped or not worker.alive():
                 continue
             _hb_task, _hb_stamp, rss, _hb_member = worker.read_heartbeat()
             if rss <= 0:
                 continue
             if hard is not None and rss > hard:
-                worker.stopped = True  # _reap_crashed must not double-count
                 self._workers.remove(worker)
-                self._orphan_reader(worker)
-                worker.process.kill()
+                # kill_worker marks the handle stopped (no crash
+                # double-count in _reap_crashed).
+                self._backend.kill_worker(worker)
                 self._memory_kills += 1
                 self._orphan_worker_tasks(worker, resolutions)
                 continue
@@ -3046,17 +2558,16 @@ class SpannerService:
 
     def _reap_crashed(self, resolutions) -> None:
         for worker in list(self._workers):
-            if worker.stopped or worker.process.is_alive():
+            if worker.stopped or worker.alive():
                 continue
             # Died without being told to stop: a crash.  Replace it and
             # re-dispatch everything it was holding.
-            worker.stopped = True
             self._workers.remove(worker)
-            self._orphan_reader(worker)
+            self._backend.release_worker(worker)
             self._crashed += 1
             self._orphan_worker_tasks(worker, resolutions)
 
-    def _orphan_worker_tasks(self, worker: _WorkerHandle, resolutions) -> None:
+    def _orphan_worker_tasks(self, worker: WorkerHandle, resolutions) -> None:
         """Route a dead worker's in-flight tasks through retry/give-up."""
         hb_task, _hb_stamp, _hb_rss, hb_member = worker.read_heartbeat()
         orphans = list(worker.in_flight.values())
@@ -3160,10 +2671,8 @@ class SpannerService:
     def _recycle_retiring(self) -> None:
         for worker in list(self._workers):
             if worker.retiring and not worker.stopped and not worker.in_flight:
-                worker.task_queue.put(("stop",))
-                worker.stopped = True
+                self._backend.stop_worker(worker, graceful=True)
                 self._workers.remove(worker)
-                self._orphan_reader(worker)
                 self._recycled += 1
 
     def _ensure_fleet(self) -> None:
@@ -3179,23 +2688,6 @@ class SpannerService:
                 self._spawn_worker()
             except Exception:
                 break  # retry on the next collector pass
-
-    def _prune_processes(self) -> None:
-        """Reap exited worker processes from the lifetime list.
-
-        A recycling service replaces workers indefinitely; without
-        pruning, ``_all_processes`` (kept so ``close`` can join
-        everything) would grow without bound over the fleet's life.
-        """
-        if len(self._all_processes) <= 2 * self.workers:
-            return
-        alive = []
-        for process in self._all_processes:
-            if process.is_alive():
-                alive.append(process)
-            else:
-                process.join(timeout=0)  # reap the zombie
-        self._all_processes = alive
 
     def _drain_backlog(self) -> None:
         # Tasks still serving a retry backoff (not_before in the

@@ -33,6 +33,7 @@ def make_record(
     fleet_counters: tuple[int, int] | None = None,
     resource_counters: tuple[int, int] | None = None,
     store_counters: tuple[int, int, int] | None = None,
+    backend_rows: list[tuple[str, int, float]] | None = None,
     unix_time: float = 0.0,
 ) -> dict:
     """A BENCH_*.json payload shaped like the harness writes it.
@@ -40,8 +41,9 @@ def make_record(
     ``fleet_counters=(timeouts, quarantines)`` adds an E13g table with
     those counter totals; ``resource_counters=(degraded, truncated)``
     adds an E13h table the same way; ``store_counters=(hits, corrupt,
-    orphans)`` an E13i table; ``None`` (the default) models a record
-    from before the respective work, with no such table at all.
+    orphans)`` an E13i table; ``backend_rows=[(backend, workers,
+    docs_per_s), ...]`` an E13k table; ``None`` (the default) models a
+    record from before the respective work, with no such table at all.
     """
     experiments = []
     if fused_s is not None:
@@ -118,6 +120,21 @@ def make_record(
                         ["dictionary", 0.011, 0.002, 4.8,
                          hits, corrupt, orphans],
                         ["capitalized", 0.004, 0.001, 4.6, 1, 0, 0],
+                    ],
+                }
+            )
+        if backend_rows is not None:
+            tables.append(
+                {
+                    "title": "E13k  backend comparison (ParallelSpanner "
+                    "over the E13a log corpus)",
+                    "headers": [
+                        "backend", "workers", "docs", "wall (s)",
+                        "docs/s", "vs bare serial",
+                    ],
+                    "rows": [
+                        [backend, workers, 800, 800 / dps, dps, 1.0]
+                        for backend, workers, dps in backend_rows
                     ],
                 }
             )
@@ -437,6 +454,40 @@ class TestStoreCounters:
         out = capsys.readouterr().out
         assert "store-counters" not in out
         assert "resource-counters" in out  # the older report still prints
+
+
+class TestBackendComparison:
+    """The informational E13k backend head-to-head report (PR 10)."""
+
+    def test_newest_record_rows_reported(self, tmp_path, capsys):
+        write_history(
+            tmp_path,
+            [make_record()]
+            + [
+                make_record(
+                    backend_rows=[
+                        ("serial", 1, 1800.0),
+                        ("thread", 4, 1500.0),
+                        ("process", 4, 3600.0),
+                    ]
+                )
+            ],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "backend-comparison" in out
+        assert "serial@1w=1800 docs/s" in out
+        assert "process@4w=3600 docs/s" in out
+
+    def test_records_predating_e13k_stay_silent(self, tmp_path, capsys):
+        write_history(
+            tmp_path,
+            [make_record(store_counters=(1, 0, 0)) for _ in range(3)],
+        )
+        assert check(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "backend-comparison" not in out
+        assert "store-counters" in out  # the older report still prints
 
 
 class TestCli:

@@ -50,7 +50,18 @@ from repro.runtime import (
 )
 from repro.runtime.faults import FaultSpec
 
-from test_service import DOCS, WORD_FORMULA, canonical, dev_shm_segments, _require_shm
+from test_service import (
+    BACKENDS,
+    DOCS,
+    WORD_FORMULA,
+    canonical,
+    dev_shm_segments,
+    _require_shm,
+)
+
+#: Backends whose workers can be killed; the serial backend's worker is
+#: the calling thread, so hang/deadline enforcement is defined out.
+KILLABLE_BACKENDS = ("thread", "process")
 
 #: Deadline used by the hang tests: long enough that healthy tasks
 #: (millisecond-scale) never brush it, short enough to keep the suite
@@ -130,23 +141,31 @@ class TestFaultPlan:
 
 
 class TestCrashInjection:
-    def test_crash_then_retry_byte_identical(self, word_serial):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_then_retry_byte_identical(self, word_serial, backend):
         """Task 0 crashes its worker on the first attempt and succeeds
-        on re-dispatch: the batch result must not notice."""
+        on re-dispatch: the batch result must not notice — on every
+        backend (process workers die by SIGKILL, thread and inline
+        workers by an injected non-Exception escape)."""
         plan = FaultPlan().crash(task=0, attempts=(1,))
-        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+        with SpannerService(
+            workers=2, chunk_size=2, fault_plan=plan, backend=backend
+        ) as svc:
             qid = svc.register(CompiledSpanner(WORD_FORMULA))
             out = svc.submit(qid, DOCS).result(timeout=120)
             assert canonical(out) == canonical(word_serial)
             assert svc.workers_crashed >= 1
             assert svc.tasks_retried >= 1
 
-    def test_poison_task_gives_up_others_survive(self, word_serial):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_poison_task_gives_up_others_survive(self, word_serial, backend):
         """A task that crashes every worker it lands on fails alone
         after MAX_TASK_ATTEMPTS; every other chunk still resolves
         byte-identically."""
         plan = FaultPlan().crash(task=0)  # every attempt
-        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+        with SpannerService(
+            workers=2, chunk_size=2, fault_plan=plan, backend=backend
+        ) as svc:
             qid = svc.register(CompiledSpanner(WORD_FORMULA))
             futures = [
                 svc.submit_chunk(qid, DOCS[i : i + 2])
@@ -159,13 +178,16 @@ class TestCrashInjection:
                 rest.extend(future.result(timeout=120))
             assert canonical(rest) == canonical(word_serial[2:])
 
-    def test_crash_storm_converges(self, word_serial):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_crash_storm_converges(self, word_serial, backend):
         """Several first-attempt crashes across the batch: all retried,
         nothing lost or duplicated."""
         plan = FaultPlan()
         for task in (0, 3, 7):
             plan.crash(task=task, attempts=(1,))
-        with SpannerService(workers=2, chunk_size=2, fault_plan=plan) as svc:
+        with SpannerService(
+            workers=2, chunk_size=2, fault_plan=plan, backend=backend
+        ) as svc:
             qid = svc.register(CompiledSpanner(WORD_FORMULA))
             out = svc.submit(qid, DOCS).result(timeout=120)
             assert canonical(out) == canonical(word_serial)
@@ -173,13 +195,20 @@ class TestCrashInjection:
 
 
 class TestHangsAndDeadlines:
-    def test_hung_worker_detected_within_2x_deadline(self, word_serial):
+    @pytest.mark.parametrize("backend", KILLABLE_BACKENDS)
+    def test_hung_worker_detected_within_2x_deadline(
+        self, word_serial, backend
+    ):
         """Acceptance: the hang is detected, the worker killed and
         replaced, and the task's future failed with TaskTimeoutError —
-        all within 2x the configured deadline."""
+        all within 2x the configured deadline.  On the thread backend
+        "killed" means abandoned (a daemon thread cannot be stopped);
+        the observable contract — fast failure, fleet replaced, session
+        serviceable — is the same."""
         plan = FaultPlan().hang(task=0)
         with SpannerService(
-            workers=2, chunk_size=2, fault_plan=plan, task_timeout=DEADLINE
+            workers=2, chunk_size=2, fault_plan=plan, task_timeout=DEADLINE,
+            backend=backend,
         ) as svc:
             qid = svc.register(CompiledSpanner(WORD_FORMULA))
             fut = svc.submit_chunk(qid, DOCS[:2])
@@ -684,9 +713,9 @@ class TestMemoryWatchdog:
         safely under the soft limit and the injected 64 MiB bloat
         safely past the hard one, wherever the baseline sits.
         """
-        from repro.runtime.service import _current_rss
+        from repro.runtime.backends.worker import current_rss
 
-        base = int(_current_rss())
+        base = int(current_rss())
         bloat = TestMemoryWatchdog.BLOAT
         return base + bloat // 2, base + 3 * bloat // 4
 

@@ -26,6 +26,10 @@ from repro.runtime import CompiledSpanner, SpannerService
 WORD_FORMULA = "(ε|.*[^a-z])x{[a-z]+}([^a-z].*|ε)"
 DIGIT_FORMULA = ".*d{[0-9]+}.*"
 
+#: Every concrete compute backend; parity tests run over all three to
+#: pin the contract that the substrate never shows in the bytes.
+BACKENDS = ("serial", "thread", "process")
+
 DOCS = [
     "say hi ho",
     "",
@@ -74,14 +78,16 @@ def equality_engine():
 
 
 class TestFleetMatchesSerial:
+    @pytest.mark.parametrize("backend", BACKENDS)
     def test_two_queries_one_fleet_byte_identical(
-        self, word_serial, digit_serial
+        self, word_serial, digit_serial, backend
     ):
         """Acceptance: 2 workers, >= 2 registered queries (one of them
-        an equality query), results byte-identical and in-order."""
+        an equality query), results byte-identical and in-order —
+        whatever compute backend carries the fleet."""
         eq_engine, eq_docs = equality_engine()
         eq_serial = list(eq_engine.evaluate_many(eq_docs))
-        with SpannerService(workers=2, chunk_size=3) as service:
+        with SpannerService(workers=2, chunk_size=3, backend=backend) as service:
             q_word = service.register(CompiledSpanner(WORD_FORMULA))
             q_digit = service.register(CompiledSpanner(DIGIT_FORMULA))
             q_eq = service.register(eq_engine)
@@ -129,11 +135,12 @@ class TestFleetMatchesSerial:
                 time.sleep(0.05)
             assert len(service._all_processes) <= 2 * service.workers + 2
 
-    def test_recycle_across_queries(self, word_serial, digit_serial):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_recycle_across_queries(self, word_serial, digit_serial, backend):
         eq_engine, eq_docs = equality_engine()
         eq_serial = list(eq_engine.evaluate_many(eq_docs))
         with SpannerService(
-            workers=2, chunk_size=4, max_tasks_per_worker=2
+            workers=2, chunk_size=4, max_tasks_per_worker=2, backend=backend
         ) as service:
             ids = [
                 service.register(CompiledSpanner(WORD_FORMULA)),
@@ -150,8 +157,9 @@ class TestFleetMatchesSerial:
             ]
             assert service.workers_recycled > 0
 
-    def test_counts_and_limit(self, word_serial):
-        with SpannerService(workers=2, chunk_size=3) as service:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counts_and_limit(self, word_serial, backend):
+        with SpannerService(workers=2, chunk_size=3, backend=backend) as service:
             qid = service.register(CompiledSpanner(WORD_FORMULA))
             capped = service.submit(qid, DOCS, limit=2).result()
             assert capped == [per_doc[:2] for per_doc in word_serial]
@@ -160,13 +168,14 @@ class TestFleetMatchesSerial:
             capped_counts = service.submit_counts(qid, DOCS, cap=3).result()
             assert capped_counts == [min(c, 3) for c in counts]
 
-    def test_submit_files(self, tmp_path, word_serial):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_submit_files(self, tmp_path, word_serial, backend):
         paths = []
         for i, doc in enumerate(DOCS[:10]):
             path = tmp_path / f"doc{i}.txt"
             path.write_text(doc, encoding="utf-8")
             paths.append(str(path))
-        with SpannerService(workers=2, chunk_size=3) as service:
+        with SpannerService(workers=2, chunk_size=3, backend=backend) as service:
             qid = service.register(CompiledSpanner(WORD_FORMULA))
             assert service.submit_files(qid, paths).result() == word_serial[:10]
             with pytest.raises(OSError):
@@ -325,6 +334,9 @@ class TestHealth:
         with SpannerService(workers=2, chunk_size=3) as service:
             qid = service.register(CompiledSpanner(WORD_FORMULA))
             idle = service.health()
+            assert idle["backend"] == {
+                "name": "process", "worker_model": "process"
+            }
             assert len(idle["workers"]) == 2
             for w in idle["workers"]:
                 assert w["alive"]
